@@ -1,0 +1,301 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/histogram"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+// Method selects the estimation algorithm. The default and recommended
+// method is SWEMS; the others reproduce the paper's baselines.
+type Method string
+
+// Supported methods.
+const (
+	// SWEMS is Square Wave reporting with Expectation–Maximization and
+	// Smoothing — the paper's contribution and the recommended default.
+	SWEMS Method = "sw-ems"
+	// SWEM is Square Wave with plain EM (no smoothing step).
+	SWEM Method = "sw-em"
+	// SWBREMS is the discrete bucketize-before-randomize Square Wave with
+	// EMS, for domains that are already discrete (ages, counts, ratings).
+	SWBREMS Method = "sw-br-ems"
+	// HHADMM is the hierarchical histogram with ADMM post-processing
+	// (the paper's improved hierarchy baseline).
+	HHADMM Method = "hh-admm"
+	// HHist is the plain hierarchical histogram with constrained
+	// inference; its output may contain negative entries and is intended
+	// for range queries only.
+	HHist Method = "hh"
+	// HaarHRR is the discrete-Haar hierarchy with Hadamard response;
+	// like HHist, range queries only.
+	HaarHRR Method = "haar-hrr"
+	// Binning16/32/64 are categorical-frequency-oracle binning baselines.
+	Binning16 Method = "binning-16"
+	Binning32 Method = "binning-32"
+	Binning64 Method = "binning-64"
+)
+
+// Options configures an estimation round.
+type Options struct {
+	// Epsilon is the LDP privacy budget. Required, must be positive.
+	Epsilon float64
+	// Buckets is the number of histogram buckets of the reconstruction.
+	// Defaults to 1024. Hierarchy methods require a power of 4 (HHADMM,
+	// HHist) or 2 (HaarHRR); binning methods require a multiple of the
+	// bin count.
+	Buckets int
+	// Bandwidth overrides the square-wave half-width b. 0 selects the
+	// paper's mutual-information optimum.
+	Bandwidth float64
+	// Seed makes the mechanism's randomness reproducible. 0 selects a
+	// fixed default seed (LDP noise must be random in production; expose
+	// the seed only for experiments and tests).
+	Seed uint64
+}
+
+// DefaultOptions returns the recommended configuration at the given budget.
+func DefaultOptions(eps float64) Options {
+	return Options{Epsilon: eps, Buckets: 1024}
+}
+
+func (o Options) validate() (Options, error) {
+	if o.Epsilon <= 0 || math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) {
+		return o, fmt.Errorf("repro: epsilon must be positive and finite, got %v", o.Epsilon)
+	}
+	if o.Buckets == 0 {
+		o.Buckets = 1024
+	}
+	if o.Buckets < 2 {
+		return o, fmt.Errorf("repro: need at least 2 buckets, got %d", o.Buckets)
+	}
+	if o.Bandwidth < 0 || o.Bandwidth > 2 {
+		return o, fmt.Errorf("repro: bandwidth %v out of range [0, 2]", o.Bandwidth)
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5157454d53 // arbitrary fixed default
+	}
+	return o, nil
+}
+
+// Result is a reconstructed distribution with convenience statistics.
+type Result struct {
+	// Distribution is the estimated probability of each bucket. For
+	// HHist and HaarHRR it may contain negative entries (range queries
+	// remain meaningful; point statistics do not).
+	Distribution []float64
+	// Method that produced the estimate.
+	Method Method
+	// Epsilon of the round.
+	Epsilon float64
+}
+
+// Mean returns the estimated mean of the private values (in [0,1]).
+func (r *Result) Mean() float64 { return histogram.Mean(r.Distribution) }
+
+// Variance returns the estimated variance.
+func (r *Result) Variance() float64 { return histogram.Variance(r.Distribution) }
+
+// Quantile returns the estimated β-quantile (β ∈ [0,1]).
+func (r *Result) Quantile(beta float64) float64 {
+	return histogram.Quantile(r.Distribution, beta)
+}
+
+// Range returns the estimated probability mass on [lo, hi] ⊆ [0,1].
+func (r *Result) Range(lo, hi float64) float64 {
+	return histogram.RangeProb(r.Distribution, lo, hi)
+}
+
+// CDF returns the estimated cumulative distribution at v ∈ [0,1].
+func (r *Result) CDF(v float64) float64 {
+	return histogram.CDFAt(r.Distribution, v)
+}
+
+// ErrNoValues is returned when an estimation round receives no input.
+var ErrNoValues = errors.New("repro: no values to estimate from")
+
+func estimatorFor(m Method, o Options) (core.Estimator, error) {
+	switch m {
+	case SWEMS, "":
+		if o.Bandwidth > 0 {
+			return core.SWEMSWithBandwidth(o.Bandwidth), nil
+		}
+		return core.SWEMS(), nil
+	case SWEM:
+		return core.SWEM(), nil
+	case SWBREMS:
+		return core.SWDiscreteEMS(), nil
+	case HHADMM:
+		return core.HHADMM(4), nil
+	case HHist:
+		return core.HH(4), nil
+	case HaarHRR:
+		return core.HaarHRR(), nil
+	case Binning16:
+		return core.Binning(16), nil
+	case Binning32:
+		return core.Binning(32), nil
+	case Binning64:
+		return core.Binning(64), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown method %q", m)
+	}
+}
+
+// EstimateDistribution runs a full SW+EMS round over the private values
+// (each in [0,1]; out-of-range values are clamped) and returns the
+// reconstructed distribution.
+func EstimateDistribution(values []float64, opts Options) (*Result, error) {
+	return Estimate(values, SWEMS, opts)
+}
+
+// Estimate runs a full round with an explicit method.
+func Estimate(values []float64, m Method, opts Options) (*Result, error) {
+	opts, err := opts.validate()
+	if err != nil {
+		return nil, err
+	}
+	if len(values) == 0 {
+		return nil, ErrNoValues
+	}
+	est, err := estimatorFor(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := runGuarded(func() []float64 {
+		return est.Estimate(values, opts.Buckets, opts.Epsilon, randx.New(opts.Seed))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m == "" {
+		m = SWEMS
+	}
+	return &Result{Distribution: dist, Method: m, Epsilon: opts.Epsilon}, nil
+}
+
+// runGuarded converts internal invariant panics (e.g. a bucket count a
+// hierarchy method cannot use) into errors at the public boundary.
+func runGuarded(fn func() []float64) (out []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("repro: %v", r)
+		}
+	}()
+	return fn(), nil
+}
+
+// Client is the user-side half of the streaming SW pipeline. A Client is
+// cheap to construct and holds only mechanism parameters; call Report once
+// per private value. Not safe for concurrent use (each goroutine should own
+// a Client).
+type Client struct {
+	inner *core.Client
+	rng   *randx.Rand
+}
+
+// NewClient builds a client. Bandwidth and Buckets behave as in Estimate.
+func NewClient(opts Options) (*Client, error) {
+	opts, err := opts.validate()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Epsilon: opts.Epsilon, Buckets: opts.Buckets, Bandwidth: opts.Bandwidth, Smoothing: true}
+	return &Client{inner: core.NewClient(cfg), rng: randx.New(opts.Seed)}, nil
+}
+
+// Report randomizes one private value v ∈ [0,1] (clamped) into a report in
+// [−b, 1+b] suitable for sending to the aggregator.
+func (c *Client) Report(v float64) float64 {
+	return c.inner.Report(mathx.Clamp(v, 0, 1), c.rng)
+}
+
+// Epsilon returns the privacy budget.
+func (c *Client) Epsilon() float64 { return c.inner.Epsilon() }
+
+// Bandwidth returns the wave half-width b in use; reports lie in [−b, 1+b].
+func (c *Client) Bandwidth() float64 { return c.inner.Bandwidth() }
+
+// Aggregator is the collector-side half of the streaming pipeline: feed it
+// reports as they arrive and call Estimate whenever a reconstruction is
+// needed. Not safe for concurrent use.
+type Aggregator struct {
+	inner *core.Aggregator
+	opts  Options
+}
+
+// NewAggregator builds an aggregator with the same Options as the clients.
+func NewAggregator(opts Options) (*Aggregator, error) {
+	opts, err := opts.validate()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Epsilon: opts.Epsilon, Buckets: opts.Buckets, Bandwidth: opts.Bandwidth, Smoothing: true}
+	return &Aggregator{inner: core.NewAggregator(cfg), opts: opts}, nil
+}
+
+// Ingest adds one client report.
+func (a *Aggregator) Ingest(report float64) { a.inner.Ingest(report) }
+
+// N returns the number of reports ingested so far.
+func (a *Aggregator) N() int { return a.inner.N() }
+
+// Estimate reconstructs the distribution from the reports so far.
+func (a *Aggregator) Estimate() (*Result, error) {
+	if a.inner.N() == 0 {
+		return nil, ErrNoValues
+	}
+	res := a.inner.Estimate()
+	return &Result{Distribution: res.Estimate, Method: SWEMS, Epsilon: a.opts.Epsilon}, nil
+}
+
+// Statistic maps a reconstructed distribution (over d buckets of [0,1]) to
+// a scalar, for use with ConfidenceInterval. Package histogram-style
+// statistics can be expressed inline:
+//
+//	mean := func(dist []float64) float64 { ... }
+//
+// or use the ready-made MeanStatistic / QuantileStatistic helpers.
+type Statistic = func(dist []float64) float64
+
+// MeanStatistic reads the distribution mean.
+func MeanStatistic() Statistic { return histogram.Mean }
+
+// QuantileStatistic reads the β-quantile.
+func QuantileStatistic(beta float64) Statistic {
+	return func(dist []float64) float64 { return histogram.Quantile(dist, beta) }
+}
+
+// RangeStatistic reads the probability mass on [lo, hi].
+func RangeStatistic(lo, hi float64) Statistic {
+	return func(dist []float64) float64 { return histogram.RangeProb(dist, lo, hi) }
+}
+
+// ConfidenceInterval is a bootstrap percentile interval for a statistic of
+// the reconstructed distribution.
+type ConfidenceInterval struct {
+	Point, Lo, Hi float64
+	Level         float64
+}
+
+// ConfidenceInterval bootstraps the aggregator's report histogram (resample
+// → reconstruct → re-read the statistic, replicas times) and returns the
+// percentile interval at the given level (e.g. 0.9). Replicas ≤ 0 selects
+// 100. This is expensive — one EMS reconstruction per replica.
+func (a *Aggregator) ConfidenceInterval(stat Statistic, level float64, replicas int) (ConfidenceInterval, error) {
+	if a.inner.N() == 0 {
+		return ConfidenceInterval{}, ErrNoValues
+	}
+	if level <= 0 || level >= 1 {
+		return ConfidenceInterval{}, fmt.Errorf("repro: confidence level %v outside (0,1)", level)
+	}
+	ci := boot.Estimate(a.inner.Channel(), a.inner.Counts(), stat,
+		boot.Options{Replicas: replicas, Level: level}, randx.New(a.opts.Seed^0xb007))
+	return ConfidenceInterval{Point: ci.Point, Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}, nil
+}

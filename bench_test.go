@@ -1,0 +1,158 @@
+package repro_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 6). Each benchmark executes the same harness
+// code path cmd/experiments uses to regenerate the artifact, at a reduced
+// scale so `go test -bench=.` completes in minutes; raise the scale with
+// cmd/experiments for the EXPERIMENTS.md numbers.
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// benchCfg is the reduced-scale configuration the benchmarks share.
+func benchCfg() experiment.Config {
+	return experiment.Config{
+		N:            5000,
+		Reps:         1,
+		Seed:         1,
+		Buckets:      64,
+		Datasets:     []string{"beta", "income"},
+		Epsilons:     []float64{0.5, 2.5},
+		RangeQueries: 100,
+	}
+}
+
+func sinkRows(b *testing.B, rows []experiment.Row) {
+	if len(rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+}
+
+// BenchmarkTable2Matrix regenerates the method × metric applicability
+// matrix (Table 2).
+func BenchmarkTable2Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiment.Table2().Len() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1Datasets regenerates the dataset-shape summaries (Figure 1).
+func BenchmarkFig1Datasets(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		sinkRows(b, experiment.Fig1(cfg))
+	}
+}
+
+// BenchmarkFig2Wasserstein regenerates the distribution-distance comparison
+// (Figure 2: Wasserstein and KS vs ε for the standard method set).
+func BenchmarkFig2Wasserstein(b *testing.B) {
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows(b, experiment.Fig2(cfg))
+	}
+}
+
+// BenchmarkFig3RangeQuery regenerates the range-query comparison (Figure 3:
+// MAE at α = 0.1 and 0.4, including HH and HaarHRR).
+func BenchmarkFig3RangeQuery(b *testing.B) {
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows(b, experiment.Fig3(cfg))
+	}
+}
+
+// BenchmarkFig4Mean regenerates the first row of Figure 4 (mean MAE,
+// including SR and PM). The harness computes all three Figure 4 metrics in
+// one pass; the three benchmarks below are split to mirror the figure's
+// rows while sharing the code path.
+func BenchmarkFig4Mean(b *testing.B) {
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Fig4(cfg)
+		kept := rows[:0]
+		for _, r := range rows {
+			if r.Metric == "mean" {
+				kept = append(kept, r)
+			}
+		}
+		sinkRows(b, kept)
+	}
+}
+
+// BenchmarkFig4Variance regenerates the second row of Figure 4 (variance
+// MAE with the two-phase SR/PM protocol).
+func BenchmarkFig4Variance(b *testing.B) {
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Fig4(cfg)
+		kept := rows[:0]
+		for _, r := range rows {
+			if r.Metric == "variance" {
+				kept = append(kept, r)
+			}
+		}
+		sinkRows(b, kept)
+	}
+}
+
+// BenchmarkFig4Quantile regenerates the third row of Figure 4 (decile
+// quantile MAE).
+func BenchmarkFig4Quantile(b *testing.B) {
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Fig4(cfg)
+		kept := rows[:0]
+		for _, r := range rows {
+			if r.Metric == "quantile" {
+				kept = append(kept, r)
+			}
+		}
+		sinkRows(b, kept)
+	}
+}
+
+// BenchmarkFig5WaveShapes regenerates the wave-shape ablation (Figure 5:
+// trapezoid ratios and triangle vs square wave, W1 across the b grid).
+func BenchmarkFig5WaveShapes(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Datasets = []string{"beta"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows(b, experiment.Fig5(cfg))
+	}
+}
+
+// BenchmarkFig6BandwidthSweep regenerates the bandwidth sweep (Figure 6:
+// W1 vs b at ε ∈ {1,2,3,4}, with the closed-form b_SW marker).
+func BenchmarkFig6BandwidthSweep(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Datasets = []string{"beta"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows(b, experiment.Fig6(cfg))
+	}
+}
+
+// BenchmarkFig7Granularity regenerates the bucketization-granularity sweep
+// (Figure 7: W1 at d ∈ {256, 512, 1024, 2048}).
+func BenchmarkFig7Granularity(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Buckets = 0 // figure 7 sweeps granularity itself
+	cfg.Datasets = []string{"beta"}
+	cfg.Epsilons = []float64{1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows(b, experiment.Fig7(cfg))
+	}
+}

@@ -1,0 +1,75 @@
+// Command datagen emits the synthetic evaluation datasets as CSV, one value
+// per line in [0,1], so external tooling (or the swcollect command) can
+// consume the exact workloads the experiments run on.
+//
+// Usage:
+//
+//	datagen -dataset income -n 100000 -o income.csv
+//	datagen -dataset taxi -n 50000            # writes to stdout
+//	datagen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "beta", "dataset to generate: beta, taxi, income, retirement")
+		n    = flag.Int("n", 100000, "number of samples")
+		seed = flag.Uint64("seed", 1, "random seed")
+		out  = flag.String("o", "", "output path (default stdout)")
+		list = flag.Bool("list", false, "list available datasets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, nm := range dataset.Names() {
+			ds, _ := dataset.ByName(nm, 1, 1)
+			fmt.Printf("%-12s paper granularity %d buckets\n", nm, ds.Buckets)
+		}
+		return
+	}
+
+	ds, err := dataset.ByName(*name, *n, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for _, v := range ds.Values {
+		bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		fatalf("write: %v", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d values of %q to %s\n", ds.N(), ds.Name, *out)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

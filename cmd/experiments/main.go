@@ -1,0 +1,207 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints an aligned table of
+// method × dataset × ε rows (mean ± std over repetitions) and can
+// additionally write CSV for plotting.
+//
+// Usage:
+//
+//	experiments -exp fig2                       # quick-scale Figure 2
+//	experiments -exp all -n 100000 -reps 10     # closer to paper scale
+//	experiments -exp fig6 -datasets taxi -csv fig6.csv
+//	experiments -exp table2
+//
+// The default scale (n=50000, 5 reps, per-dataset paper granularity) keeps
+// a full figure in the minutes range on a laptop; the paper's own scale
+// (n up to 2.3M, 100 reps) is reachable by raising -n and -reps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+	"repro/internal/histogram"
+	"repro/internal/plot"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "fig2", "experiment to run: fig1..fig7, table2, or all")
+		n        = flag.Int("n", 50000, "users per dataset")
+		reps     = flag.Int("reps", 5, "repetitions per point")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		buckets  = flag.Int("buckets", 0, "granularity override (0 = per-dataset paper default)")
+		datasets = flag.String("datasets", "", "comma-separated subset of: beta,taxi,income,retirement")
+		epsilons = flag.String("eps", "", "comma-separated ε values (default 0.5,1.0,1.5,2.0,2.5)")
+		queries  = flag.Int("queries", 200, "random range queries per width (fig3)")
+		parallel = flag.Bool("parallel", false, "run repetitions concurrently (same results, more cores)")
+		csvPath  = flag.String("csv", "", "also write rows as CSV to this path")
+		hist     = flag.Bool("hist", false, "with -exp fig1: dump full histograms instead of summaries")
+		chart    = flag.Bool("chart", false, "render ASCII charts (one per dataset × metric, log-y)")
+		compare  = flag.String("compare", "", "baseline method for paired sign tests (e.g. SW-EMS; fig2-4/ablations; needs -reps >= 6 to reach p < 0.05)")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{
+		N:            *n,
+		Reps:         *reps,
+		Seed:         *seed,
+		Buckets:      *buckets,
+		RangeQueries: *queries,
+		Parallel:     *parallel,
+		KeepSamples:  *compare != "",
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *epsilons != "" {
+		for _, tok := range strings.Split(*epsilons, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fatalf("bad -eps value %q: %v", tok, err)
+			}
+			cfg.Epsilons = append(cfg.Epsilons, v)
+		}
+	}
+
+	if *exp == "table2" {
+		fmt.Println("Table 2: methods and evaluated metrics")
+		fmt.Print(experiment.Table2().RenderString())
+		return
+	}
+	if *exp == "fig1" && *hist {
+		dumpHistograms(cfg)
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiment.Figures()
+	}
+
+	var all []experiment.Row
+	for _, id := range ids {
+		fmt.Printf("== %s (n=%d, reps=%d, seed=%d) ==\n", id, cfg.N, cfg.Reps, cfg.Seed)
+		rows, err := experiment.ByID(id, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiment.ToTable(rows).RenderString())
+		fmt.Println()
+		if *chart {
+			renderCharts(id, rows)
+		}
+		if *compare != "" {
+			cs := experiment.CompareToBaseline(rows, *compare, 0.05)
+			if len(cs) > 0 {
+				fmt.Printf("paired sign tests vs %s (α = 0.05):\n", *compare)
+				fmt.Print(experiment.ComparisonTable(cs).RenderString())
+				fmt.Println()
+			}
+		}
+		all = append(all, rows...)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatalf("create %s: %v", *csvPath, err)
+		}
+		defer f.Close()
+		if err := experiment.ToTable(all).WriteCSV(f); err != nil {
+			fatalf("write csv: %v", err)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(all), *csvPath)
+	}
+}
+
+// renderCharts draws one ASCII chart per (dataset, metric): methods are
+// series, the x axis is ε for fig2–4, the sweep parameter for fig5–7.
+func renderCharts(id string, rows []experiment.Row) {
+	type key struct{ dataset, metric string }
+	groups := map[key]map[string][]plot.Point{}
+	for _, r := range rows {
+		if r.Metric == "bandwidth" { // fig6's b_SW marker row, not a series
+			continue
+		}
+		x := r.Epsilon
+		switch id {
+		case "fig5", "fig6", "fig7":
+			x = r.Param
+		}
+		k := key{r.Dataset, r.Metric}
+		if groups[k] == nil {
+			groups[k] = map[string][]plot.Point{}
+		}
+		name := r.Method
+		if id == "fig6" || id == "fig7" {
+			// Single method; split series by ε instead.
+			name = fmt.Sprintf("eps=%g", r.Epsilon)
+		}
+		groups[k][name] = append(groups[k][name], plot.Point{X: x, Y: r.Mean})
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dataset != keys[j].dataset {
+			return keys[i].dataset < keys[j].dataset
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	for _, k := range keys {
+		xlabel := "epsilon"
+		if id == "fig5" || id == "fig6" {
+			xlabel = "bandwidth b"
+		} else if id == "fig7" {
+			xlabel = "buckets"
+		}
+		fmt.Print(plot.Chart(groups[k], plot.Options{
+			Title:  fmt.Sprintf("%s / %s / %s (log y)", id, k.dataset, k.metric),
+			LogY:   true,
+			XLabel: xlabel,
+		}))
+		fmt.Println()
+	}
+}
+
+// dumpHistograms prints the full normalized frequency vectors of Figure 1.
+func dumpHistograms(cfg experiment.Config) {
+	names := cfg.Datasets
+	if len(names) == 0 {
+		names = dataset.Names()
+	}
+	n := cfg.N
+	if n == 0 {
+		n = 50000
+	}
+	t := report.NewTable("dataset", "bucket", "lo", "hi", "freq")
+	for _, name := range names {
+		ds, err := dataset.ByName(name, n, cfg.Seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		d := ds.Buckets
+		if cfg.Buckets > 0 {
+			d = cfg.Buckets
+		}
+		dist := ds.TrueDistributionAt(d)
+		for i, p := range dist {
+			lo, hi := histogram.BucketBounds(i, d)
+			t.AddRow(name, i, lo, hi, p)
+		}
+	}
+	fmt.Print(t.RenderString())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command ldpserver runs the HTTP collection endpoint: clients POST
+// randomized Square Wave reports and anyone can GET the reconstructed
+// distribution. This is the collector half of a real LDP deployment; pair
+// it with clients built on repro.NewClient (see examples/httpcollect for a
+// self-contained demo of both halves).
+//
+// Usage:
+//
+//	ldpserver -addr :8080 -eps 1.0 -buckets 512
+//
+// Endpoints: POST /report, POST /batch, GET /estimate, GET /config.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/ldphttp"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		eps     = flag.Float64("eps", 1.0, "LDP privacy budget ε")
+		buckets = flag.Int("buckets", 512, "reconstruction granularity")
+		band    = flag.Float64("bandwidth", 0, "wave half-width override (0 = optimal)")
+	)
+	flag.Parse()
+
+	srv := ldphttp.NewServer(ldphttp.Config{
+		Epsilon:   *eps,
+		Buckets:   *buckets,
+		Bandwidth: *band,
+	})
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 60 * time.Second, // /estimate runs EM
+	}
+	fmt.Printf("ldpserver listening on %s (epsilon=%g, buckets=%d)\n", *addr, *eps, *buckets)
+	fmt.Println("endpoints: POST /report, POST /batch, GET /estimate, GET /config")
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,167 @@
+// Command swcollect runs one complete SW+EMS collection round over a file of
+// numerical values (one per line) and prints the reconstructed distribution
+// with summary statistics — the end-to-end tool a data collector would run.
+//
+// Values are linearly rescaled from the public domain [-lo, -hi] when
+// provided; otherwise the observed min/max of the file is used (note: in a
+// real deployment the domain bounds must be public constants, not derived
+// from the private data — derive-from-data is offered for experimentation
+// only and swcollect warns when it is used).
+//
+// Usage:
+//
+//	datagen -dataset income -n 100000 -o income.csv
+//	swcollect -in income.csv -eps 1.0 -buckets 256
+//	swcollect -in ages.csv -lo 0 -hi 120 -eps 0.5 -method hh-admm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+	"repro/internal/cliio"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input file of values, one per line (default stdin)")
+		eps     = flag.Float64("eps", 1.0, "LDP privacy budget ε")
+		buckets = flag.Int("buckets", 256, "reconstruction granularity")
+		lo      = flag.Float64("lo", math.NaN(), "public lower bound of the domain")
+		hi      = flag.Float64("hi", math.NaN(), "public upper bound of the domain")
+		method  = flag.String("method", string(repro.SWEMS), "estimation method (sw-ems, sw-em, sw-br-ems, hh-admm, binning-16/32/64)")
+		seed    = flag.Uint64("seed", 0, "mechanism seed (0 = fixed default)")
+		top     = flag.Int("top", 10, "print the top-k highest-probability buckets")
+		ci      = flag.Int("ci", 0, "bootstrap replicas for 90% confidence intervals on mean/median (0 = off; sw-ems only)")
+	)
+	flag.Parse()
+
+	values, err := readInput(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(values) == 0 {
+		fatalf("no values read")
+	}
+
+	domain, err := cliio.ResolveDomain(values, *lo, *hi)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if domain.Derived {
+		fmt.Fprintf(os.Stderr,
+			"swcollect: WARNING deriving domain [%g, %g] from the data; pass -lo/-hi with public bounds in real deployments\n",
+			domain.Lo, domain.Hi)
+	}
+
+	opts := repro.Options{Epsilon: *eps, Buckets: *buckets, Seed: *seed}
+	res, err := repro.Estimate(domain.ScaleAll(values), repro.Method(*method), opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("users: %d   method: %s   epsilon: %g   buckets: %d\n",
+		len(values), res.Method, res.Epsilon, *buckets)
+	fmt.Printf("estimated mean:     %s\n", report.FormatFloat(domain.Unscale(res.Mean())))
+	fmt.Printf("estimated variance: %s (scaled domain)\n", report.FormatFloat(res.Variance()))
+	fmt.Printf("estimated median:   %s\n", report.FormatFloat(domain.Unscale(res.Quantile(0.5))))
+	fmt.Printf("estimated p10/p90:  %s / %s\n",
+		report.FormatFloat(domain.Unscale(res.Quantile(0.1))),
+		report.FormatFloat(domain.Unscale(res.Quantile(0.9))))
+
+	if *ci > 0 {
+		if repro.Method(*method) != repro.SWEMS && *method != "" {
+			fmt.Fprintln(os.Stderr, "swcollect: -ci is only supported with -method sw-ems; skipping")
+		} else if err := printCIs(domain.ScaleAll(values), domain, opts, *ci); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	printTopBuckets(res.Distribution, domain, *buckets, *top)
+}
+
+// printCIs re-ingests the values through a streaming aggregator and prints
+// bootstrap confidence intervals for the headline statistics.
+func printCIs(scaled []float64, domain cliio.Domain, opts repro.Options, replicas int) error {
+	client, err := repro.NewClient(opts)
+	if err != nil {
+		return err
+	}
+	agg, err := repro.NewAggregator(opts)
+	if err != nil {
+		return err
+	}
+	for _, v := range scaled {
+		agg.Ingest(client.Report(v))
+	}
+	for _, st := range []struct {
+		name string
+		stat repro.Statistic
+	}{
+		{"mean", repro.MeanStatistic()},
+		{"median", repro.QuantileStatistic(0.5)},
+	} {
+		ci, err := agg.ConfidenceInterval(st.stat, 0.9, replicas)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("90%% CI for %-6s [%s, %s] (point %s, %d replicas)\n", st.name,
+			report.FormatFloat(domain.Unscale(ci.Lo)),
+			report.FormatFloat(domain.Unscale(ci.Hi)),
+			report.FormatFloat(domain.Unscale(ci.Point)), replicas)
+	}
+	return nil
+}
+
+// printTopBuckets renders the k highest-probability buckets.
+func printTopBuckets(dist []float64, domain cliio.Domain, buckets, k int) {
+	type bucket struct {
+		idx int
+		p   float64
+	}
+	best := make([]bucket, 0, len(dist))
+	for i, p := range dist {
+		best = append(best, bucket{i, p})
+	}
+	// Partial selection sort; k is tiny.
+	for i := 0; i < k && i < len(best); i++ {
+		maxJ := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].p > best[maxJ].p {
+				maxJ = j
+			}
+		}
+		best[i], best[maxJ] = best[maxJ], best[i]
+	}
+	t := report.NewTable("rank", "bucket", "range", "probability")
+	for i := 0; i < k && i < len(best); i++ {
+		b := best[i]
+		blo := domain.Unscale(float64(b.idx) / float64(buckets))
+		bhi := domain.Unscale(float64(b.idx+1) / float64(buckets))
+		t.AddRow(i+1, b.idx,
+			fmt.Sprintf("[%s, %s)", report.FormatFloat(blo), report.FormatFloat(bhi)), b.p)
+	}
+	fmt.Println()
+	fmt.Print(t.RenderString())
+}
+
+func readInput(path string) ([]float64, error) {
+	if path == "" {
+		return cliio.ReadValues(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cliio.ReadValues(f)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swcollect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Package repro estimates the distribution of a numerical attribute under
+// local differential privacy (LDP), implementing the SIGMOD 2020 paper
+// "Estimating Numerical Distributions under Local Differential Privacy"
+// (Li, Wang, Lopuhaä-Zwakenberg, Skoric, Li).
+//
+// # The problem
+//
+// Each of n users holds a private numerical value v ∈ [0,1] (incomes, ages,
+// session durations, ...). An untrusted aggregator wants the distribution of
+// the values. Under ε-LDP every user randomizes their value on-device before
+// sending it, so the aggregator never sees anything sensitive; the challenge
+// is reconstructing an accurate distribution from the noisy reports.
+//
+// # The method
+//
+// The paper's (and this package's) headline method is the Square Wave
+// mechanism with Expectation–Maximization and Smoothing (SW+EMS): the user
+// reports a value near their true value with an e^ε-times-higher density
+// than a far value ("square wave" density), and the aggregator inverts the
+// aggregate report histogram by maximum likelihood with a smoothness prior.
+//
+// # Quick start
+//
+//	res, err := repro.EstimateDistribution(values, repro.DefaultOptions(1.0))
+//	if err != nil { ... }
+//	fmt.Println(res.Mean(), res.Quantile(0.5))
+//
+// For streaming collection, pair a Client (user side) with an Aggregator
+// (collector side):
+//
+//	client, _ := repro.NewClient(opts)
+//	agg, _ := repro.NewAggregator(opts)
+//	for _, v := range values {
+//		agg.Ingest(client.Report(v)) // Report runs on the user's device
+//	}
+//	res, _ := agg.Estimate()
+//
+// Baseline methods from the paper's evaluation (HH-ADMM, plain hierarchical
+// histograms, HaarHRR, CFO-with-binning) are available through Estimate with
+// an explicit Method, for comparisons and research use.
+package repro

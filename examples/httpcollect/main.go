@@ -1,0 +1,87 @@
+// HTTP collection: runs the full client/server deployment shape on
+// localhost — an aggregation server exposing /report and /estimate, and a
+// fleet of concurrent clients that randomize on-device and POST their
+// reports, exactly how the deployed LDP systems the paper cites (RAPPOR,
+// Apple, Microsoft telemetry) are structured.
+//
+//	go run ./examples/httpcollect
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ldphttp"
+	"repro/internal/randx"
+)
+
+func main() {
+	cfg := ldphttp.Config{Epsilon: 1.0, Buckets: 128}
+
+	// --- server ------------------------------------------------------------
+	srv := ldphttp.NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil && err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("collector listening on %s (epsilon=%.1f)\n", base, cfg.Epsilon)
+
+	// --- clients -----------------------------------------------------------
+	// 16 concurrent client shards, 2500 users each; every user randomizes
+	// a Beta(5,2)-distributed private value locally before anything is
+	// sent over the wire.
+	const shards = 16
+	const perShard = 2500
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := core.NewClient(core.Config{
+				Epsilon: cfg.Epsilon, Buckets: cfg.Buckets, Smoothing: true,
+			})
+			rng := randx.New(uint64(id + 1))
+			reports := make([]float64, perShard)
+			for i := range reports {
+				private := rng.Beta(5, 2)                // never leaves this goroutine
+				reports[i] = client.Report(private, rng) // ε-LDP randomized
+			}
+			blob, _ := json.Marshal(map[string]any{"reports": reports})
+			resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			resp.Body.Close()
+		}(sh)
+	}
+	wg.Wait()
+	fmt.Printf("ingested %d reports from %d client shards\n", srv.N(), shards)
+
+	// --- anyone can query the aggregate -------------------------------------
+	resp, err := http.Get(base + "/estimate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var est ldphttp.EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstruction: %d EM iterations (converged=%v)\n", est.Iterations, est.Converged)
+	fmt.Printf("  estimated mean:     %.4f (Beta(5,2) truth 0.7143)\n", est.Mean)
+	fmt.Printf("  estimated median:   %.4f (truth 0.7356)\n", est.Median)
+	fmt.Printf("  estimated variance: %.4f (truth 0.0255)\n", est.Variance)
+}

@@ -1,0 +1,80 @@
+// Income survey: a spiky distribution (people report round salaries) is the
+// one regime where the paper found HH-ADMM competitive with SW+EMS on
+// KS-distance and quantiles (Section 6.2). This example reproduces that
+// comparison on the synthetic income workload: it runs both methods at the
+// same privacy budget and prints the metrics side by side.
+//
+//	go run ./examples/income
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func main() {
+	const (
+		nUsers  = 200000
+		eps     = 2.5
+		buckets = 1024 // power of 4, as HH-ADMM's β=4 tree requires
+	)
+	ds := dataset.Income(nUsers, 11)
+	truth := ds.TrueDistributionAt(buckets)
+	fmt.Printf("income survey: %d users, epsilon=%.1f, %d buckets, spikiness=%.2f\n\n",
+		nUsers, float64(eps), buckets, dataset.Spikiness(truth))
+
+	opts := repro.Options{Epsilon: eps, Buckets: buckets}
+	run := func(m repro.Method) *repro.Result {
+		res, err := repro.Estimate(ds.Values, m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	swems := run(repro.SWEMS)
+	hhadmm := run(repro.HHADMM)
+
+	fmt.Printf("%-24s %12s %12s\n", "metric", "SW-EMS", "HH-ADMM")
+	row := func(name string, a, b float64) {
+		marker := " "
+		if b < a {
+			marker = "*" // HH-ADMM wins
+		}
+		fmt.Printf("%-24s %12.5f %12.5f %s\n", name, a, b, marker)
+	}
+	row("Wasserstein", metrics.Wasserstein(truth, swems.Distribution),
+		metrics.Wasserstein(truth, hhadmm.Distribution))
+	row("KS distance", metrics.KS(truth, swems.Distribution),
+		metrics.KS(truth, hhadmm.Distribution))
+	row("quantile MAE (deciles)", metrics.QuantileMAE(truth, swems.Distribution, metrics.DecileBetas),
+		metrics.QuantileMAE(truth, hhadmm.Distribution, metrics.DecileBetas))
+	row("mean abs. error", metrics.MeanError(truth, swems.Distribution),
+		metrics.MeanError(truth, hhadmm.Distribution))
+	fmt.Println("\n(* = HH-ADMM better; the paper finds HH-ADMM preserves the")
+	fmt.Println(" income spikes that EMS smooths away, winning on KS/quantiles")
+	fmt.Println(" at large epsilon while SW-EMS usually keeps Wasserstein.)")
+
+	// Show a concrete spike: the most popular round salary.
+	best, bestP := 0, 0.0
+	for i, p := range truth {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	const scale = 524288.0 // income domain bound (2^19 dollars)
+	lo := float64(best) / buckets * scale
+	hi := float64(best+1) / buckets * scale
+	fmt.Printf("\nbiggest true spike: bucket %d ($%.0f–$%.0f) with mass %.4f\n", best, lo, hi, bestP)
+	fmt.Printf("  SW-EMS estimate:  %.4f\n", swems.Distribution[best])
+	fmt.Printf("  HH-ADMM estimate: %.4f\n", hhadmm.Distribution[best])
+	if math.Abs(hhadmm.Distribution[best]-bestP) < math.Abs(swems.Distribution[best]-bestP) {
+		fmt.Println("  → HH-ADMM tracked the spike more closely")
+	} else {
+		fmt.Println("  → SW-EMS tracked the spike more closely")
+	}
+}

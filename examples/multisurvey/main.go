@@ -1,0 +1,83 @@
+// Multi-attribute survey: collect several numerical attributes (commute
+// time, screen time, exercise hours) from one population under a single
+// ε-LDP budget. Each user is sampled to report exactly one attribute with
+// the full budget — the attribute-sampling construction that dominates
+// splitting the budget across attributes (see internal/multiattr).
+//
+//	go run ./examples/multisurvey
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/histogram"
+	"repro/internal/multiattr"
+	"repro/internal/randx"
+)
+
+// Attribute domains (public constants, hours).
+var attrs = []struct {
+	name string
+	max  float64
+}{
+	{"daily commute (h)", 4},
+	{"daily screen time (h)", 12},
+	{"weekly exercise (h)", 14},
+}
+
+func main() {
+	rng := randx.New(99)
+	const nUsers = 120000
+
+	// Ground truth: commute is bimodal (remote vs office), screen time
+	// right-skewed, exercise heavy at zero.
+	records := make([]multiattr.Record, nUsers)
+	truthH := make([]*histogram.Histogram, len(attrs))
+	const d = 128
+	for a := range truthH {
+		truthH[a] = histogram.New(d)
+	}
+	for i := range records {
+		commute := 0.1 + 0.2*rng.Float64() // remote: near zero
+		if rng.Bernoulli(0.65) {
+			commute = math.Abs(rng.Normal(1.1, 0.5)) // office commute
+		}
+		screen := rng.LogNormal(math.Log(4), 0.5)
+		exercise := 0.0
+		if rng.Bernoulli(0.7) {
+			exercise = rng.Exponential(1.0 / 3.5)
+		}
+		rec := multiattr.Record{
+			clamp01(commute / attrs[0].max),
+			clamp01(screen / attrs[1].max),
+			clamp01(exercise / attrs[2].max),
+		}
+		records[i] = rec
+		for a, v := range rec {
+			truthH[a].Add(v)
+		}
+	}
+
+	res := multiattr.Collect(records, multiattr.Config{
+		Epsilon: 1.0, Attributes: len(attrs), Buckets: d,
+	}, rng)
+
+	fmt.Printf("multi-attribute survey: %d users, epsilon=1.0, %d attributes\n\n", nUsers, len(attrs))
+	fmt.Printf("%-24s %8s %12s %12s %12s %12s\n",
+		"attribute", "sampled", "mean (est)", "mean (true)", "p90 (est)", "p90 (true)")
+	for a, at := range attrs {
+		est := res.Distributions[a]
+		truth := truthH[a].Distribution()
+		fmt.Printf("%-24s %8d %12.2f %12.2f %12.2f %12.2f\n",
+			at.name, res.Counts[a],
+			histogram.Mean(est)*at.max, histogram.Mean(truth)*at.max,
+			histogram.Quantile(est, 0.9)*at.max, histogram.Quantile(truth, 0.9)*at.max)
+	}
+	fmt.Println("\neach user reported exactly one attribute with the full budget;")
+	fmt.Println("no individual's values were ever sent in the clear.")
+}
+
+func clamp01(v float64) float64 {
+	return math.Min(math.Max(v, 0), 1)
+}

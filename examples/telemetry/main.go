@@ -1,0 +1,97 @@
+// Telemetry: the paper's motivating scenario — a vendor collects "time spent
+// viewing a page" from an app's users without learning any individual's
+// usage. This example runs the streaming Client/Aggregator API the way a
+// real deployment would: reports are produced on-device, shipped as plain
+// floats, and the aggregator reconstructs the usage distribution and answers
+// product questions from it.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro"
+)
+
+// maxSeconds is the public domain bound: view times are clipped to 10
+// minutes. Domain bounds must be public constants (they are part of the
+// mechanism, not the data).
+const maxSeconds = 600.0
+
+func main() {
+	// Ground truth: session durations are roughly lognormal (median ~45s,
+	// long tail), a standard shape for dwell-time telemetry.
+	rng := rand.New(rand.NewPCG(7, 9))
+	const nUsers = 200000
+	durations := make([]float64, nUsers)
+	for i := range durations {
+		d := math.Exp(rng.NormFloat64()*0.9 + math.Log(45))
+		durations[i] = math.Min(d, maxSeconds)
+	}
+
+	opts := repro.DefaultOptions(1.0)
+	opts.Buckets = 512
+
+	// --- on each user's device -------------------------------------------
+	client, err := repro.NewClient(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports := make([]float64, nUsers)
+	for i, d := range durations {
+		reports[i] = client.Report(d / maxSeconds) // map to [0,1], randomize
+	}
+
+	// --- at the collector -------------------------------------------------
+	agg, err := repro.NewAggregator(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		agg.Ingest(r)
+	}
+	res, err := agg.Estimate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Product questions answered from the private estimate.
+	fmt.Printf("collected %d reports at epsilon=%.1f\n\n", agg.N(), res.Epsilon)
+	fmt.Printf("%-42s %10s %10s\n", "question", "private", "truth")
+	line := func(q string, private, truth float64) {
+		fmt.Printf("%-42s %10.1f %10.1f\n", q, private, truth)
+	}
+	sorted := append([]float64(nil), durations...)
+	sort.Float64s(sorted)
+	trueQ := func(p float64) float64 { return sorted[int(p*float64(nUsers-1))] }
+	line("median view time (s)", res.Quantile(0.5)*maxSeconds, trueQ(0.5))
+	line("90th percentile view time (s)", res.Quantile(0.9)*maxSeconds, trueQ(0.9))
+	var mean float64
+	for _, d := range durations {
+		mean += d
+	}
+	mean /= nUsers
+	line("mean view time (s)", res.Mean()*maxSeconds, mean)
+
+	bounce := 0.0
+	for _, d := range durations {
+		if d < 10 {
+			bounce++
+		}
+	}
+	fmt.Printf("%-42s %9.1f%% %9.1f%%\n", "bounce rate (view < 10s)",
+		100*res.Range(0, 10/maxSeconds), 100*bounce/nUsers)
+	engaged := 0.0
+	for _, d := range durations {
+		if d > 300 {
+			engaged++
+		}
+	}
+	fmt.Printf("%-42s %9.1f%% %9.1f%%\n", "highly engaged (view > 5min)",
+		100*res.Range(300/maxSeconds, 1), 100*engaged/nUsers)
+}

@@ -1,0 +1,113 @@
+package repro_test
+
+// Cross-module integration tests: every public method against every
+// evaluation workload, plus invariants spanning the public API surface.
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/histogram"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+)
+
+// TestIntegrationAllDatasetsAllMethods runs a reduced-scale collection on
+// every workload with every public method and checks each estimate beats the
+// uniform baseline on Wasserstein distance.
+func TestIntegrationAllDatasetsAllMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	const n = 20000
+	const d = 256 // power of 4 (hierarchies) and multiple of 64 (binning)
+	const eps = 1.5
+	methods := []repro.Method{
+		repro.SWEMS, repro.SWEM, repro.SWBREMS, repro.HHADMM,
+		repro.Binning16, repro.Binning32, repro.Binning64,
+	}
+	for _, name := range dataset.Names() {
+		ds, err := dataset.ByName(name, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := ds.TrueDistributionAt(d)
+		uniform := make([]float64, d)
+		for i := range uniform {
+			uniform[i] = 1.0 / d
+		}
+		baseline := metrics.Wasserstein(truth, uniform)
+		for _, m := range methods {
+			opts := repro.Options{Epsilon: eps, Buckets: d, Seed: 3}
+			res, err := repro.Estimate(ds.Values, m, opts)
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, m, err)
+				continue
+			}
+			if got := metrics.Wasserstein(truth, res.Distribution); got >= baseline {
+				t.Errorf("%s/%s: W1 %v not better than uniform %v", name, m, got, baseline)
+			}
+			if !mathx.IsDistribution(res.Distribution, 1e-6) {
+				t.Errorf("%s/%s: invalid distribution", name, m)
+			}
+		}
+	}
+}
+
+// TestIntegrationStatisticsConsistency cross-checks the Result statistics
+// against direct histogram computations.
+func TestIntegrationStatisticsConsistency(t *testing.T) {
+	ds := dataset.Taxi(20000, 2)
+	opts := repro.Options{Epsilon: 2, Buckets: 128, Seed: 9}
+	res, err := repro.EstimateDistribution(ds.Values, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Mean(), histogram.Mean(res.Distribution); got != want {
+		t.Errorf("Mean() = %v, histogram.Mean = %v", got, want)
+	}
+	if got, want := res.Quantile(0.3), histogram.Quantile(res.Distribution, 0.3); got != want {
+		t.Errorf("Quantile mismatch: %v vs %v", got, want)
+	}
+	// CDF at the β-quantile returns β.
+	for _, beta := range []float64{0.1, 0.5, 0.9} {
+		q := res.Quantile(beta)
+		if got := res.CDF(q); math.Abs(got-beta) > 1e-6 {
+			t.Errorf("CDF(Quantile(%v)) = %v", beta, got)
+		}
+	}
+	// Range over complementary intervals sums to 1.
+	if got := res.Range(0, 0.4) + res.Range(0.4, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("complementary ranges sum to %v", got)
+	}
+}
+
+// TestIntegrationPrivacyBudgetMonotonicity checks the fundamental trade-off
+// end to end: more budget, less error (averaged over seeds to be robust).
+func TestIntegrationPrivacyBudgetMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	const n = 30000
+	const d = 128
+	ds := dataset.Beta52(n, 5)
+	truth := ds.TrueDistributionAt(d)
+	avgW1 := func(eps float64) float64 {
+		var acc float64
+		for seed := uint64(1); seed <= 3; seed++ {
+			opts := repro.Options{Epsilon: eps, Buckets: d, Seed: seed}
+			res, err := repro.EstimateDistribution(ds.Values, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += metrics.Wasserstein(truth, res.Distribution)
+		}
+		return acc / 3
+	}
+	w05, w4 := avgW1(0.5), avgW1(4)
+	if w4 >= w05 {
+		t.Errorf("W1 should fall with budget: eps=0.5 → %v, eps=4 → %v", w05, w4)
+	}
+}

@@ -1,0 +1,204 @@
+// Package admm implements HH-ADMM (Section 4.3, Algorithm 2): post-
+// processing of hierarchical histogram estimates with the Alternating
+// Direction Method of Multipliers, enforcing simultaneously
+//
+//   - hierarchical consistency (A·x̂ = 0: every parent equals the sum of its
+//     children),
+//   - non-negativity, and
+//   - the known total (the root equals 1 — in LDP the population size is
+//     public, so each level must sum to 1).
+//
+// The L2 objective ½‖x̂ − x̃‖² is the MLE under the approximately Gaussian
+// CFO noise. The splitting follows the paper's Algorithm 2 with ρ = 1:
+// Π_C is the exact consistency projection (Hay's two-pass algorithm,
+// hierarchy.Estimate.ConstrainedInference) and Π_N+ is per-level Norm-Sub.
+package admm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hierarchy"
+	"repro/internal/postprocess"
+)
+
+// Options configures the ADMM loop.
+type Options struct {
+	// MaxIters caps the number of ADMM iterations. Defaults to 200.
+	MaxIters int
+	// Tol stops the loop once the largest entry-wise change of x̂ between
+	// iterations falls below it. Defaults to 1e-7.
+	Tol float64
+	// Rho is the augmented-Lagrangian penalty parameter. The paper sets
+	// ρ = 1 (the default); it affects convergence speed, not the fixed
+	// point.
+	Rho float64
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	if o.Rho <= 0 {
+		o.Rho = 1
+	}
+}
+
+// Result reports the post-processed hierarchy and loop statistics.
+type Result struct {
+	// Estimate holds the post-processed levels (consistent, non-negative
+	// up to Tol, each level summing to 1).
+	Estimate *hierarchy.Estimate
+	// Iterations performed.
+	Iterations int
+	// Converged reports whether Tol was reached before MaxIters.
+	Converged bool
+}
+
+type vec struct {
+	tree   hierarchy.Tree
+	levels [][]float64
+}
+
+func newVec(t hierarchy.Tree) vec { return vec{tree: t, levels: t.NewLevels()} }
+
+func cloneVec(t hierarchy.Tree, src [][]float64) vec {
+	v := newVec(t)
+	for l := range src {
+		copy(v.levels[l], src[l])
+	}
+	return v
+}
+
+// apply sets dst[l][i] = f(l, i) over all nodes.
+func (v vec) apply(f func(l, i int) float64) {
+	for l := range v.levels {
+		for i := range v.levels[l] {
+			v.levels[l][i] = f(l, i)
+		}
+	}
+}
+
+// maxDiff returns the largest |v − o| entry.
+func (v vec) maxDiff(o vec) float64 {
+	var worst float64
+	for l := range v.levels {
+		for i := range v.levels[l] {
+			d := v.levels[l][i] - o.levels[l][i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// projectConsistency is Π_C: the exact L2 projection onto {A·x = 0}.
+func projectConsistency(t hierarchy.Tree, levels [][]float64) [][]float64 {
+	est := &hierarchy.Estimate{Tree: t, Levels: levels}
+	return est.ConstrainedInference().Levels
+}
+
+// projectSimplexPerLevel is Π_N+: project every level onto the scaled
+// simplex {non-negative, sums to 1} with Norm-Sub; the root is pinned to 1.
+func projectSimplexPerLevel(t hierarchy.Tree, levels [][]float64) [][]float64 {
+	out := make([][]float64, len(levels))
+	for l := range levels {
+		out[l] = postprocess.NormSub(levels[l])
+	}
+	return out
+}
+
+// PostProcess runs Algorithm 2 on a raw hierarchy estimate and returns the
+// improved, constraint-satisfying estimate. The input estimate is not
+// modified. Non-finite inputs fail fast (a NaN would otherwise propagate
+// silently through every projection).
+func PostProcess(raw *hierarchy.Estimate, opts Options) Result {
+	opts.fillDefaults()
+	t := raw.Tree
+	t.CheckLevels(raw.Levels)
+	for l, level := range raw.Levels {
+		for i, v := range level {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				panic(fmt.Sprintf("admm: non-finite input %v at level %d index %d", v, l, i))
+			}
+		}
+	}
+
+	xTilde := cloneVec(t, raw.Levels)
+	x := cloneVec(t, raw.Levels)
+	y := newVec(t)
+	var z, w vec
+	mu := newVec(t)
+	nu := newVec(t)
+	eta := newVec(t)
+
+	res := Result{}
+	prev := cloneVec(t, x.levels)
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		res.Iterations = iter
+
+		// y-update: argmin ½‖y‖² + ρ/2‖x − x̃ − y + µ‖²
+		//   ⇒  y = ρ/(1+ρ)·(x − x̃ + µ), which is /2 at the paper's ρ = 1.
+		yScale := opts.Rho / (1 + opts.Rho)
+		y.apply(func(l, i int) float64 {
+			return yScale * (x.levels[l][i] - xTilde.levels[l][i] + mu.levels[l][i])
+		})
+
+		// z-update: Π_C(x + ν).
+		tmp := newVec(t)
+		tmp.apply(func(l, i int) float64 { return x.levels[l][i] + nu.levels[l][i] })
+		z = vec{tree: t, levels: projectConsistency(t, tmp.levels)}
+
+		// w-update: Π_N+(x + η).
+		tmp2 := newVec(t)
+		tmp2.apply(func(l, i int) float64 { return x.levels[l][i] + eta.levels[l][i] })
+		w = vec{tree: t, levels: projectSimplexPerLevel(t, tmp2.levels)}
+
+		// x-update: average of the three consensus terms.
+		x.apply(func(l, i int) float64 {
+			return ((y.levels[l][i] + xTilde.levels[l][i] - mu.levels[l][i]) +
+				(z.levels[l][i] - nu.levels[l][i]) +
+				(w.levels[l][i] - eta.levels[l][i])) / 3
+		})
+
+		// Dual updates.
+		mu.apply(func(l, i int) float64 {
+			return mu.levels[l][i] + x.levels[l][i] - xTilde.levels[l][i] - y.levels[l][i]
+		})
+		nu.apply(func(l, i int) float64 {
+			return nu.levels[l][i] + x.levels[l][i] - z.levels[l][i]
+		})
+		eta.apply(func(l, i int) float64 {
+			return eta.levels[l][i] + x.levels[l][i] - w.levels[l][i]
+		})
+
+		if x.maxDiff(prev) < opts.Tol {
+			res.Converged = true
+			break
+		}
+		prev = cloneVec(t, x.levels)
+	}
+
+	// Final feasibility polish: the ADMM iterate satisfies the constraints
+	// only in the limit; land exactly on them by one consistency
+	// projection followed by per-level Norm-Sub of the leaves propagated
+	// upward.
+	final := projectConsistency(t, x.levels)
+	leaves := postprocess.NormSub(final[t.Height()])
+	res.Estimate = &hierarchy.Estimate{Tree: t, Levels: t.TrueLevels(leaves)}
+	return res
+}
+
+// Distribution runs PostProcess and returns just the leaf distribution —
+// the HH-ADMM method's final output, a valid probability distribution over
+// the leaf domain.
+func Distribution(raw *hierarchy.Estimate, opts Options) []float64 {
+	return PostProcess(raw, opts).Estimate.Leaves()
+}

@@ -1,0 +1,218 @@
+package admm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+)
+
+// noisyEstimate builds a ground-truth hierarchy and a noisy observation of
+// it with i.i.d. Gaussian noise of the given sigma.
+func noisyEstimate(d, beta int, sigma float64, rng *randx.Rand) (truth []float64, est *hierarchy.Estimate) {
+	t := hierarchy.NewTree(d, beta)
+	truth = make([]float64, d)
+	for i := range truth {
+		x := float64(i)/float64(d) - 0.4
+		truth[i] = math.Exp(-25*x*x) + 0.05
+	}
+	mathx.Normalize(truth)
+	levels := t.TrueLevels(truth)
+	noisy := t.NewLevels()
+	noisy[0][0] = 1 // root is public
+	for l := 1; l < len(levels); l++ {
+		for i := range levels[l] {
+			noisy[l][i] = levels[l][i] + rng.Normal(0, sigma)
+		}
+	}
+	return truth, &hierarchy.Estimate{Tree: t, Levels: noisy}
+}
+
+func TestPostProcessSatisfiesAllConstraints(t *testing.T) {
+	rng := randx.New(1)
+	_, est := noisyEstimate(64, 4, 0.02, rng)
+	res := PostProcess(est, Options{})
+	out := res.Estimate
+
+	if resid := out.Tree.ConsistencyResidual(out.Levels); resid > 1e-9 {
+		t.Errorf("consistency residual = %v", resid)
+	}
+	for l, level := range out.Levels {
+		var sum float64
+		for _, v := range level {
+			if v < -1e-9 {
+				t.Errorf("level %d has negative entry %v", l, v)
+			}
+			sum += v
+		}
+		if !mathx.AlmostEqual(sum, 1, 1e-6) {
+			t.Errorf("level %d sums to %v", l, sum)
+		}
+	}
+}
+
+func TestPostProcessImprovesOverRawAndCI(t *testing.T) {
+	// Averaged over seeds, ADMM post-processing must beat both the raw
+	// leaves and plain constrained inference on Wasserstein distance (the
+	// non-negativity information is worth something).
+	var rawW1, ciW1, admmW1 float64
+	const runs = 10
+	for run := 0; run < runs; run++ {
+		rng := randx.New(uint64(10 + run))
+		truth, est := noisyEstimate(64, 4, 0.03, rng)
+		rawW1 += metrics.Wasserstein(truth, clampToDist(est.Leaves()))
+		ciW1 += metrics.Wasserstein(truth, clampToDist(est.ConstrainedInference().Leaves()))
+		admmW1 += metrics.Wasserstein(truth, Distribution(est, Options{}))
+	}
+	if admmW1 >= ciW1 {
+		t.Errorf("ADMM W1 %v should beat CI W1 %v", admmW1/runs, ciW1/runs)
+	}
+	if admmW1 >= rawW1 {
+		t.Errorf("ADMM W1 %v should beat raw W1 %v", admmW1/runs, rawW1/runs)
+	}
+}
+
+// clampToDist makes a crude valid distribution out of raw leaves so the
+// comparison in the test above is apples-to-apples.
+func clampToDist(leaves []float64) []float64 {
+	out := make([]float64, len(leaves))
+	for i, v := range leaves {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	mathx.Normalize(out)
+	return out
+}
+
+func TestPostProcessNoNoiseIsIdentity(t *testing.T) {
+	// With a perfectly consistent, non-negative input, ADMM must not move
+	// the estimate (it is already the constrained optimum).
+	rng := randx.New(3)
+	truth, _ := noisyEstimate(16, 4, 0, rng)
+	tr := hierarchy.NewTree(16, 4)
+	est := &hierarchy.Estimate{Tree: tr, Levels: tr.TrueLevels(truth)}
+	out := Distribution(est, Options{})
+	if got := mathx.L1(out, truth); got > 1e-6 {
+		t.Errorf("noise-free ADMM moved the estimate by L1 %v", got)
+	}
+}
+
+func TestPostProcessConverges(t *testing.T) {
+	rng := randx.New(4)
+	_, est := noisyEstimate(64, 4, 0.02, rng)
+	res := PostProcess(est, Options{MaxIters: 2000, Tol: 1e-8})
+	if !res.Converged {
+		t.Errorf("ADMM did not converge in %d iterations", res.Iterations)
+	}
+}
+
+func TestPostProcessRespectsMaxIters(t *testing.T) {
+	rng := randx.New(5)
+	_, est := noisyEstimate(64, 4, 0.05, rng)
+	res := PostProcess(est, Options{MaxIters: 3, Tol: 1e-300})
+	if res.Iterations != 3 {
+		t.Errorf("Iterations = %d, want 3", res.Iterations)
+	}
+	if res.Converged {
+		t.Error("should not report convergence")
+	}
+}
+
+func TestPostProcessDoesNotModifyInput(t *testing.T) {
+	rng := randx.New(6)
+	_, est := noisyEstimate(16, 4, 0.05, rng)
+	before := make([][]float64, len(est.Levels))
+	for l := range est.Levels {
+		before[l] = append([]float64(nil), est.Levels[l]...)
+	}
+	PostProcess(est, Options{})
+	for l := range est.Levels {
+		if mathx.L1(before[l], est.Levels[l]) != 0 {
+			t.Fatal("PostProcess modified its input")
+		}
+	}
+}
+
+func TestDistributionIsValid(t *testing.T) {
+	rng := randx.New(7)
+	_, est := noisyEstimate(256, 4, 0.04, rng)
+	dist := Distribution(est, Options{})
+	if !mathx.IsDistribution(dist, 1e-9) {
+		t.Error("Distribution output is not a valid distribution")
+	}
+	if len(dist) != 256 {
+		t.Errorf("length = %d", len(dist))
+	}
+}
+
+func TestEndToEndHHADMM(t *testing.T) {
+	// Full protocol: HH collection under LDP then ADMM post-processing,
+	// compared against the uniform baseline.
+	const d = 64
+	rng := randx.New(8)
+	weights := make([]float64, d)
+	for i := range weights {
+		x := float64(i)/d - 0.5
+		weights[i] = math.Exp(-30 * x * x)
+	}
+	alias := randx.NewAlias(weights)
+	values := make([]int, 100000)
+	truth := make([]float64, d)
+	for i := range values {
+		v := alias.Draw(rng)
+		values[i] = v
+		truth[v]++
+	}
+	mathx.Normalize(truth)
+
+	hh := hierarchy.NewHH(d, 4, 1)
+	raw := hh.Collect(values, rng)
+	dist := Distribution(raw, Options{})
+
+	uniform := make([]float64, d)
+	for i := range uniform {
+		uniform[i] = 1.0 / d
+	}
+	gotW1 := metrics.Wasserstein(truth, dist)
+	baseW1 := metrics.Wasserstein(truth, uniform)
+	if gotW1 > baseW1/3 {
+		t.Errorf("HH-ADMM W1 = %v vs uniform %v; expected ≥3x improvement", gotW1, baseW1)
+	}
+}
+
+func BenchmarkPostProcess256(b *testing.B) {
+	rng := randx.New(1)
+	_, est := noisyEstimate(256, 4, 0.03, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PostProcess(est, Options{MaxIters: 100})
+	}
+}
+
+func TestRhoDoesNotChangeFixedPoint(t *testing.T) {
+	// ADMM converges to the same constrained optimum for any penalty ρ.
+	rng := randx.New(9)
+	_, est := noisyEstimate(64, 4, 0.03, rng)
+	a := Distribution(est, Options{MaxIters: 2000, Tol: 1e-9, Rho: 1})
+	b := Distribution(est, Options{MaxIters: 2000, Tol: 1e-9, Rho: 4})
+	if got := mathx.L1(a, b); got > 1e-3 {
+		t.Errorf("rho=1 and rho=4 fixed points differ by L1 %v", got)
+	}
+}
+
+func TestPostProcessRejectsNonFiniteInput(t *testing.T) {
+	rng := randx.New(10)
+	_, est := noisyEstimate(16, 4, 0.05, rng)
+	est.Levels[2][3] = math.NaN()
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN input should panic")
+		}
+	}()
+	PostProcess(est, Options{})
+}

@@ -1,0 +1,114 @@
+package boot
+
+import (
+	"testing"
+
+	"repro/internal/em"
+	"repro/internal/histogram"
+	"repro/internal/randx"
+	"repro/internal/sw"
+)
+
+// setup runs one SW round over Beta(5,2) values and returns the wave,
+// aggregated counts and the true mean of the sampled values.
+func setup(n, d int, eps float64, seed uint64) (w sw.Wave, counts []float64, trueMean float64) {
+	rng := randx.New(seed)
+	w = sw.NewSquare(eps)
+	values := make([]float64, n)
+	var sum float64
+	for i := range values {
+		values[i] = rng.Beta(5, 2)
+		sum += values[i]
+	}
+	counts = w.Collect(values, d, rng)
+	return w, counts, sum / float64(n)
+}
+
+func TestCICoversTruth(t *testing.T) {
+	// Over repeated collections, a 90% CI for the mean should cover the
+	// true mean most of the time (coarse check: ≥ 12/16 at 90%).
+	const n, d = 20000, 64
+	covered := 0
+	const trials = 16
+	for trial := 0; trial < trials; trial++ {
+		w, counts, trueMean := setup(n, d, 1, uint64(100+trial))
+		ch := w.TransitionMatrix(d, d)
+		ci := Estimate(ch, counts, histogram.Mean, Options{Replicas: 60}, randx.New(uint64(trial)))
+		if ci.Lo >= ci.Hi {
+			t.Fatalf("degenerate CI %+v", ci)
+		}
+		if !ci.Contains(ci.Point) {
+			t.Fatalf("CI does not contain its own point estimate: %+v", ci)
+		}
+		if ci.Contains(trueMean) {
+			covered++
+		}
+	}
+	if covered < 12 {
+		t.Errorf("90%% CI covered the truth in only %d/%d trials", covered, trials)
+	}
+}
+
+func TestCIWidthShrinksWithN(t *testing.T) {
+	const d = 64
+	w1, c1, _ := setup(5000, d, 1, 7)
+	w2, c2, _ := setup(80000, d, 1, 7)
+	ch1 := w1.TransitionMatrix(d, d)
+	ch2 := w2.TransitionMatrix(d, d)
+	small := Estimate(ch1, c1, histogram.Mean, Options{Replicas: 50}, randx.New(1))
+	large := Estimate(ch2, c2, histogram.Mean, Options{Replicas: 50}, randx.New(1))
+	if large.Width() >= small.Width() {
+		t.Errorf("CI width should shrink with n: n=5k width %v, n=80k width %v",
+			small.Width(), large.Width())
+	}
+}
+
+func TestCIQuantileStatistic(t *testing.T) {
+	const n, d = 20000, 64
+	w, counts, _ := setup(n, d, 1, 9)
+	ch := w.TransitionMatrix(d, d)
+	median := func(dist []float64) float64 { return histogram.Quantile(dist, 0.5) }
+	ci := Estimate(ch, counts, median, Options{Replicas: 40, Level: 0.8}, randx.New(2))
+	if ci.Level != 0.8 || ci.Replicas != 40 {
+		t.Errorf("options not honored: %+v", ci)
+	}
+	// Beta(5,2) median ≈ 0.7356; the CI should be in its vicinity.
+	if ci.Lo > 0.7356 || ci.Hi < 0.70 {
+		t.Errorf("median CI [%v, %v] far from 0.7356", ci.Lo, ci.Hi)
+	}
+}
+
+func TestEstimatePanics(t *testing.T) {
+	w := sw.NewSquare(1)
+	ch := w.TransitionMatrix(8, 8)
+	cases := []func(){
+		func() { Estimate(ch, make([]float64, 4), histogram.Mean, Options{}, randx.New(1)) },
+		func() { Estimate(ch, make([]float64, 8), histogram.Mean, Options{}, randx.New(1)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.fillDefaults()
+	if o.Replicas != 100 || o.Level != 0.9 {
+		t.Errorf("defaults: %+v", o)
+	}
+	if !o.EM.Smoothing {
+		t.Error("default EM options should enable smoothing")
+	}
+	custom := Options{EM: em.EMOptions(1)}
+	custom.fillDefaults()
+	if custom.EM.Smoothing {
+		t.Error("explicit EM options must be preserved")
+	}
+}

@@ -1,0 +1,88 @@
+// Package cliio holds the input parsing shared by the command-line tools:
+// reading whitespace/line-separated float values with comment support, and
+// domain rescaling with explicit provenance (public bounds vs derived from
+// data), so the logic is unit-tested instead of living untested in main().
+package cliio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ReadValues parses one float64 per line from r. Blank lines and lines
+// starting with '#' are skipped. Parse failures report the line number.
+func ReadValues(r io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("line %d: non-finite value %q", line, s)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Domain is a resolved input domain with provenance.
+type Domain struct {
+	Lo, Hi float64
+	// Derived is true when the bounds were inferred from the private data
+	// rather than supplied as public constants — acceptable for
+	// experimentation, a privacy leak in deployment (callers should warn).
+	Derived bool
+}
+
+// ResolveDomain returns the domain to rescale with: the explicit bounds if
+// both are finite, otherwise the observed min/max of values (Derived=true).
+// It errors on an empty or single-point domain.
+func ResolveDomain(values []float64, lo, hi float64) (Domain, error) {
+	d := Domain{Lo: lo, Hi: hi}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		if len(values) == 0 {
+			return d, fmt.Errorf("cliio: no values to derive a domain from")
+		}
+		d.Lo, d.Hi = values[0], values[0]
+		for _, v := range values {
+			d.Lo = math.Min(d.Lo, v)
+			d.Hi = math.Max(d.Hi, v)
+		}
+		d.Derived = true
+	}
+	if d.Hi <= d.Lo {
+		return d, fmt.Errorf("cliio: empty domain [%g, %g]", d.Lo, d.Hi)
+	}
+	return d, nil
+}
+
+// Scale maps v from the domain into [0,1].
+func (d Domain) Scale(v float64) float64 { return (v - d.Lo) / (d.Hi - d.Lo) }
+
+// Unscale maps x ∈ [0,1] back to the domain.
+func (d Domain) Unscale(x float64) float64 { return d.Lo + x*(d.Hi-d.Lo) }
+
+// ScaleAll maps a slice into [0,1] (fresh slice).
+func (d Domain) ScaleAll(values []float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = d.Scale(v)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package cliio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadValues(t *testing.T) {
+	in := "0.5\n# comment\n\n  1.25  \n-3e-2\n"
+	got, err := ReadValues(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.25, -0.03}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("value[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadValuesErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"garbage", "1.0\nnot-a-number\n"},
+		{"nan", "NaN\n"},
+		{"inf", "+Inf\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadValues(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		} else if tc.name == "garbage" && !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("error should name the line: %v", err)
+		}
+	}
+}
+
+func TestReadValuesEmpty(t *testing.T) {
+	got, err := ReadValues(strings.NewReader("# only comments\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+func TestResolveDomainExplicit(t *testing.T) {
+	d, err := ResolveDomain([]float64{5, 9}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Derived {
+		t.Error("explicit bounds flagged as derived")
+	}
+	if d.Scale(5) != 0.5 || d.Unscale(0.5) != 5 {
+		t.Errorf("scaling wrong: %v, %v", d.Scale(5), d.Unscale(0.5))
+	}
+}
+
+func TestResolveDomainDerived(t *testing.T) {
+	d, err := ResolveDomain([]float64{2, 8, 5}, math.NaN(), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Derived || d.Lo != 2 || d.Hi != 8 {
+		t.Errorf("derived domain = %+v", d)
+	}
+}
+
+func TestResolveDomainErrors(t *testing.T) {
+	if _, err := ResolveDomain(nil, math.NaN(), math.NaN()); err == nil {
+		t.Error("empty values with derived bounds should error")
+	}
+	if _, err := ResolveDomain([]float64{3, 3}, math.NaN(), math.NaN()); err == nil {
+		t.Error("single-point domain should error")
+	}
+	if _, err := ResolveDomain([]float64{1}, 5, 5); err == nil {
+		t.Error("explicit empty domain should error")
+	}
+}
+
+func TestScaleAllRoundTrip(t *testing.T) {
+	d := Domain{Lo: -10, Hi: 30}
+	in := []float64{-10, 0, 30}
+	scaled := d.ScaleAll(in)
+	want := []float64{0, 0.25, 1}
+	for i := range want {
+		if scaled[i] != want[i] {
+			t.Errorf("scaled[%d] = %v, want %v", i, scaled[i], want[i])
+		}
+		if got := d.Unscale(scaled[i]); got != in[i] {
+			t.Errorf("round trip[%d] = %v, want %v", i, got, in[i])
+		}
+	}
+}

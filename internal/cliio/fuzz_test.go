@@ -1,0 +1,56 @@
+package cliio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadValues checks the parser never panics and that every accepted
+// value is finite.
+func FuzzReadValues(f *testing.F) {
+	f.Add("0.5\n1.25\n")
+	f.Add("# comment\n\n0.1")
+	f.Add("NaN\n")
+	f.Add("1e309\n")
+	f.Add("0.1 0.2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		vals, err := ReadValues(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite value %v from %q", v, in)
+			}
+		}
+	})
+}
+
+// FuzzResolveDomain checks domain resolution never returns an unusable
+// (non-positive-width) domain without an error.
+func FuzzResolveDomain(f *testing.F) {
+	f.Add(0.0, 1.0, 0.5, 0.7)
+	f.Add(math.NaN(), math.NaN(), 0.5, 0.7)
+	f.Add(5.0, 5.0, 1.0, 2.0)
+	f.Fuzz(func(t *testing.T, lo, hi, v1, v2 float64) {
+		if math.IsInf(lo, 0) || math.IsInf(hi, 0) || math.IsNaN(v1) || math.IsNaN(v2) ||
+			math.IsInf(v1, 0) || math.IsInf(v2, 0) {
+			t.Skip()
+		}
+		d, err := ResolveDomain([]float64{v1, v2}, lo, hi)
+		if err != nil {
+			return
+		}
+		if !(d.Hi > d.Lo) {
+			t.Fatalf("ResolveDomain returned empty domain %+v without error", d)
+		}
+		// Scaling the bounds lands on 0 and 1.
+		if got := d.Scale(d.Lo); got != 0 {
+			t.Fatalf("Scale(lo) = %v", got)
+		}
+		if got := d.Scale(d.Hi); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("Scale(hi) = %v", got)
+		}
+	})
+}

@@ -1,0 +1,364 @@
+// Package core wires the substrates into end-to-end distribution-estimation
+// pipelines: a client/aggregator pair implementing the paper's primary
+// contribution (Square Wave reporting + EMS reconstruction) for streaming
+// use, plus an Estimator registry covering every method the evaluation
+// section compares (SW+EMS, SW+EM, discrete SW, general-wave ablations,
+// HH-ADMM, HH, HaarHRR, CFO-with-binning).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/admm"
+	"repro/internal/binning"
+	"repro/internal/em"
+	"repro/internal/hierarchy"
+	"repro/internal/mathx"
+	"repro/internal/matrixx"
+	"repro/internal/randx"
+	"repro/internal/sw"
+)
+
+// Config parameterizes a Square Wave collection round.
+type Config struct {
+	// Epsilon is the LDP privacy budget. Required.
+	Epsilon float64
+	// Buckets is the reconstruction granularity d. Defaults to 1024.
+	Buckets int
+	// OutputBuckets is the report-histogram granularity d̃. Defaults to
+	// Buckets (the paper sets d̃ = d).
+	OutputBuckets int
+	// Bandwidth overrides the wave half-width b; 0 means the
+	// mutual-information optimum sw.BOpt(Epsilon).
+	Bandwidth float64
+	// PlateauRatio is the general-wave plateau ratio ρ; SW is ρ = 1
+	// (the default when 0 is interpreted only through ExplicitShape).
+	// Leave ExplicitShape false for the Square Wave.
+	PlateauRatio float64
+	// ExplicitShape makes PlateauRatio meaningful (so a triangle wave,
+	// ρ = 0, can be requested).
+	ExplicitShape bool
+	// Smoothing selects EMS (true, default via NewConfig) or plain EM.
+	Smoothing bool
+	// EM carries fine-grained reconstruction options; zero values take
+	// the paper's defaults for the chosen Smoothing mode.
+	EM em.Options
+}
+
+// NewConfig returns the paper's recommended configuration: SW with the
+// optimal bandwidth and EMS reconstruction.
+func NewConfig(eps float64) Config {
+	return Config{Epsilon: eps, Smoothing: true}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Epsilon <= 0 || math.IsNaN(c.Epsilon) || math.IsInf(c.Epsilon, 0) {
+		panic(fmt.Sprintf("core: epsilon %v must be positive and finite", c.Epsilon))
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 1024
+	}
+	if c.OutputBuckets <= 0 {
+		c.OutputBuckets = c.Buckets
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = sw.BOpt(c.Epsilon)
+	}
+	if !c.ExplicitShape {
+		c.PlateauRatio = 1
+	}
+	if c.EM.Tau == 0 {
+		if c.Smoothing {
+			c.EM = em.EMSOptions()
+		} else {
+			c.EM = em.EMOptions(c.Epsilon)
+		}
+	} else {
+		c.EM.Smoothing = c.Smoothing
+	}
+}
+
+func (c Config) wave() sw.Wave {
+	return sw.NewWave(c.Epsilon, c.Bandwidth, c.PlateauRatio)
+}
+
+// Client is the user-side half of the SW pipeline: it holds no state beyond
+// the mechanism parameters and maps one private value to one report.
+type Client struct {
+	cfg  Config
+	wave sw.Wave
+}
+
+// NewClient builds a client from cfg.
+func NewClient(cfg Config) *Client {
+	cfg.fillDefaults()
+	return &Client{cfg: cfg, wave: cfg.wave()}
+}
+
+// Report randomizes one private value v ∈ [0,1] into a report in
+// [−b, 1+b]. Values outside [0,1] are clamped (the usual contract for
+// bounded-domain LDP mechanisms: the clamping happens on the user's device
+// before randomization, so privacy is unaffected).
+func (c *Client) Report(v float64, rng *randx.Rand) float64 {
+	return c.wave.Sample(mathx.Clamp(v, 0, 1), rng)
+}
+
+// Epsilon returns the client's privacy budget.
+func (c *Client) Epsilon() float64 { return c.cfg.Epsilon }
+
+// Bandwidth returns the wave half-width in use.
+func (c *Client) Bandwidth() float64 { return c.cfg.Bandwidth }
+
+// Aggregator is the collector-side half: it buckets incoming reports into
+// the report histogram and reconstructs the input distribution on demand.
+type Aggregator struct {
+	cfg    Config
+	wave   sw.Wave
+	m      matrixx.Channel
+	counts []float64
+	n      int
+}
+
+// NewAggregator builds an aggregator from cfg (must match the clients').
+// The transition matrix is precomputed once and, for the square wave (whose
+// channel is a constant floor plus a contiguous band), compressed to banded
+// form so each EM iteration costs O(d·band) instead of O(d·d̃).
+func NewAggregator(cfg Config) *Aggregator {
+	cfg.fillDefaults()
+	w := cfg.wave()
+	var m matrixx.Channel = w.TransitionMatrix(cfg.Buckets, cfg.OutputBuckets)
+	if cfg.PlateauRatio >= 1 {
+		m = matrixx.CompressBanded(m.(*matrixx.Matrix), 1e-15)
+	}
+	return &Aggregator{
+		cfg:    cfg,
+		wave:   w,
+		m:      m,
+		counts: make([]float64, cfg.OutputBuckets),
+	}
+}
+
+// Ingest adds one report (a value in [−b, 1+b]) to the aggregate.
+func (a *Aggregator) Ingest(report float64) {
+	span := a.wave.OutHi() - a.wave.OutLo()
+	j := int((report - a.wave.OutLo()) / span * float64(a.cfg.OutputBuckets))
+	a.counts[mathx.ClampInt(j, 0, a.cfg.OutputBuckets-1)]++
+	a.n++
+}
+
+// N returns the number of reports ingested.
+func (a *Aggregator) N() int { return a.n }
+
+// Channel returns the transition channel the aggregator reconstructs with
+// (shared, not copied — callers must treat it as read-only).
+func (a *Aggregator) Channel() matrixx.Channel { return a.m }
+
+// Counts returns a copy of the report histogram.
+func (a *Aggregator) Counts() []float64 {
+	return append([]float64(nil), a.counts...)
+}
+
+// Decay multiplies the accumulated report histogram by factor ∈ (0, 1],
+// implementing an exponentially-weighted sliding window for long-running
+// collections: calling Decay(γ) once per epoch makes a report from k epochs
+// ago weigh γ^k. The reconstruction is unaffected in expectation because the
+// channel is linear and EM normalizes the counts. Decay(1) is a no-op.
+func (a *Aggregator) Decay(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("core: decay factor %v outside (0, 1]", factor))
+	}
+	if factor == 1 {
+		return
+	}
+	for j := range a.counts {
+		a.counts[j] *= factor
+	}
+	a.n = int(float64(a.n)*factor + 0.5)
+}
+
+// Estimate reconstructs the input distribution from the reports ingested so
+// far with EM/EMS per the configuration.
+func (a *Aggregator) Estimate() em.Result {
+	return em.Reconstruct(a.m, a.counts, a.cfg.EM)
+}
+
+// Run executes a complete round over a slice of private values and returns
+// the reconstructed distribution — the one-shot convenience the estimator
+// registry and benchmarks use.
+func Run(cfg Config, values []float64, rng *randx.Rand) []float64 {
+	client := NewClient(cfg)
+	agg := NewAggregator(cfg)
+	for _, v := range values {
+		agg.Ingest(client.Report(v, rng))
+	}
+	return agg.Estimate().Estimate
+}
+
+// ---------------------------------------------------------------------------
+// Estimator registry
+// ---------------------------------------------------------------------------
+
+// Estimator is a full distribution-estimation method under LDP, the unit the
+// experiment harness compares.
+type Estimator interface {
+	// Name is the label used in figures ("SW-EMS", "HH-ADMM", ...).
+	Name() string
+	// ValidDistribution reports whether Estimate returns a point of the
+	// probability simplex. HH and HaarHRR return signed estimates that
+	// are only meaningful for range queries (Table 2).
+	ValidDistribution() bool
+	// Estimate runs a full private collection round over values ∈ [0,1]
+	// at granularity d and budget eps.
+	Estimate(values []float64, d int, eps float64, rng *randx.Rand) []float64
+}
+
+// swEstimator covers SW/GW with EM or EMS reconstruction.
+type swEstimator struct {
+	name      string
+	smoothing bool
+	rho       float64
+	explicit  bool
+	bandwidth float64 // 0 → BOpt
+}
+
+// SWEMS returns the paper's headline method: Square Wave + EMS.
+func SWEMS() Estimator { return swEstimator{name: "SW-EMS", smoothing: true} }
+
+// SWEM returns Square Wave + plain EM.
+func SWEM() Estimator { return swEstimator{name: "SW-EM"} }
+
+// SWEMSWithBandwidth returns SW+EMS with an explicit wave half-width
+// (Figure 6 sweep).
+func SWEMSWithBandwidth(b float64) Estimator {
+	return swEstimator{name: fmt.Sprintf("SW-EMS(b=%.3f)", b), smoothing: true, bandwidth: b}
+}
+
+// GeneralWaveEMS returns a trapezoid/triangle wave with plateau ratio rho
+// plus EMS (Figure 5 ablation).
+func GeneralWaveEMS(rho, b float64) Estimator {
+	name := fmt.Sprintf("GW(ρ=%.1f)-EMS", rho)
+	if rho == 0 {
+		name = "Triangle-EMS"
+	}
+	return swEstimator{name: name, smoothing: true, rho: rho, explicit: true, bandwidth: b}
+}
+
+func (s swEstimator) Name() string            { return s.name }
+func (s swEstimator) ValidDistribution() bool { return true }
+
+func (s swEstimator) Estimate(values []float64, d int, eps float64, rng *randx.Rand) []float64 {
+	cfg := Config{
+		Epsilon:       eps,
+		Buckets:       d,
+		Bandwidth:     s.bandwidth,
+		PlateauRatio:  s.rho,
+		ExplicitShape: s.explicit,
+		Smoothing:     s.smoothing,
+	}
+	return Run(cfg, values, rng)
+}
+
+// swDiscreteEstimator is the bucketize-before-randomize variant.
+type swDiscreteEstimator struct{ smoothing bool }
+
+// SWDiscreteEMS returns the discrete (B-R) Square Wave with EMS
+// (Section 5.4).
+func SWDiscreteEMS() Estimator { return swDiscreteEstimator{smoothing: true} }
+
+func (s swDiscreteEstimator) Name() string            { return "SW-BR-EMS" }
+func (s swDiscreteEstimator) ValidDistribution() bool { return true }
+
+func (s swDiscreteEstimator) Estimate(values []float64, d int, eps float64, rng *randx.Rand) []float64 {
+	mech := sw.NewDiscrete(d, eps)
+	disc := make([]int, len(values))
+	for i, v := range values {
+		disc[i] = int(mathx.Clamp(v, 0, 1) * float64(d))
+		if disc[i] >= d {
+			disc[i] = d - 1
+		}
+	}
+	counts := mech.Collect(disc, rng)
+	opts := em.EMSOptions()
+	if !s.smoothing {
+		opts = em.EMOptions(eps)
+	}
+	return em.Reconstruct(mech.TransitionMatrix(), counts, opts).Estimate
+}
+
+// hierarchyEstimator covers HH, HH-ADMM and HaarHRR.
+type hierarchyEstimator struct {
+	name string
+	beta int
+	mode string // "raw", "admm", "haar"
+}
+
+// HHADMM returns the paper's improved hierarchy method (Section 4.3) with
+// branching factor beta (the paper uses 4).
+func HHADMM(beta int) Estimator {
+	return hierarchyEstimator{name: "HH-ADMM", beta: beta, mode: "admm"}
+}
+
+// HH returns the plain hierarchical histogram with constrained inference
+// [18]; its output is not a valid distribution.
+func HH(beta int) Estimator {
+	return hierarchyEstimator{name: "HH", beta: beta, mode: "raw"}
+}
+
+// HaarHRR returns the Haar-transform hierarchy with Hadamard response [18];
+// its output is not a valid distribution.
+func HaarHRR() Estimator {
+	return hierarchyEstimator{name: "HaarHRR", beta: 2, mode: "haar"}
+}
+
+func (h hierarchyEstimator) Name() string            { return h.name }
+func (h hierarchyEstimator) ValidDistribution() bool { return h.mode == "admm" }
+
+func (h hierarchyEstimator) Estimate(values []float64, d int, eps float64, rng *randx.Rand) []float64 {
+	disc := make([]int, len(values))
+	for i, v := range values {
+		j := int(mathx.Clamp(v, 0, 1) * float64(d))
+		if j >= d {
+			j = d - 1
+		}
+		disc[i] = j
+	}
+	switch h.mode {
+	case "haar":
+		return hierarchy.NewHaarHRR(d, eps).Collect(disc, rng).Leaves()
+	case "admm":
+		raw := hierarchy.NewHH(d, h.beta, eps).Collect(disc, rng)
+		return admm.Distribution(raw, admm.Options{})
+	default:
+		raw := hierarchy.NewHH(d, h.beta, eps).Collect(disc, rng)
+		return raw.ConstrainedInference().Leaves()
+	}
+}
+
+// binningEstimator is CFO-with-binning.
+type binningEstimator struct{ c int }
+
+// Binning returns CFO-with-binning with c bins (Section 4.1; the paper
+// evaluates c ∈ {16, 32, 64}).
+func Binning(c int) Estimator { return binningEstimator{c: c} }
+
+func (b binningEstimator) Name() string            { return fmt.Sprintf("CFO-bin-%d", b.c) }
+func (b binningEstimator) ValidDistribution() bool { return true }
+
+func (b binningEstimator) Estimate(values []float64, d int, eps float64, rng *randx.Rand) []float64 {
+	return binning.New(b.c, eps).Collect(values, d, rng)
+}
+
+// StandardEstimators returns the method set of Figures 2–4: SW-EMS, SW-EM,
+// HH-ADMM (β=4) and CFO-binning with 16/32/64 bins.
+func StandardEstimators() []Estimator {
+	return []Estimator{
+		SWEMS(), SWEM(), HHADMM(4), Binning(16), Binning(32), Binning(64),
+	}
+}
+
+// RangeQueryEstimators returns the extended set of Figure 3, which adds the
+// signed-output hierarchy baselines.
+func RangeQueryEstimators() []Estimator {
+	return append(StandardEstimators(), HH(4), HaarHRR())
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.fillDefaults()
+	if cfg.Buckets != 1024 || cfg.OutputBuckets != 1024 {
+		t.Errorf("defaults: d=%d, dt=%d", cfg.Buckets, cfg.OutputBuckets)
+	}
+	if !cfg.Smoothing {
+		t.Error("NewConfig should enable smoothing")
+	}
+	if math.Abs(cfg.Bandwidth-0.256) > 0.002 {
+		t.Errorf("default bandwidth = %v, want BOpt(1) ≈ 0.256", cfg.Bandwidth)
+	}
+	if cfg.PlateauRatio != 1 {
+		t.Errorf("default plateau ratio = %v, want 1 (square)", cfg.PlateauRatio)
+	}
+}
+
+func TestConfigPanicsOnBadEpsilon(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v should panic", eps)
+				}
+			}()
+			NewClient(Config{Epsilon: eps})
+		}()
+	}
+}
+
+func TestClientReportInRange(t *testing.T) {
+	client := NewClient(NewConfig(1))
+	rng := randx.New(1)
+	b := client.Bandwidth()
+	for i := 0; i < 10000; i++ {
+		r := client.Report(rng.Float64(), rng)
+		if r < -b-1e-9 || r > 1+b+1e-9 {
+			t.Fatalf("report %v outside [−b, 1+b]", r)
+		}
+	}
+	// Out-of-domain values are clamped, not rejected.
+	if r := client.Report(5, rng); r < -b || r > 1+b {
+		t.Errorf("clamped report %v out of range", r)
+	}
+}
+
+func TestClientAggregatorRoundTrip(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.Buckets = 128
+	client := NewClient(cfg)
+	agg := NewAggregator(cfg)
+	rng := randx.New(2)
+
+	ds := dataset.Beta52(30000, 3)
+	for _, v := range ds.Values {
+		agg.Ingest(client.Report(v, rng))
+	}
+	if agg.N() != 30000 {
+		t.Errorf("N = %d", agg.N())
+	}
+	if got := mathx.Sum(agg.Counts()); got != 30000 {
+		t.Errorf("counts sum = %v", got)
+	}
+	res := agg.Estimate()
+	if !mathx.IsDistribution(res.Estimate, 1e-9) {
+		t.Error("estimate is not a distribution")
+	}
+	truth := ds.TrueDistributionAt(128)
+	if got := metrics.Wasserstein(truth, res.Estimate); got > 0.02 {
+		t.Errorf("round-trip W1 = %v", got)
+	}
+}
+
+func TestRunMatchesClientAggregator(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.Buckets = 64
+	ds := dataset.Beta52(5000, 4)
+
+	got := Run(cfg, ds.Values, randx.New(7))
+
+	client := NewClient(cfg)
+	agg := NewAggregator(cfg)
+	rng := randx.New(7)
+	for _, v := range ds.Values {
+		agg.Ingest(client.Report(v, rng))
+	}
+	want := agg.Estimate().Estimate
+	if mathx.L1(got, want) > 1e-12 {
+		t.Error("Run and manual client/aggregator disagree under the same seed")
+	}
+}
+
+func TestEstimatorRegistryNamesAndValidity(t *testing.T) {
+	valid := map[string]bool{
+		"SW-EMS": true, "SW-EM": true, "SW-BR-EMS": true, "HH-ADMM": true,
+		"CFO-bin-16": true, "CFO-bin-32": true, "CFO-bin-64": true,
+		"HH": false, "HaarHRR": false,
+	}
+	all := append(RangeQueryEstimators(), SWDiscreteEMS())
+	seen := map[string]bool{}
+	for _, e := range all {
+		want, ok := valid[e.Name()]
+		if !ok {
+			t.Errorf("unexpected estimator %q", e.Name())
+			continue
+		}
+		if e.ValidDistribution() != want {
+			t.Errorf("%s: ValidDistribution = %v, want %v", e.Name(), e.ValidDistribution(), want)
+		}
+		seen[e.Name()] = true
+	}
+	if len(seen) != len(valid) {
+		t.Errorf("registry covers %d methods, want %d", len(seen), len(valid))
+	}
+}
+
+func TestAllEstimatorsProduceSaneOutput(t *testing.T) {
+	ds := dataset.Beta52(20000, 5)
+	const d = 64
+	truth := ds.TrueDistributionAt(d)
+	uniform := make([]float64, d)
+	for i := range uniform {
+		uniform[i] = 1.0 / d
+	}
+	baseline := metrics.Wasserstein(truth, uniform)
+
+	for _, e := range append(RangeQueryEstimators(), SWDiscreteEMS()) {
+		rng := randx.New(6)
+		est := e.Estimate(ds.Values, d, 1.5, rng)
+		if len(est) != d {
+			t.Errorf("%s: estimate length %d, want %d", e.Name(), len(est), d)
+			continue
+		}
+		if e.ValidDistribution() && !mathx.IsDistribution(est, 1e-6) {
+			t.Errorf("%s: claims valid distribution but is not", e.Name())
+		}
+		// Every method must beat the uniform baseline on W1 at ε=1.5
+		// with 20k users (sanity, not a utility claim).
+		if got := metrics.Wasserstein(truth, est); got > baseline {
+			t.Errorf("%s: W1 %v worse than uniform baseline %v", e.Name(), got, baseline)
+		}
+	}
+}
+
+func TestSWEMSBeatsBinningOnSmoothData(t *testing.T) {
+	// The paper's central claim, in miniature, averaged over seeds.
+	const d = 256
+	const eps = 1.0
+	var swW1, binW1 float64
+	const runs = 3
+	for run := 0; run < runs; run++ {
+		ds := dataset.Beta52(30000, uint64(10+run))
+		truth := ds.TrueDistributionAt(d)
+		rng := randx.New(uint64(20 + run))
+		swW1 += metrics.Wasserstein(truth, SWEMS().Estimate(ds.Values, d, eps, rng))
+		binW1 += metrics.Wasserstein(truth, Binning(16).Estimate(ds.Values, d, eps, rng))
+	}
+	if swW1 >= binW1 {
+		t.Errorf("SW-EMS avg W1 %v should beat CFO-bin-16 %v", swW1/runs, binW1/runs)
+	}
+}
+
+func TestGeneralWaveEstimator(t *testing.T) {
+	ds := dataset.Beta52(10000, 8)
+	rng := randx.New(9)
+	est := GeneralWaveEMS(0.5, 0.25).Estimate(ds.Values, 64, 1, rng)
+	if !mathx.IsDistribution(est, 1e-9) {
+		t.Error("GW estimate not a distribution")
+	}
+	tri := GeneralWaveEMS(0, 0.25)
+	if tri.Name() != "Triangle-EMS" {
+		t.Errorf("triangle name = %q", tri.Name())
+	}
+}
+
+func TestSWEMSWithBandwidth(t *testing.T) {
+	e := SWEMSWithBandwidth(0.1)
+	ds := dataset.Beta52(10000, 10)
+	rng := randx.New(11)
+	est := e.Estimate(ds.Values, 64, 1, rng)
+	if !mathx.IsDistribution(est, 1e-9) {
+		t.Error("estimate not a distribution")
+	}
+}
+
+func BenchmarkRunSWEMS(b *testing.B) {
+	cfg := NewConfig(1)
+	cfg.Buckets = 256
+	ds := dataset.Beta52(20000, 1)
+	rng := randx.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(cfg, ds.Values, rng)
+	}
+}
+
+func TestAggregatorDecay(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.Buckets = 32
+	agg := NewAggregator(cfg)
+	client := NewClient(cfg)
+	rng := randx.New(20)
+	for i := 0; i < 1000; i++ {
+		agg.Ingest(client.Report(0.5, rng))
+	}
+	before := mathx.Sum(agg.Counts())
+	agg.Decay(0.5)
+	after := mathx.Sum(agg.Counts())
+	if !mathx.AlmostEqual(after, before/2, 1e-9) {
+		t.Errorf("decayed mass = %v, want %v", after, before/2)
+	}
+	if agg.N() != 500 {
+		t.Errorf("decayed N = %d, want 500", agg.N())
+	}
+	agg.Decay(1) // no-op
+	if got := mathx.Sum(agg.Counts()); !mathx.AlmostEqual(got, after, 1e-12) {
+		t.Error("Decay(1) changed the histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Decay(0) should panic")
+		}
+	}()
+	agg.Decay(0)
+}
+
+func TestDecaySlidingWindowTracksShift(t *testing.T) {
+	// A distribution shift with decay applied between epochs: the old
+	// regime's reports fade and the estimate tracks the new regime.
+	cfg := NewConfig(2)
+	cfg.Buckets = 64
+	agg := NewAggregator(cfg)
+	client := NewClient(cfg)
+	rng := randx.New(21)
+
+	// Epoch 1: mass near 0.2.
+	for i := 0; i < 30000; i++ {
+		agg.Ingest(client.Report(mathx.Clamp(rng.Normal(0.2, 0.05), 0, 1), rng))
+	}
+	// Several decayed epochs of the new regime near 0.8.
+	for epoch := 0; epoch < 6; epoch++ {
+		agg.Decay(0.3)
+		for i := 0; i < 30000; i++ {
+			agg.Ingest(client.Report(mathx.Clamp(rng.Normal(0.8, 0.05), 0, 1), rng))
+		}
+	}
+	est := agg.Estimate().Estimate
+	// The estimate's mean should sit near the new regime.
+	var mean float64
+	for i, p := range est {
+		mean += p * (float64(i) + 0.5) / 64
+	}
+	if mean < 0.7 {
+		t.Errorf("post-shift mean = %v, want > 0.7", mean)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+)
+
+// aggregatorState is the serialized form of an Aggregator: the configuration
+// fingerprint plus the report histogram. Reports themselves never need to be
+// retained — the SW/EMS pipeline is aggregate-sufficient — so shards stay
+// O(d̃) regardless of population size.
+type aggregatorState struct {
+	Epsilon       float64
+	Buckets       int
+	OutputBuckets int
+	Bandwidth     float64
+	PlateauRatio  float64
+	N             int
+	Counts        []float64
+}
+
+func (a *Aggregator) state() aggregatorState {
+	return aggregatorState{
+		Epsilon:       a.cfg.Epsilon,
+		Buckets:       a.cfg.Buckets,
+		OutputBuckets: a.cfg.OutputBuckets,
+		Bandwidth:     a.cfg.Bandwidth,
+		PlateauRatio:  a.cfg.PlateauRatio,
+		N:             a.n,
+		Counts:        a.counts,
+	}
+}
+
+func (a *Aggregator) compatible(s aggregatorState) error {
+	switch {
+	case s.Epsilon != a.cfg.Epsilon:
+		return fmt.Errorf("core: epsilon mismatch (%v vs %v)", s.Epsilon, a.cfg.Epsilon)
+	case s.Buckets != a.cfg.Buckets || s.OutputBuckets != a.cfg.OutputBuckets:
+		return fmt.Errorf("core: granularity mismatch (%d/%d vs %d/%d)",
+			s.Buckets, s.OutputBuckets, a.cfg.Buckets, a.cfg.OutputBuckets)
+	case math.Abs(s.Bandwidth-a.cfg.Bandwidth) > 1e-12:
+		return fmt.Errorf("core: bandwidth mismatch (%v vs %v)", s.Bandwidth, a.cfg.Bandwidth)
+	case s.PlateauRatio != a.cfg.PlateauRatio:
+		return fmt.Errorf("core: wave shape mismatch (ρ %v vs %v)", s.PlateauRatio, a.cfg.PlateauRatio)
+	}
+	return nil
+}
+
+// Merge folds another aggregator's reports into a (e.g. per-datacenter
+// shards merging before reconstruction). Both aggregators must have been
+// built from identical mechanism parameters; a configuration mismatch is an
+// error because the shards' reports were produced by different channels.
+func (a *Aggregator) Merge(other *Aggregator) error {
+	s := other.state()
+	if err := a.compatible(s); err != nil {
+		return err
+	}
+	for j, c := range s.Counts {
+		a.counts[j] += c
+	}
+	a.n += s.N
+	return nil
+}
+
+// MarshalBinary serializes the aggregator's configuration fingerprint and
+// report histogram (encoding/gob). The transition matrix is not serialized;
+// it is recomputed on load.
+func (a *Aggregator) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a.state()); err != nil {
+		return nil, fmt.Errorf("core: marshal aggregator: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores serialized state into an aggregator constructed
+// with the same Config; it replaces any reports ingested so far. It fails if
+// the serialized configuration does not match.
+func (a *Aggregator) UnmarshalBinary(data []byte) error {
+	var s aggregatorState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return fmt.Errorf("core: unmarshal aggregator: %w", err)
+	}
+	if err := a.compatible(s); err != nil {
+		return err
+	}
+	if len(s.Counts) != len(a.counts) {
+		return fmt.Errorf("core: serialized histogram has %d buckets, want %d",
+			len(s.Counts), len(a.counts))
+	}
+	copy(a.counts, s.Counts)
+	a.n = s.N
+	return nil
+}

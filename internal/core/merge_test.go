@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+func TestMergeEqualsSingleAggregator(t *testing.T) {
+	// Two shards merged must reproduce exactly the histogram of one
+	// aggregator that saw all reports.
+	cfg := NewConfig(1)
+	cfg.Buckets = 64
+	client := NewClient(cfg)
+	whole := NewAggregator(cfg)
+	shardA := NewAggregator(cfg)
+	shardB := NewAggregator(cfg)
+
+	rng := randx.New(1)
+	ds := dataset.Beta52(10000, 2)
+	for i, v := range ds.Values {
+		r := client.Report(v, rng)
+		whole.Ingest(r)
+		if i%2 == 0 {
+			shardA.Ingest(r)
+		} else {
+			shardB.Ingest(r)
+		}
+	}
+	if err := shardA.Merge(shardB); err != nil {
+		t.Fatal(err)
+	}
+	if shardA.N() != whole.N() {
+		t.Errorf("merged N = %d, want %d", shardA.N(), whole.N())
+	}
+	if mathx.L1(shardA.Counts(), whole.Counts()) != 0 {
+		t.Error("merged histogram differs from single-aggregator histogram")
+	}
+	// And therefore the reconstructions agree exactly.
+	a := shardA.Estimate().Estimate
+	w := whole.Estimate().Estimate
+	if mathx.L1(a, w) != 0 {
+		t.Error("merged reconstruction differs")
+	}
+}
+
+func TestMergeRejectsMismatchedConfig(t *testing.T) {
+	mk := func(eps float64, d int, b float64) *Aggregator {
+		cfg := NewConfig(eps)
+		cfg.Buckets = d
+		cfg.Bandwidth = b
+		return NewAggregator(cfg)
+	}
+	base := mk(1, 64, 0)
+	cases := []*Aggregator{
+		mk(2, 64, 0),    // epsilon mismatch
+		mk(1, 128, 0),   // granularity mismatch
+		mk(1, 64, 0.05), // bandwidth mismatch
+	}
+	for i, other := range cases {
+		if err := base.Merge(other); err == nil {
+			t.Errorf("case %d: mismatched merge accepted", i)
+		}
+	}
+}
+
+func TestAggregatorSerializationRoundTrip(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.Buckets = 64
+	client := NewClient(cfg)
+	agg := NewAggregator(cfg)
+	rng := randx.New(3)
+	for i := 0; i < 5000; i++ {
+		agg.Ingest(client.Report(rng.Float64(), rng))
+	}
+	blob, err := agg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewAggregator(cfg)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != agg.N() {
+		t.Errorf("restored N = %d, want %d", restored.N(), agg.N())
+	}
+	if mathx.L1(restored.Counts(), agg.Counts()) != 0 {
+		t.Error("restored histogram differs")
+	}
+	a := agg.Estimate().Estimate
+	b := restored.Estimate().Estimate
+	if mathx.L1(a, b) != 0 {
+		t.Error("restored reconstruction differs")
+	}
+}
+
+func TestUnmarshalRejectsWrongConfig(t *testing.T) {
+	cfgA := NewConfig(1)
+	cfgA.Buckets = 64
+	src := NewAggregator(cfgA)
+	blob, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := NewConfig(2)
+	cfgB.Buckets = 64
+	dst := NewAggregator(cfgB)
+	if err := dst.UnmarshalBinary(blob); err == nil {
+		t.Error("mismatched unmarshal accepted")
+	}
+	if err := dst.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Error("garbage unmarshal accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write emits the dataset's values one per line (the format cmd/datagen
+// produces and cmd/swcollect consumes), preceded by a comment header that
+// records provenance.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dataset=%s n=%d buckets=%d\n", d.Name, d.N(), d.Buckets); err != nil {
+		return err
+	}
+	for _, v := range d.Values {
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a dataset written by Write (or any file of one value per
+// line; '#' lines are skipped). The name and bucket count are recovered from
+// the header when present, else default to "custom" and 1024. Values must
+// lie in [0,1].
+func Read(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	ds := &Dataset{Name: "custom", Buckets: 1024}
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, "#") {
+			parseHeader(s, ds)
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("dataset: line %d: value %v outside [0,1]", line, v)
+		}
+		ds.Values = append(ds.Values, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ds.Values) == 0 {
+		return nil, fmt.Errorf("dataset: no values")
+	}
+	return ds, nil
+}
+
+// parseHeader extracts name= and buckets= tokens from a Write header line.
+func parseHeader(s string, ds *Dataset) {
+	for _, tok := range strings.Fields(strings.TrimPrefix(s, "#")) {
+		switch {
+		case strings.HasPrefix(tok, "dataset="):
+			ds.Name = strings.TrimPrefix(tok, "dataset=")
+		case strings.HasPrefix(tok, "buckets="):
+			if b, err := strconv.Atoi(strings.TrimPrefix(tok, "buckets=")); err == nil && b > 0 {
+				ds.Buckets = b
+			}
+		}
+	}
+}

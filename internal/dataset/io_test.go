@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ds := Beta52(500, 3)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "beta" || got.Buckets != 256 {
+		t.Errorf("header not recovered: %s/%d", got.Name, got.Buckets)
+	}
+	if got.N() != ds.N() {
+		t.Fatalf("N = %d, want %d", got.N(), ds.N())
+	}
+	if mathx.L1(got.Values, ds.Values) != 0 {
+		t.Error("values differ after round trip")
+	}
+}
+
+func TestReadHeaderless(t *testing.T) {
+	got, err := Read(strings.NewReader("0.5\n0.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "custom" || got.Buckets != 1024 {
+		t.Errorf("defaults wrong: %s/%d", got.Name, got.Buckets)
+	}
+	if got.N() != 2 {
+		t.Errorf("N = %d", got.N())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"not-a-number\n",
+		"1.5\n",  // outside [0,1]
+		"-0.1\n", // outside [0,1]
+		"",       // empty
+		"# only header\n",
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) should error", in)
+		}
+	}
+}
+
+func TestReadIgnoresMalformedHeaderTokens(t *testing.T) {
+	got, err := Read(strings.NewReader("# dataset=x buckets=abc junk\n0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "x" || got.Buckets != 1024 {
+		t.Errorf("header parse: %s/%d", got.Name, got.Buckets)
+	}
+}

@@ -1,0 +1,32 @@
+package em_test
+
+import (
+	"fmt"
+
+	"repro/internal/em"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+	"repro/internal/sw"
+)
+
+// ExampleReconstruct runs the full aggregator-side pipeline: aggregate
+// Square Wave reports into a histogram, then invert the channel with EMS.
+func ExampleReconstruct() {
+	const d = 64
+	w := sw.NewSquare(1.0)
+	m := w.TransitionMatrix(d, d)
+
+	// 30k users report Beta(5,2)-distributed values.
+	rng := randx.New(4)
+	values := make([]float64, 30000)
+	for i := range values {
+		values[i] = rng.Beta(5, 2)
+	}
+	counts := w.Collect(values, d, rng)
+
+	res := em.Reconstruct(m, counts, em.EMSOptions())
+	fmt.Printf("converged=%v, estimate is a distribution: %v\n",
+		res.Converged, mathx.IsDistribution(res.Estimate, 1e-9))
+	// Output:
+	// converged=true, estimate is a distribution: true
+}

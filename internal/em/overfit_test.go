@@ -1,0 +1,139 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/sw"
+)
+
+// TestEMOverfitsNoiseWhenRunTooLong reproduces the observation that motivates
+// EMS (Section 5.5): plain EM's log-likelihood increases monotonically, but
+// the Wasserstein distance to the *true* distribution follows a U-shape —
+// past some iteration the estimate fits the LDP noise, not the data. EMS run
+// to its own convergence must land near (or below) EM's best-ever error
+// without needing to know when to stop.
+func TestEMOverfitsNoiseWhenRunTooLong(t *testing.T) {
+	const d = 256 // fine granularity gives EM many parameters to overfit
+	const eps = 0.5
+
+	w := sw.NewSquare(eps)
+	m := w.TransitionMatrix(d, d)
+
+	var overfitRuns, emsBeatsFinalEM int
+	const runs = 5
+	for run := 0; run < runs; run++ {
+		rng := randx.New(uint64(40 + run))
+		values := make([]float64, 20000)
+		truth := make([]float64, d)
+		for i := range values {
+			v := rng.Beta(5, 2)
+			values[i] = v
+			truth[int(math.Min(v*float64(d), float64(d-1)))]++
+		}
+		mathx.Normalize(truth)
+		counts := w.Collect(values, d, rng)
+
+		var w1Trace []float64
+		var llTrace []float64
+		Reconstruct(m, counts, Options{
+			MaxIters: 2000,
+			MinIters: 2000, // force a long run regardless of Tau
+			Tau:      1e-300,
+			OnIteration: func(iter int, est []float64, ll float64) {
+				if iter%10 == 0 {
+					w1Trace = append(w1Trace, metrics.Wasserstein(truth, est))
+					llTrace = append(llTrace, ll)
+				}
+			},
+		})
+
+		// Log-likelihood is monotone over the trace.
+		for i := 1; i < len(llTrace); i++ {
+			if llTrace[i] < llTrace[i-1]-1e-6 {
+				t.Fatalf("run %d: LL decreased at trace step %d", run, i)
+			}
+		}
+		// U-shape: the best W1 along the trajectory is materially better
+		// than the final (fully converged) W1.
+		best, final := w1Trace[0], w1Trace[len(w1Trace)-1]
+		for _, v := range w1Trace {
+			best = math.Min(best, v)
+		}
+		if final > best*1.1 {
+			overfitRuns++
+		}
+
+		// EMS with its default stopping beats the fully-converged EM.
+		ems := Reconstruct(m, counts, EMSOptions())
+		if metrics.Wasserstein(truth, ems.Estimate) < final {
+			emsBeatsFinalEM++
+		}
+	}
+	if overfitRuns < runs-1 {
+		t.Errorf("EM overfitting (U-shaped W1) observed in only %d/%d runs", overfitRuns, runs)
+	}
+	if emsBeatsFinalEM < runs-1 {
+		t.Errorf("EMS beat fully-converged EM in only %d/%d runs", emsBeatsFinalEM, runs)
+	}
+}
+
+func TestWarmStartConvergesFaster(t *testing.T) {
+	// Re-estimating after more data arrives: warm-starting from the
+	// previous estimate takes far fewer iterations than restarting from
+	// uniform.
+	const d = 128
+	w := sw.NewSquare(1)
+	m := w.TransitionMatrix(d, d)
+	rng := randx.New(50)
+	values := make([]float64, 30000)
+	for i := range values {
+		values[i] = rng.Beta(5, 2)
+	}
+	counts := w.Collect(values[:20000], d, rng)
+	first := Reconstruct(m, counts, EMSOptions())
+
+	// 10k more reports arrive.
+	more := w.Collect(values[20000:], d, rng)
+	for j := range counts {
+		counts[j] += more[j]
+	}
+	cold := Reconstruct(m, counts, EMSOptions())
+	warmOpts := EMSOptions()
+	warmOpts.Init = first.Estimate
+	warm := Reconstruct(m, counts, warmOpts)
+
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start took %d iterations, cold %d", warm.Iterations, cold.Iterations)
+	}
+	// Both land on comparable answers (EMS stops early by design, so the
+	// iterates are close but not identical).
+	if got := mathx.L1(warm.Estimate, cold.Estimate); got > 0.08 {
+		t.Errorf("warm and cold estimates differ by L1 %v", got)
+	}
+}
+
+func TestOnIterationSeesLiveEstimate(t *testing.T) {
+	m := identity(4)
+	var iters int
+	var lastLL float64
+	res := Reconstruct(m, []float64{4, 3, 2, 1}, Options{
+		MaxIters: 7, MinIters: 1, Tau: 1e-300,
+		OnIteration: func(iter int, est []float64, ll float64) {
+			iters = iter
+			lastLL = ll
+			if !mathx.IsDistribution(est, 1e-9) {
+				t.Fatalf("iteration %d estimate off the simplex", iter)
+			}
+		},
+	})
+	if iters != res.Iterations {
+		t.Errorf("callback saw %d iterations, result says %d", iters, res.Iterations)
+	}
+	if lastLL != res.LogLikelihood {
+		t.Errorf("callback LL %v != result LL %v", lastLL, res.LogLikelihood)
+	}
+}

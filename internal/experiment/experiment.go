@@ -1,0 +1,606 @@
+// Package experiment is the benchmark harness for Section 6: it regenerates
+// every figure and table of the paper's evaluation as structured rows
+// (method × dataset × ε × metric, with mean and standard deviation over
+// repetitions), which cmd/experiments renders as ASCII tables and CSV and
+// bench_test.go exercises as testing.B benchmarks.
+//
+// The paper runs 100 repetitions at populations up to 2.3M users; the
+// default Config here is laptop-scale (50k users, 5 repetitions, capped
+// granularity) and every knob can be raised from the command line. Shapes —
+// who wins, by what rough factor, where the crossovers sit — are preserved
+// at this scale; absolute values are recorded in EXPERIMENTS.md.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/histogram"
+	"repro/internal/meanest"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/sw"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// N is the number of users per dataset. Defaults to 50,000.
+	N int
+	// Reps is the number of mechanism repetitions per point. Defaults
+	// to 5.
+	Reps int
+	// Seed drives all randomness. Defaults to 1.
+	Seed uint64
+	// Buckets overrides the reconstruction granularity (0 = each
+	// dataset's paper granularity: 256 for Beta, 1024 otherwise). Must be
+	// a power of 4 when hierarchy methods participate.
+	Buckets int
+	// Datasets restricts the workloads (default: all four).
+	Datasets []string
+	// Epsilons is the privacy-budget sweep (default: 0.5, 1.0, 1.5, 2.0,
+	// 2.5 — the x-axis of Figures 2–4).
+	Epsilons []float64
+	// RangeQueries is the number of random range queries per width.
+	// Defaults to 200.
+	RangeQueries int
+	// Parallel runs the repetitions of each point concurrently (one
+	// goroutine per repetition). Results are bit-identical to the
+	// sequential run because every repetition owns an independent random
+	// stream derived from (Seed, point, rep).
+	Parallel bool
+	// KeepSamples stores the per-repetition metric values on each Row
+	// (Figures 2–4), enabling paired significance tests via
+	// CompareToBaseline.
+	KeepSamples bool
+}
+
+func (c Config) filled() Config {
+	if c.N <= 0 {
+		c.N = 50000
+	}
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = dataset.Names()
+	}
+	if len(c.Epsilons) == 0 {
+		c.Epsilons = []float64{0.5, 1.0, 1.5, 2.0, 2.5}
+	}
+	if c.RangeQueries <= 0 {
+		c.RangeQueries = 200
+	}
+	return c
+}
+
+// granularity returns the histogram granularity for a dataset under this
+// config.
+func (c Config) granularity(ds *dataset.Dataset) int {
+	if c.Buckets > 0 {
+		return c.Buckets
+	}
+	return ds.Buckets
+}
+
+// Row is one measured point of an experiment.
+type Row struct {
+	// Figure identifies the experiment ("fig2", ...).
+	Figure string
+	// Dataset is the workload name.
+	Dataset string
+	// Method is the estimator label.
+	Method string
+	// Metric names what was measured ("W1", "KS", "range-0.1", "mean",
+	// "variance", "quantile").
+	Metric string
+	// Epsilon is the privacy budget of the point.
+	Epsilon float64
+	// Param carries the experiment's extra sweep variable, if any
+	// (bandwidth b for fig5/fig6, bucket count for fig7; 0 otherwise).
+	Param float64
+	// Mean and Std summarize the metric over Reps repetitions.
+	Mean float64
+	Std  float64
+	// Reps is the number of repetitions aggregated.
+	Reps int
+	// Samples holds the per-repetition values when Config.KeepSamples is
+	// set (nil otherwise). Repetition r of every method at the same
+	// (dataset, ε) shares the same dataset, making the samples paired.
+	Samples []float64
+}
+
+// keep returns samples when cfg retains them, nil otherwise.
+func (c Config) keep(samples []float64) []float64 {
+	if !c.KeepSamples {
+		return nil
+	}
+	return append([]float64(nil), samples...)
+}
+
+// summarize converts per-rep samples into mean and (population) std.
+func summarize(samples []float64) (mean, std float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean = sum / float64(len(samples))
+	var acc float64
+	for _, s := range samples {
+		d := s - mean
+		acc += d * d
+	}
+	std = 0
+	if len(samples) > 1 {
+		std = math.Sqrt(acc / float64(len(samples)))
+	}
+	return mean, std
+}
+
+// datasetCache avoids regenerating workloads across figure runs.
+type datasetCache struct {
+	cfg  Config
+	data map[string]*dataset.Dataset
+}
+
+func newCache(cfg Config) *datasetCache {
+	return &datasetCache{cfg: cfg, data: map[string]*dataset.Dataset{}}
+}
+
+func (dc *datasetCache) get(name string) *dataset.Dataset {
+	if ds, ok := dc.data[name]; ok {
+		return ds
+	}
+	ds, err := dataset.ByName(name, dc.cfg.N, dc.cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	dc.data[name] = ds
+	return ds
+}
+
+// Fig1 summarizes the four dataset shapes (the paper plots the normalized
+// frequencies; we report the moments and spikiness that drive the later
+// analysis, and cmd/experiments can dump full histograms with -hist).
+func Fig1(cfg Config) []Row {
+	cfg = cfg.filled()
+	cache := newCache(cfg)
+	var rows []Row
+	for _, name := range cfg.Datasets {
+		ds := cache.get(name)
+		dist := ds.TrueDistributionAt(cfg.granularity(ds))
+		add := func(metric string, v float64) {
+			rows = append(rows, Row{Figure: "fig1", Dataset: name, Method: "true",
+				Metric: metric, Mean: v, Reps: 1})
+		}
+		add("mean", histogram.Mean(dist))
+		add("variance", histogram.Variance(dist))
+		add("median", histogram.Quantile(dist, 0.5))
+		add("spikiness", dataset.Spikiness(dist))
+	}
+	return rows
+}
+
+// runDistribution executes reps rounds of an estimator and returns the
+// per-rep estimates (concurrently when cfg.Parallel is set; output is
+// identical either way because each repetition owns its own split stream).
+func runDistribution(e core.Estimator, ds *dataset.Dataset, d int, eps float64,
+	cfg Config, base *randx.Rand, key uint64) [][]float64 {
+	out := make([][]float64, cfg.Reps)
+	if !cfg.Parallel {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rng := base.Split(key*1000 + uint64(rep))
+			out[rep] = e.Estimate(ds.Values, d, eps, rng)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for rep := 0; rep < cfg.Reps; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			rng := base.Split(key*1000 + uint64(rep))
+			out[rep] = e.Estimate(ds.Values, d, eps, rng)
+		}(rep)
+	}
+	wg.Wait()
+	return out
+}
+
+// rowKey builds a deterministic stream id from the loop indices.
+func rowKey(parts ...int) uint64 {
+	var k uint64 = 17
+	for _, p := range parts {
+		k = k*1000003 + uint64(p+1)
+	}
+	return k
+}
+
+// Fig2 measures the distribution distances (Wasserstein, first row of
+// Figure 2; KS, second row) of the standard estimator set.
+func Fig2(cfg Config) []Row {
+	cfg = cfg.filled()
+	cache := newCache(cfg)
+	base := randx.New(cfg.Seed)
+	estimators := core.StandardEstimators()
+
+	var rows []Row
+	for di, name := range cfg.Datasets {
+		ds := cache.get(name)
+		d := cfg.granularity(ds)
+		truth := ds.TrueDistributionAt(d)
+		for ei, eps := range cfg.Epsilons {
+			for mi, e := range estimators {
+				ests := runDistribution(e, ds, d, eps, cfg, base, rowKey(2, di, ei, mi))
+				var w1s, kss []float64
+				for _, est := range ests {
+					w1s = append(w1s, metrics.Wasserstein(truth, est))
+					kss = append(kss, metrics.KS(truth, est))
+				}
+				mw, sw1 := summarize(w1s)
+				mk, sks := summarize(kss)
+				rows = append(rows,
+					Row{Figure: "fig2", Dataset: name, Method: e.Name(), Metric: "W1",
+						Epsilon: eps, Mean: mw, Std: sw1, Reps: cfg.Reps, Samples: cfg.keep(w1s)},
+					Row{Figure: "fig2", Dataset: name, Method: e.Name(), Metric: "KS",
+						Epsilon: eps, Mean: mk, Std: sks, Reps: cfg.Reps, Samples: cfg.keep(kss)})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig3 measures random range-query MAE at widths α = 0.1 and 0.4 for the
+// extended estimator set (adds HH and HaarHRR).
+func Fig3(cfg Config) []Row {
+	cfg = cfg.filled()
+	cache := newCache(cfg)
+	base := randx.New(cfg.Seed)
+	estimators := core.RangeQueryEstimators()
+
+	var rows []Row
+	for di, name := range cfg.Datasets {
+		ds := cache.get(name)
+		d := cfg.granularity(ds)
+		truth := ds.TrueDistributionAt(d)
+		for ei, eps := range cfg.Epsilons {
+			for mi, e := range estimators {
+				ests := runDistribution(e, ds, d, eps, cfg, base, rowKey(3, di, ei, mi))
+				var m01, m04 []float64
+				for rep, est := range ests {
+					qrng := base.Split(rowKey(3, di, ei, mi, rep, 999))
+					m01 = append(m01, metrics.RangeQueryMAE(truth, est, 0.1, cfg.RangeQueries, qrng))
+					m04 = append(m04, metrics.RangeQueryMAE(truth, est, 0.4, cfg.RangeQueries, qrng))
+				}
+				a, sa := summarize(m01)
+				b, sb := summarize(m04)
+				rows = append(rows,
+					Row{Figure: "fig3", Dataset: name, Method: e.Name(), Metric: "range-0.1",
+						Epsilon: eps, Mean: a, Std: sa, Reps: cfg.Reps, Samples: cfg.keep(m01)},
+					Row{Figure: "fig3", Dataset: name, Method: e.Name(), Metric: "range-0.4",
+						Epsilon: eps, Mean: b, Std: sb, Reps: cfg.Reps, Samples: cfg.keep(m04)})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig4 measures mean (first row of Figure 4), variance (second row) and
+// decile-quantile (third row) MAE. The distribution estimators derive the
+// statistics from their reconstructed distributions; SR and PM estimate mean
+// and variance directly (quantiles are undefined for them).
+func Fig4(cfg Config) []Row {
+	cfg = cfg.filled()
+	cache := newCache(cfg)
+	base := randx.New(cfg.Seed)
+	estimators := core.StandardEstimators()
+
+	var rows []Row
+	for di, name := range cfg.Datasets {
+		ds := cache.get(name)
+		d := cfg.granularity(ds)
+		truth := ds.TrueDistributionAt(d)
+		for ei, eps := range cfg.Epsilons {
+			for mi, e := range estimators {
+				ests := runDistribution(e, ds, d, eps, cfg, base, rowKey(4, di, ei, mi))
+				var me, ve, qe []float64
+				for _, est := range ests {
+					me = append(me, metrics.MeanError(truth, est))
+					ve = append(ve, metrics.VarianceError(truth, est))
+					qe = append(qe, metrics.QuantileMAE(truth, est, metrics.DecileBetas))
+				}
+				am, sm := summarize(me)
+				av, sv := summarize(ve)
+				aq, sq := summarize(qe)
+				rows = append(rows,
+					Row{Figure: "fig4", Dataset: name, Method: e.Name(), Metric: "mean",
+						Epsilon: eps, Mean: am, Std: sm, Reps: cfg.Reps, Samples: cfg.keep(me)},
+					Row{Figure: "fig4", Dataset: name, Method: e.Name(), Metric: "variance",
+						Epsilon: eps, Mean: av, Std: sv, Reps: cfg.Reps, Samples: cfg.keep(ve)},
+					Row{Figure: "fig4", Dataset: name, Method: e.Name(), Metric: "quantile",
+						Epsilon: eps, Mean: aq, Std: sq, Reps: cfg.Reps, Samples: cfg.keep(qe)})
+			}
+			// Scalar mechanisms: SR and PM.
+			for si, mech := range []meanest.Mechanism{meanest.NewSR(eps), meanest.NewPM(eps)} {
+				var me, ve []float64
+				for rep := 0; rep < cfg.Reps; rep++ {
+					rng := base.Split(rowKey(4, di, ei, 100+si, rep))
+					muHat := meanest.EstimateMean(mech, ds.Values, rng)
+					me = append(me, metrics.MeanErrorVs(truth, muHat))
+					rng2 := base.Split(rowKey(4, di, ei, 200+si, rep))
+					_, varHat := meanest.EstimateVariance(mech, ds.Values, rng2)
+					ve = append(ve, metrics.VarianceErrorVs(truth, varHat))
+				}
+				am, sm := summarize(me)
+				av, sv := summarize(ve)
+				rows = append(rows,
+					Row{Figure: "fig4", Dataset: name, Method: mech.Name(), Metric: "mean",
+						Epsilon: eps, Mean: am, Std: sm, Reps: cfg.Reps, Samples: cfg.keep(me)},
+					Row{Figure: "fig4", Dataset: name, Method: mech.Name(), Metric: "variance",
+						Epsilon: eps, Mean: av, Std: sv, Reps: cfg.Reps, Samples: cfg.keep(ve)})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig5Shapes lists the wave-shape ablation of Figure 5: the square wave,
+// trapezoids with plateau ratios 0.8/0.6/0.4/0.2, and the triangle wave.
+var Fig5Shapes = []float64{1, 0.8, 0.6, 0.4, 0.2, 0}
+
+// Fig5Bandwidths is the b grid of Figure 5.
+var Fig5Bandwidths = []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35}
+
+// Fig5 compares wave shapes at ε = 1 across the b grid (Wasserstein
+// distance of the EMS reconstruction).
+func Fig5(cfg Config) []Row {
+	cfg = cfg.filled()
+	cache := newCache(cfg)
+	base := randx.New(cfg.Seed)
+	const eps = 1.0
+
+	var rows []Row
+	for di, name := range cfg.Datasets {
+		ds := cache.get(name)
+		d := cfg.granularity(ds)
+		truth := ds.TrueDistributionAt(d)
+		for si, rho := range Fig5Shapes {
+			for bi, b := range Fig5Bandwidths {
+				e := core.GeneralWaveEMS(rho, b)
+				ests := runDistribution(e, ds, d, eps, cfg, base, rowKey(5, di, si, bi))
+				var w1s []float64
+				for _, est := range ests {
+					w1s = append(w1s, metrics.Wasserstein(truth, est))
+				}
+				m, s := summarize(w1s)
+				label := fmt.Sprintf("GW(ρ=%.1f)", rho)
+				if rho == 1 {
+					label = "SW"
+				} else if rho == 0 {
+					label = "Triangle"
+				}
+				rows = append(rows, Row{Figure: "fig5", Dataset: name, Method: label,
+					Metric: "W1", Epsilon: eps, Param: b, Mean: m, Std: s, Reps: cfg.Reps})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig6Epsilons and Fig6Bandwidths reproduce the sweep of Figure 6.
+var Fig6Epsilons = []float64{1, 2, 3, 4}
+
+// Fig6Bandwidths spans b ∈ [0.01, 0.38] as in the paper.
+var Fig6Bandwidths = []float64{0.01, 0.03, 0.06, 0.1, 0.14, 0.18, 0.22, 0.26, 0.3, 0.34, 0.38}
+
+// Fig6 sweeps the SW bandwidth b at fixed ε and reports the EMS Wasserstein
+// distance; the row with Method "b_SW" records the closed-form optimum the
+// paper's dotted line marks.
+func Fig6(cfg Config) []Row {
+	cfg = cfg.filled()
+	cache := newCache(cfg)
+	base := randx.New(cfg.Seed)
+
+	var rows []Row
+	for di, name := range cfg.Datasets {
+		ds := cache.get(name)
+		d := cfg.granularity(ds)
+		truth := ds.TrueDistributionAt(d)
+		for ei, eps := range Fig6Epsilons {
+			rows = append(rows, Row{Figure: "fig6", Dataset: name, Method: "b_SW",
+				Metric: "bandwidth", Epsilon: eps, Mean: sw.BOpt(eps), Reps: 1})
+			for bi, b := range Fig6Bandwidths {
+				e := core.SWEMSWithBandwidth(b)
+				ests := runDistribution(e, ds, d, eps, cfg, base, rowKey(6, di, ei, bi))
+				var w1s []float64
+				for _, est := range ests {
+					w1s = append(w1s, metrics.Wasserstein(truth, est))
+				}
+				m, s := summarize(w1s)
+				rows = append(rows, Row{Figure: "fig6", Dataset: name, Method: "SW-EMS",
+					Metric: "W1", Epsilon: eps, Param: b, Mean: m, Std: s, Reps: cfg.Reps})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig7Granularities is the bucketization sweep of Figure 7.
+var Fig7Granularities = []int{256, 512, 1024, 2048}
+
+// Fig7 measures SW-EMS Wasserstein distance at different bucketization
+// granularities (d = d̃ as in the paper).
+func Fig7(cfg Config) []Row {
+	cfg = cfg.filled()
+	cache := newCache(cfg)
+	base := randx.New(cfg.Seed)
+
+	var rows []Row
+	for di, name := range cfg.Datasets {
+		ds := cache.get(name)
+		for gi, d := range Fig7Granularities {
+			truth := ds.TrueDistributionAt(d)
+			for ei, eps := range cfg.Epsilons {
+				e := core.SWEMS()
+				ests := runDistribution(e, ds, d, eps, cfg, base, rowKey(7, di, gi, ei))
+				var w1s []float64
+				for _, est := range ests {
+					w1s = append(w1s, metrics.Wasserstein(truth, est))
+				}
+				m, s := summarize(w1s)
+				rows = append(rows, Row{Figure: "fig7", Dataset: name, Method: "SW-EMS",
+					Metric: "W1", Epsilon: eps, Param: float64(d), Mean: m, Std: s, Reps: cfg.Reps})
+			}
+		}
+	}
+	return rows
+}
+
+// Table2 renders the method × metric applicability matrix of Table 2.
+func Table2() *report.Table {
+	t := report.NewTable("method", "W1+KS", "range query", "mean+variance", "quantile")
+	t.AddRow("SW with EMS/EM", "yes", "yes", "yes", "yes")
+	t.AddRow("HH-ADMM", "yes", "yes", "yes", "yes")
+	t.AddRow("CFO binning", "yes", "yes", "yes", "yes")
+	t.AddRow("HH / HaarHRR", "no", "yes", "no", "no")
+	t.AddRow("PM / SR", "no", "no", "yes", "no")
+	return t
+}
+
+// Comparison is the outcome of a paired significance test between a
+// baseline method and another method at one experiment point.
+type Comparison struct {
+	Figure, Dataset, Metric  string
+	Epsilon                  float64
+	Baseline, Method         string
+	BaselineMean, MethodMean float64
+	Wins, Losses             int // baseline wins = baseline strictly lower
+	PValue                   float64
+	Significant              bool
+}
+
+// CompareToBaseline runs an exact paired sign test of every method against
+// the named baseline, per (figure, dataset, metric, ε) cell, on rows that
+// carry samples (Config.KeepSamples). Lower metric values win. Cells whose
+// rows lack samples are skipped.
+func CompareToBaseline(rows []Row, baseline string, level float64) []Comparison {
+	type cell struct {
+		fig, ds, metric string
+		eps             float64
+	}
+	base := map[cell]Row{}
+	for _, r := range rows {
+		if r.Method == baseline && r.Samples != nil {
+			base[cell{r.Figure, r.Dataset, r.Metric, r.Epsilon}] = r
+		}
+	}
+	var out []Comparison
+	for _, r := range rows {
+		if r.Method == baseline || r.Samples == nil {
+			continue
+		}
+		b, ok := base[cell{r.Figure, r.Dataset, r.Metric, r.Epsilon}]
+		if !ok || len(b.Samples) != len(r.Samples) {
+			continue
+		}
+		res := stats.SignTest(b.Samples, r.Samples)
+		out = append(out, Comparison{
+			Figure: r.Figure, Dataset: r.Dataset, Metric: r.Metric, Epsilon: r.Epsilon,
+			Baseline: baseline, Method: r.Method,
+			BaselineMean: b.Mean, MethodMean: r.Mean,
+			Wins: res.Wins, Losses: res.Losses,
+			PValue: res.PValue, Significant: res.Significant(level),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Dataset != b.Dataset:
+			return a.Dataset < b.Dataset
+		case a.Metric != b.Metric:
+			return a.Metric < b.Metric
+		case a.Epsilon != b.Epsilon:
+			return a.Epsilon < b.Epsilon
+		default:
+			return a.Method < b.Method
+		}
+	})
+	return out
+}
+
+// ComparisonTable renders comparisons as a report table.
+func ComparisonTable(cs []Comparison) *report.Table {
+	t := report.NewTable("dataset", "metric", "eps", "baseline", "vs", "base mean", "vs mean", "wins-losses", "p", "significant")
+	for _, c := range cs {
+		t.AddRow(c.Dataset, c.Metric, c.Epsilon, c.Baseline, c.Method,
+			c.BaselineMean, c.MethodMean,
+			fmt.Sprintf("%d-%d", c.Wins, c.Losses), c.PValue, c.Significant)
+	}
+	return t
+}
+
+// Figures lists the regenerable experiment ids (the ablation sweep is run
+// separately via -exp ablations; it is not part of the paper's figures).
+func Figures() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+}
+
+// ByID runs the experiment with the given id.
+func ByID(id string, cfg Config) ([]Row, error) {
+	switch id {
+	case "fig1":
+		return Fig1(cfg), nil
+	case "fig2":
+		return Fig2(cfg), nil
+	case "fig3":
+		return Fig3(cfg), nil
+	case "fig4":
+		return Fig4(cfg), nil
+	case "fig5":
+		return Fig5(cfg), nil
+	case "fig6":
+		return Fig6(cfg), nil
+	case "fig7":
+		return Fig7(cfg), nil
+	case "ablations":
+		return Ablations(cfg), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown id %q (want one of %v or table2)", id, Figures())
+	}
+}
+
+// ToTable renders rows as a report table, sorted for stable output.
+func ToTable(rows []Row) *report.Table {
+	sorted := append([]Row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		switch {
+		case a.Dataset != b.Dataset:
+			return a.Dataset < b.Dataset
+		case a.Metric != b.Metric:
+			return a.Metric < b.Metric
+		case a.Epsilon != b.Epsilon:
+			return a.Epsilon < b.Epsilon
+		case a.Param != b.Param:
+			return a.Param < b.Param
+		default:
+			return a.Method < b.Method
+		}
+	})
+	t := report.NewTable("figure", "dataset", "metric", "eps", "param", "method", "mean", "std", "reps")
+	for _, r := range sorted {
+		t.AddRow(r.Figure, r.Dataset, r.Metric, r.Epsilon, r.Param, r.Method, r.Mean, r.Std, r.Reps)
+	}
+	return t
+}

@@ -1,0 +1,290 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// quickCfg is a deliberately tiny configuration so the harness logic can be
+// exercised end-to-end in unit-test time.
+func quickCfg() Config {
+	return Config{
+		N:            3000,
+		Reps:         2,
+		Seed:         7,
+		Buckets:      64,
+		Datasets:     []string{"beta"},
+		Epsilons:     []float64{1.0},
+		RangeQueries: 50,
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.filled()
+	if cfg.N != 50000 || cfg.Reps != 5 || cfg.Seed != 1 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if len(cfg.Datasets) != 4 || len(cfg.Epsilons) != 5 {
+		t.Errorf("defaults: datasets %v, epsilons %v", cfg.Datasets, cfg.Epsilons)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	rows := Fig1(quickCfg())
+	if len(rows) != 4 { // 4 metrics × 1 dataset
+		t.Fatalf("fig1 rows = %d, want 4", len(rows))
+	}
+	metrics := map[string]bool{}
+	for _, r := range rows {
+		if r.Figure != "fig1" || r.Dataset != "beta" {
+			t.Errorf("bad row %+v", r)
+		}
+		metrics[r.Metric] = true
+	}
+	for _, m := range []string{"mean", "variance", "median", "spikiness"} {
+		if !metrics[m] {
+			t.Errorf("missing metric %s", m)
+		}
+	}
+}
+
+func TestFig2RowsAndDeterminism(t *testing.T) {
+	cfg := quickCfg()
+	rows := Fig2(cfg)
+	// 1 dataset × 1 eps × 6 methods × 2 metrics.
+	if len(rows) != 12 {
+		t.Fatalf("fig2 rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mean < 0 || r.Reps != cfg.Reps {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	again := Fig2(cfg)
+	for i := range rows {
+		if !reflect.DeepEqual(rows[i], again[i]) {
+			t.Fatalf("fig2 not deterministic at row %d: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+}
+
+func TestFig3IncludesHierarchyBaselines(t *testing.T) {
+	rows := Fig3(quickCfg())
+	// 8 methods × 2 metrics.
+	if len(rows) != 16 {
+		t.Fatalf("fig3 rows = %d, want 16", len(rows))
+	}
+	methods := map[string]bool{}
+	for _, r := range rows {
+		methods[r.Method] = true
+		if r.Metric != "range-0.1" && r.Metric != "range-0.4" {
+			t.Errorf("unexpected metric %q", r.Metric)
+		}
+	}
+	if !methods["HH"] || !methods["HaarHRR"] {
+		t.Errorf("fig3 must include HH and HaarHRR, got %v", methods)
+	}
+}
+
+func TestFig4IncludesScalarMechanisms(t *testing.T) {
+	rows := Fig4(quickCfg())
+	// 6 distribution methods × 3 metrics + 2 scalar methods × 2 metrics.
+	if len(rows) != 22 {
+		t.Fatalf("fig4 rows = %d, want 22", len(rows))
+	}
+	srQuantiles := 0
+	for _, r := range rows {
+		if (r.Method == "SR" || r.Method == "PM") && r.Metric == "quantile" {
+			srQuantiles++
+		}
+	}
+	if srQuantiles != 0 {
+		t.Error("SR/PM must not report quantiles (Table 2)")
+	}
+}
+
+func TestFig5ShapesAndParams(t *testing.T) {
+	cfg := quickCfg()
+	rows := Fig5(cfg)
+	if len(rows) != len(Fig5Shapes)*len(Fig5Bandwidths) {
+		t.Fatalf("fig5 rows = %d", len(rows))
+	}
+	methods := map[string]bool{}
+	for _, r := range rows {
+		methods[r.Method] = true
+		if r.Param <= 0 {
+			t.Errorf("fig5 row without bandwidth param: %+v", r)
+		}
+	}
+	if !methods["SW"] || !methods["Triangle"] {
+		t.Errorf("fig5 shape labels wrong: %v", methods)
+	}
+}
+
+func TestFig6HasOptimumMarker(t *testing.T) {
+	rows := Fig6(quickCfg())
+	want := len(Fig6Epsilons) * (len(Fig6Bandwidths) + 1)
+	if len(rows) != want {
+		t.Fatalf("fig6 rows = %d, want %d", len(rows), want)
+	}
+	markers := 0
+	for _, r := range rows {
+		if r.Method == "b_SW" {
+			markers++
+			if r.Mean <= 0 || r.Mean > 0.5 {
+				t.Errorf("b_SW marker out of range: %+v", r)
+			}
+		}
+	}
+	if markers != len(Fig6Epsilons) {
+		t.Errorf("markers = %d, want %d", markers, len(Fig6Epsilons))
+	}
+}
+
+func TestFig7SweepsGranularity(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Buckets = 0 // fig7 drives granularity itself
+	// Keep it fast: restrict the sweep via a tiny dataset.
+	cfg.N = 2000
+	cfg.Reps = 1
+	rows := Fig7(cfg)
+	if len(rows) != len(Fig7Granularities) {
+		t.Fatalf("fig7 rows = %d, want %d", len(rows), len(Fig7Granularities))
+	}
+	seen := map[float64]bool{}
+	for _, r := range rows {
+		seen[r.Param] = true
+	}
+	for _, g := range Fig7Granularities {
+		if !seen[float64(g)] {
+			t.Errorf("granularity %d missing", g)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	cfg := quickCfg()
+	for _, id := range []string{"fig1"} {
+		rows, err := ByID(id, cfg)
+		if err != nil || len(rows) == 0 {
+			t.Errorf("ByID(%s) failed: %v", id, err)
+		}
+	}
+	if _, err := ByID("fig99", cfg); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tbl := Table2()
+	if tbl.Len() != 5 {
+		t.Errorf("table2 has %d rows, want 5", tbl.Len())
+	}
+	out := tbl.RenderString()
+	for _, label := range []string{"SW with EMS/EM", "HH-ADMM", "PM / SR"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("table2 missing %q", label)
+		}
+	}
+}
+
+func TestToTable(t *testing.T) {
+	rows := Fig1(quickCfg())
+	tbl := ToTable(rows)
+	if tbl.Len() != len(rows) {
+		t.Errorf("table rows = %d, want %d", tbl.Len(), len(rows))
+	}
+	out := tbl.RenderString()
+	if !strings.Contains(out, "fig1") || !strings.Contains(out, "beta") {
+		t.Errorf("rendered table missing content:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m, s := summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("summarize = (%v, %v), want (5, 2)", m, s)
+	}
+	m, s = summarize([]float64{3})
+	if m != 3 || s != 0 {
+		t.Errorf("single-sample summarize = (%v, %v)", m, s)
+	}
+	m, s = summarize(nil)
+	if m != 0 || s != 0 {
+		t.Errorf("empty summarize = (%v, %v)", m, s)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := quickCfg()
+	par := quickCfg()
+	par.Parallel = true
+	a := Fig2(seq)
+	b := Fig2(par)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCompareToBaseline(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Reps = 6
+	cfg.KeepSamples = true
+	rows := Fig2(cfg)
+	cs := CompareToBaseline(rows, "SW-EMS", 0.05)
+	// 5 non-baseline methods x 2 metrics = 10 comparisons.
+	if len(cs) != 10 {
+		t.Fatalf("comparisons = %d, want 10", len(cs))
+	}
+	for _, c := range cs {
+		if c.Baseline != "SW-EMS" || c.Method == "SW-EMS" {
+			t.Errorf("bad comparison %+v", c)
+		}
+		if c.Wins+c.Losses > cfg.Reps {
+			t.Errorf("wins+losses exceed reps: %+v", c)
+		}
+		if c.PValue < 0 || c.PValue > 1 {
+			t.Errorf("p out of range: %+v", c)
+		}
+	}
+	tbl := ComparisonTable(cs)
+	if tbl.Len() != len(cs) {
+		t.Errorf("table rows = %d", tbl.Len())
+	}
+	// Without samples, no comparisons are produced.
+	plain := Fig2(quickCfg())
+	if got := CompareToBaseline(plain, "SW-EMS", 0.05); len(got) != 0 {
+		t.Errorf("comparisons without samples: %d", len(got))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := ByID("ablations", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := map[string]bool{}
+	for _, r := range rows {
+		if r.Figure != "ablations" {
+			t.Errorf("bad figure %q", r.Figure)
+		}
+		methods[r.Method] = true
+	}
+	for _, want := range []string{
+		"order/R-B", "order/B-R",
+		"kernel/1", "kernel/3", "kernel/5", "kernel/7",
+		"shape/cosine", "shape/parabolic", "shape/square",
+		"hier/population", "hier/budget",
+	} {
+		if !methods[want] {
+			t.Errorf("missing ablation %q", want)
+		}
+	}
+}

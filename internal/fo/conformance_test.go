@@ -1,0 +1,97 @@
+package fo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+// allOracles instantiates every CFO implementation at the given shape.
+func allOracles(d int, eps float64) []Oracle {
+	return []Oracle{
+		NewGRR(d, eps),
+		NewOLH(d, eps),
+		NewHRR(d, eps),
+		NewOUE(d, eps),
+		NewSUE(d, eps),
+		NewSHE(d, eps),
+		NewTHE(d, eps, 0.67),
+	}
+}
+
+// TestOracleConformance runs every frequency oracle through the same
+// contract: correct metadata, estimates of the right shape, near-unbiased
+// totals, and error consistent with the advertised variance.
+func TestOracleConformance(t *testing.T) {
+	const d = 16
+	const eps = 1.0
+	const n = 40000
+	rng := randx.New(77)
+	values, truth := genValues(n, d, rng)
+
+	seen := map[string]bool{}
+	for _, o := range allOracles(d, eps) {
+		name := o.Name()
+		if seen[name] {
+			t.Fatalf("duplicate oracle name %q", name)
+		}
+		seen[name] = true
+		t.Run(name, func(t *testing.T) {
+			if o.Domain() != d || o.Epsilon() != eps {
+				t.Fatalf("metadata: d=%d eps=%v", o.Domain(), o.Epsilon())
+			}
+			if v := o.Variance(n); v <= 0 || math.IsNaN(v) {
+				t.Fatalf("variance = %v", v)
+			}
+			est := o.Collect(values, rng.Split(uint64(len(name))))
+			if len(est) != d {
+				t.Fatalf("estimate length %d", len(est))
+			}
+			// Total close to 1 (estimates are unbiased frequencies).
+			if s := mathx.Sum(est); math.Abs(s-1) > 0.2 {
+				t.Errorf("estimates sum to %v", s)
+			}
+			// Per-value error within 6 sigma of the advertised variance.
+			tol := 6 * math.Sqrt(o.Variance(n))
+			for v := range truth {
+				if math.Abs(est[v]-truth[v]) > tol {
+					t.Errorf("estimate[%d] = %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleVarianceHonest verifies that the advertised variance is not an
+// underestimate: the empirical estimator variance over trials must not
+// exceed ~1.6× the analytic value for any oracle.
+func TestOracleVarianceHonest(t *testing.T) {
+	const d = 8
+	const eps = 1.0
+	const n = 1500
+	const trials = 150
+	values := make([]int, n) // everyone holds value 0
+	for _, mk := range []func() Oracle{
+		func() Oracle { return NewGRR(d, eps) },
+		func() Oracle { return NewOLH(d, eps) },
+		func() Oracle { return NewHRR(d, eps) },
+		func() Oracle { return NewOUE(d, eps) },
+		func() Oracle { return NewSUE(d, eps) },
+		func() Oracle { return NewSHE(d, eps) },
+		func() Oracle { return NewTHE(d, eps, 0.67) },
+	} {
+		o := mk()
+		rng := randx.New(uint64(1000 + len(o.Name())))
+		var ests []float64
+		for tr := 0; tr < trials; tr++ {
+			ests = append(ests, o.Collect(values, rng)[3])
+		}
+		emp := mathx.Variance(ests)
+		ana := o.Variance(n)
+		if emp > ana*1.6 {
+			t.Errorf("%s: empirical variance %v far above analytic %v", o.Name(), emp, ana)
+		}
+	}
+}

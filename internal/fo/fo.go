@@ -1,0 +1,358 @@
+// Package fo implements the categorical frequency oracle (CFO) protocols of
+// Section 2.1 of the paper: Generalized Randomized Response (GRR), Optimized
+// Local Hashing (OLH) and Hadamard Randomized Response (HRR), together with
+// the variance-based adaptive choice between GRR and OLH.
+//
+// A frequency oracle runs in two halves. On the user side, Perturb randomizes
+// one private value from the discrete domain {0, ..., d−1} into a report; the
+// reporting satisfies ε-LDP. On the aggregator side, Estimate turns the
+// collected reports into unbiased estimates of every value's frequency
+// (fraction of users holding it). Estimates may be negative; see package
+// postprocess for projections back onto the probability simplex.
+package fo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hadamard"
+	"repro/internal/hashx"
+	"repro/internal/randx"
+)
+
+// Oracle is the common surface of the three CFO protocols: a full collection
+// round mapping private values to unbiased frequency estimates, plus the
+// analytic per-estimate variance used for protocol selection.
+type Oracle interface {
+	// Name identifies the protocol ("GRR", "OLH", "HRR").
+	Name() string
+	// Domain returns the input domain size d.
+	Domain() int
+	// Epsilon returns the privacy budget the oracle was built with.
+	Epsilon() float64
+	// Collect perturbs every value (user side) and aggregates the reports
+	// into frequency estimates (aggregator side) in one call.
+	Collect(values []int, rng *randx.Rand) []float64
+	// Variance returns the approximate variance of a single frequency
+	// estimate with n users.
+	Variance(n int) float64
+}
+
+func checkDomainEps(d int, eps float64) {
+	if d < 2 {
+		panic(fmt.Sprintf("fo: domain size %d must be at least 2", d))
+	}
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		panic(fmt.Sprintf("fo: epsilon %v must be a positive finite number", eps))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Generalized Randomized Response
+// ---------------------------------------------------------------------------
+
+// GRR is Generalized Randomized Response: report the true value with
+// probability p = e^ε/(e^ε+d−1) and each other value with probability
+// q = 1/(e^ε+d−1).
+type GRR struct {
+	d    int
+	eps  float64
+	p, q float64
+}
+
+// NewGRR returns a GRR oracle over domain {0..d−1} with budget eps.
+func NewGRR(d int, eps float64) *GRR {
+	checkDomainEps(d, eps)
+	ee := math.Exp(eps)
+	return &GRR{
+		d:   d,
+		eps: eps,
+		p:   ee / (ee + float64(d) - 1),
+		q:   1 / (ee + float64(d) - 1),
+	}
+}
+
+// Name implements Oracle.
+func (g *GRR) Name() string { return "GRR" }
+
+// Domain implements Oracle.
+func (g *GRR) Domain() int { return g.d }
+
+// Epsilon implements Oracle.
+func (g *GRR) Epsilon() float64 { return g.eps }
+
+// P returns the truth-reporting probability.
+func (g *GRR) P() float64 { return g.p }
+
+// Q returns the per-lie probability.
+func (g *GRR) Q() float64 { return g.q }
+
+// Perturb randomizes one private value. It panics if v is outside the domain.
+func (g *GRR) Perturb(v int, rng *randx.Rand) int {
+	if v < 0 || v >= g.d {
+		panic(fmt.Sprintf("fo: GRR value %d outside domain [0,%d)", v, g.d))
+	}
+	if rng.Bernoulli(g.p) {
+		return v
+	}
+	// Uniform over the d−1 other values: draw from [0, d−1) and skip v.
+	other := rng.IntN(g.d - 1)
+	if other >= v {
+		other++
+	}
+	return other
+}
+
+// Estimate converts perturbed reports into unbiased frequency estimates:
+// x̃_v = (C(v)/n − q) / (p − q).
+func (g *GRR) Estimate(reports []int) []float64 {
+	n := len(reports)
+	counts := make([]float64, g.d)
+	for _, r := range reports {
+		counts[r]++
+	}
+	est := make([]float64, g.d)
+	denom := g.p - g.q
+	for v := range est {
+		est[v] = (counts[v]/float64(n) - g.q) / denom
+	}
+	return est
+}
+
+// Collect implements Oracle.
+func (g *GRR) Collect(values []int, rng *randx.Rand) []float64 {
+	reports := make([]int, len(values))
+	for i, v := range values {
+		reports[i] = g.Perturb(v, rng)
+	}
+	return g.Estimate(reports)
+}
+
+// Variance implements Oracle: Var = (d−2+e^ε)/((e^ε−1)²·n) (equation 1).
+func (g *GRR) Variance(n int) float64 {
+	ee := math.Exp(g.eps)
+	return (float64(g.d) - 2 + ee) / ((ee - 1) * (ee - 1) * float64(n))
+}
+
+// ---------------------------------------------------------------------------
+// Optimized Local Hashing
+// ---------------------------------------------------------------------------
+
+// OLH is Optimized Local Hashing: each user hashes its value into a domain of
+// size g = ⌊e^ε⌋+1 with a freshly sampled public hash seed, then applies GRR
+// over the hashed domain and reports (seed, perturbed hash).
+type OLH struct {
+	d     int
+	g     int
+	eps   float64
+	p     float64 // GRR truth probability over the hashed domain
+	fam   hashx.Family
+	inner *GRR
+}
+
+// OLHReport is one user's OLH report: the sampled hash seed and the
+// perturbed hash value.
+type OLHReport struct {
+	Seed uint64
+	Y    int
+}
+
+// NewOLH returns an OLH oracle with the variance-optimal range g = ⌊e^ε⌋+1.
+func NewOLH(d int, eps float64) *OLH {
+	return NewOLHWithG(d, eps, int(math.Floor(math.Exp(eps)))+1)
+}
+
+// NewOLHWithG returns an OLH oracle with an explicit hash range g >= 2
+// (exposed for the g-tradeoff ablation).
+func NewOLHWithG(d int, eps float64, g int) *OLH {
+	checkDomainEps(d, eps)
+	if g < 2 {
+		g = 2
+	}
+	ee := math.Exp(eps)
+	return &OLH{
+		d:     d,
+		g:     g,
+		eps:   eps,
+		p:     ee / (ee + float64(g) - 1),
+		fam:   hashx.NewFamily(g),
+		inner: NewGRR(g, eps),
+	}
+}
+
+// Name implements Oracle.
+func (o *OLH) Name() string { return "OLH" }
+
+// Domain implements Oracle.
+func (o *OLH) Domain() int { return o.d }
+
+// Epsilon implements Oracle.
+func (o *OLH) Epsilon() float64 { return o.eps }
+
+// G returns the hash range size.
+func (o *OLH) G() int { return o.g }
+
+// Perturb hashes v with a fresh seed and perturbs the hash with GRR over
+// [0, g).
+func (o *OLH) Perturb(v int, rng *randx.Rand) OLHReport {
+	if v < 0 || v >= o.d {
+		panic(fmt.Sprintf("fo: OLH value %d outside domain [0,%d)", v, o.d))
+	}
+	seed := rng.Uint64()
+	h := o.fam.Apply(seed, v)
+	return OLHReport{Seed: seed, Y: o.inner.Perturb(h, rng)}
+}
+
+// Estimate computes, for every domain value v, the support count
+// C(v) = |{j : H_seedj(v) = y_j}| and the unbiased estimate
+// x̃_v = (C(v)/n − 1/g) / (p − 1/g).
+//
+// This is the O(n·d) step that dominates OLH aggregation cost.
+func (o *OLH) Estimate(reports []OLHReport) []float64 {
+	n := len(reports)
+	counts := make([]float64, o.d)
+	for _, r := range reports {
+		for v := 0; v < o.d; v++ {
+			if o.fam.Apply(r.Seed, v) == r.Y {
+				counts[v]++
+			}
+		}
+	}
+	est := make([]float64, o.d)
+	invG := 1 / float64(o.g)
+	denom := o.p - invG
+	for v := range est {
+		est[v] = (counts[v]/float64(n) - invG) / denom
+	}
+	return est
+}
+
+// Collect implements Oracle.
+func (o *OLH) Collect(values []int, rng *randx.Rand) []float64 {
+	reports := make([]OLHReport, len(values))
+	for i, v := range values {
+		reports[i] = o.Perturb(v, rng)
+	}
+	return o.Estimate(reports)
+}
+
+// Variance implements Oracle: Var ≈ 4e^ε/((e^ε−1)²·n) at the optimal g.
+func (o *OLH) Variance(n int) float64 {
+	ee := math.Exp(o.eps)
+	return 4 * ee / ((ee - 1) * (ee - 1) * float64(n))
+}
+
+// ---------------------------------------------------------------------------
+// Hadamard Randomized Response
+// ---------------------------------------------------------------------------
+
+// HRR is Hadamard Randomized Response: local hashing with g = 2 where the
+// hash family is the rows of a Hadamard matrix. The domain is padded to the
+// next power of two N; a user samples a row index j uniformly, computes the
+// ±1 entry H[j][v], flips it with probability 1/(e^ε+1) and reports
+// (j, bit). The aggregator averages the bits per row to estimate the
+// Hadamard spectrum of the frequency vector and inverts with the fast
+// Walsh–Hadamard transform.
+type HRR struct {
+	d   int // logical domain
+	n2  int // padded power-of-two size
+	eps float64
+	p   float64
+}
+
+// HRRReport is one user's HRR report: the sampled Hadamard row index and the
+// (possibly flipped) ±1 matrix entry.
+type HRRReport struct {
+	Index int
+	Bit   int8
+}
+
+// NewHRR returns an HRR oracle over domain {0..d−1} with budget eps.
+func NewHRR(d int, eps float64) *HRR {
+	checkDomainEps(d, eps)
+	ee := math.Exp(eps)
+	return &HRR{
+		d:   d,
+		n2:  hadamard.NextPow2(d),
+		eps: eps,
+		p:   ee / (ee + 1),
+	}
+}
+
+// Name implements Oracle.
+func (h *HRR) Name() string { return "HRR" }
+
+// Domain implements Oracle.
+func (h *HRR) Domain() int { return h.d }
+
+// Epsilon implements Oracle.
+func (h *HRR) Epsilon() float64 { return h.eps }
+
+// PaddedSize returns the power-of-two size the domain is embedded into.
+func (h *HRR) PaddedSize() int { return h.n2 }
+
+// Perturb samples a Hadamard row and reports the randomized ±1 entry.
+func (h *HRR) Perturb(v int, rng *randx.Rand) HRRReport {
+	if v < 0 || v >= h.d {
+		panic(fmt.Sprintf("fo: HRR value %d outside domain [0,%d)", v, h.d))
+	}
+	j := rng.IntN(h.n2)
+	bit := int8(hadamard.Entry(j, v))
+	if !rng.Bernoulli(h.p) {
+		bit = -bit
+	}
+	return HRRReport{Index: j, Bit: bit}
+}
+
+// Estimate reconstructs frequency estimates for the d logical values from
+// the reports. Padding positions are estimated too but discarded.
+func (h *HRR) Estimate(reports []HRRReport) []float64 {
+	n := len(reports)
+	// Sum of reported bits per row index.
+	sums := make([]float64, h.n2)
+	for _, r := range reports {
+		sums[r.Index] += float64(r.Bit)
+	}
+	// Unbiased spectrum estimate: each row is sampled with probability
+	// 1/N, and E[bit | row j, value v] = (2p−1)·H[j][v], so
+	// θ̂_j = N/n · Σ bits / (2p−1) estimates θ_j = Σ_v x_v H[j][v].
+	scale := float64(h.n2) / (float64(n) * (2*h.p - 1))
+	for j := range sums {
+		sums[j] *= scale
+	}
+	// x̂ = H·θ̂ / N.
+	hadamard.Inverse(sums)
+	return sums[:h.d:h.d]
+}
+
+// Collect implements Oracle.
+func (h *HRR) Collect(values []int, rng *randx.Rand) []float64 {
+	reports := make([]HRRReport, len(values))
+	for i, v := range values {
+		reports[i] = h.Perturb(v, rng)
+	}
+	return h.Estimate(reports)
+}
+
+// Variance implements Oracle: Var ≈ (e^ε+1)²/((e^ε−1)²·n), the g = 2 local
+// hashing variance.
+func (h *HRR) Variance(n int) float64 {
+	ee := math.Exp(h.eps)
+	r := (ee + 1) / (ee - 1)
+	return r * r / float64(n)
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive choice
+// ---------------------------------------------------------------------------
+
+// Best returns the lower-variance protocol for the given domain size and
+// budget: GRR when d−2 < 3e^ε (equation 1 vs. the OLH variance), otherwise
+// OLH. This is the selection rule of Section 4.1.
+func Best(d int, eps float64) Oracle {
+	checkDomainEps(d, eps)
+	if float64(d)-2 < 3*math.Exp(eps) {
+		return NewGRR(d, eps)
+	}
+	return NewOLH(d, eps)
+}

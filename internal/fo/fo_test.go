@@ -1,0 +1,335 @@
+package fo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+// genValues builds n private values over domain d with a skewed distribution
+// (value i has weight i+1), returning the values and the true frequencies.
+func genValues(n, d int, rng *randx.Rand) ([]int, []float64) {
+	weights := make([]float64, d)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	alias := randx.NewAlias(weights)
+	values := make([]int, n)
+	truth := make([]float64, d)
+	for i := range values {
+		v := alias.Draw(rng)
+		values[i] = v
+		truth[v]++
+	}
+	for i := range truth {
+		truth[i] /= float64(n)
+	}
+	return values, truth
+}
+
+func TestGRRProbabilities(t *testing.T) {
+	g := NewGRR(4, math.Log(3)) // e^eps = 3 → p = 3/6 = 0.5, q = 1/6
+	if !mathx.AlmostEqual(g.P(), 0.5, 1e-12) {
+		t.Errorf("p = %v, want 0.5", g.P())
+	}
+	if !mathx.AlmostEqual(g.Q(), 1.0/6, 1e-12) {
+		t.Errorf("q = %v, want 1/6", g.Q())
+	}
+	// p + (d-1)q = 1.
+	if !mathx.AlmostEqual(g.P()+3*g.Q(), 1, 1e-12) {
+		t.Error("GRR probabilities do not sum to 1")
+	}
+}
+
+func TestGRRSatisfiesLDP(t *testing.T) {
+	// Empirically estimate Pr[Perturb(v1)=y]/Pr[Perturb(v2)=y] and verify
+	// it never exceeds e^eps (within sampling tolerance).
+	const eps = 1.0
+	const d = 8
+	g := NewGRR(d, eps)
+	rng := randx.New(1)
+	const n = 400000
+	counts := make([][]float64, d)
+	for v := 0; v < d; v++ {
+		counts[v] = make([]float64, d)
+		for i := 0; i < n; i++ {
+			counts[v][g.Perturb(v, rng)]++
+		}
+	}
+	limit := math.Exp(eps) * 1.08 // 8% sampling slack
+	for v1 := 0; v1 < d; v1++ {
+		for v2 := 0; v2 < d; v2++ {
+			for y := 0; y < d; y++ {
+				p1 := counts[v1][y] / n
+				p2 := counts[v2][y] / n
+				if p2 == 0 {
+					t.Fatalf("output %d never produced from input %d", y, v2)
+				}
+				if p1/p2 > limit {
+					t.Errorf("LDP ratio Pr[%d→%d]/Pr[%d→%d] = %v exceeds e^ε",
+						v1, y, v2, y, p1/p2)
+				}
+			}
+		}
+	}
+}
+
+func TestGRRUnbiased(t *testing.T) {
+	rng := randx.New(2)
+	const n, d = 200000, 8
+	values, truth := genValues(n, d, rng)
+	g := NewGRR(d, 1.0)
+	est := g.Collect(values, rng)
+	tol := 4 * math.Sqrt(g.Variance(n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("GRR estimate[%d] = %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+	// Estimates sum to ~1 (unbiasedness of the total).
+	if s := mathx.Sum(est); math.Abs(s-1) > 0.05 {
+		t.Errorf("GRR estimates sum to %v", s)
+	}
+}
+
+func TestGRRPerturbPanics(t *testing.T) {
+	g := NewGRR(4, 1)
+	rng := randx.New(3)
+	for _, v := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Perturb(%d) should panic", v)
+				}
+			}()
+			g.Perturb(v, rng)
+		}()
+	}
+}
+
+func TestGRRVarianceEmpirical(t *testing.T) {
+	// The empirical variance of the estimator on a fixed input should
+	// match equation (1).
+	const d = 16
+	const eps = 1.0
+	const n = 5000
+	const trials = 300
+	g := NewGRR(d, eps)
+	rng := randx.New(4)
+	values := make([]int, n) // everyone holds value 0
+	var ests []float64
+	for trial := 0; trial < trials; trial++ {
+		est := g.Collect(values, rng)
+		ests = append(ests, est[3]) // frequency estimate of a non-held value
+	}
+	want := g.Variance(n)
+	got := mathx.Variance(ests)
+	if got < want*0.7 || got > want*1.4 {
+		t.Errorf("empirical GRR variance = %v, analytic %v", got, want)
+	}
+}
+
+func TestOLHParameters(t *testing.T) {
+	o := NewOLH(1024, 1.0)
+	if o.G() != int(math.Floor(math.E))+1 {
+		t.Errorf("g = %d, want %d", o.G(), int(math.Floor(math.E))+1)
+	}
+	if o.Domain() != 1024 {
+		t.Errorf("Domain = %d", o.Domain())
+	}
+	o2 := NewOLHWithG(16, 1.0, 1) // below minimum → clamped to 2
+	if o2.G() != 2 {
+		t.Errorf("clamped g = %d, want 2", o2.G())
+	}
+}
+
+func TestOLHUnbiased(t *testing.T) {
+	rng := randx.New(5)
+	const n, d = 100000, 64
+	values, truth := genValues(n, d, rng)
+	o := NewOLH(d, 2.0)
+	est := o.Collect(values, rng)
+	tol := 5 * math.Sqrt(o.Variance(n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("OLH estimate[%d] = %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+}
+
+func TestOLHVarianceEmpirical(t *testing.T) {
+	const d = 64
+	const eps = 1.0
+	const n = 2000
+	const trials = 200
+	o := NewOLH(d, eps)
+	rng := randx.New(6)
+	values := make([]int, n)
+	var ests []float64
+	for trial := 0; trial < trials; trial++ {
+		est := o.Collect(values, rng)
+		ests = append(ests, est[10])
+	}
+	want := o.Variance(n)
+	got := mathx.Variance(ests)
+	if got < want*0.6 || got > want*1.5 {
+		t.Errorf("empirical OLH variance = %v, analytic %v", got, want)
+	}
+}
+
+func TestHRRUnbiased(t *testing.T) {
+	rng := randx.New(7)
+	const n, d = 200000, 60 // non-power-of-two domain exercises padding
+	values, truth := genValues(n, d, rng)
+	h := NewHRR(d, 1.0)
+	if h.PaddedSize() != 64 {
+		t.Fatalf("PaddedSize = %d, want 64", h.PaddedSize())
+	}
+	est := h.Collect(values, rng)
+	if len(est) != d {
+		t.Fatalf("estimate length = %d, want %d", len(est), d)
+	}
+	tol := 5 * math.Sqrt(h.Variance(n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("HRR estimate[%d] = %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+}
+
+func TestHRRVarianceEmpirical(t *testing.T) {
+	const d = 32
+	const eps = 1.0
+	const n = 2000
+	const trials = 200
+	h := NewHRR(d, eps)
+	rng := randx.New(8)
+	values := make([]int, n)
+	var ests []float64
+	for trial := 0; trial < trials; trial++ {
+		est := h.Collect(values, rng)
+		ests = append(ests, est[5])
+	}
+	want := h.Variance(n)
+	got := mathx.Variance(ests)
+	if got < want*0.6 || got > want*1.5 {
+		t.Errorf("empirical HRR variance = %v, analytic %v", got, want)
+	}
+}
+
+func TestHRRReportsAreBinary(t *testing.T) {
+	h := NewHRR(16, 1.0)
+	rng := randx.New(9)
+	for i := 0; i < 1000; i++ {
+		r := h.Perturb(i%16, rng)
+		if r.Bit != 1 && r.Bit != -1 {
+			t.Fatalf("HRR bit = %d", r.Bit)
+		}
+		if r.Index < 0 || r.Index >= 16 {
+			t.Fatalf("HRR index = %d", r.Index)
+		}
+	}
+}
+
+func TestBestSelection(t *testing.T) {
+	// Small domain → GRR; large domain → OLH; threshold d−2 < 3e^ε.
+	tests := []struct {
+		d    int
+		eps  float64
+		want string
+	}{
+		{4, 0.5, "GRR"},
+		{1024, 0.5, "OLH"},
+		{16, 2.5, "GRR"}, // 14 < 3·e^2.5 ≈ 36.5
+		{64, 1.0, "OLH"}, // 62 > 3·e ≈ 8.2
+	}
+	for _, tc := range tests {
+		if got := Best(tc.d, tc.eps).Name(); got != tc.want {
+			t.Errorf("Best(%d, %v) = %s, want %s", tc.d, tc.eps, got, tc.want)
+		}
+	}
+}
+
+func TestBestVarianceOrdering(t *testing.T) {
+	// The selected oracle must indeed have the lower analytic variance.
+	for _, d := range []int{4, 16, 64, 256} {
+		for _, eps := range []float64{0.5, 1, 2, 3} {
+			grr := NewGRR(d, eps)
+			olh := NewOLH(d, eps)
+			best := Best(d, eps)
+			minVar := math.Min(grr.Variance(1000), olh.Variance(1000))
+			if best.Variance(1000) > minVar*1.0001 {
+				t.Errorf("Best(%d,%v)=%s is not the min-variance choice", d, eps, best.Name())
+			}
+		}
+	}
+}
+
+func TestOracleConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewGRR(1, 1) },
+		func() { NewGRR(4, 0) },
+		func() { NewGRR(4, math.Inf(1)) },
+		func() { NewOLH(4, -1) },
+		func() { NewHRR(0, 1) },
+		func() { Best(1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkGRRPerturb(b *testing.B) {
+	g := NewGRR(1024, 1)
+	rng := randx.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Perturb(i&1023, rng)
+	}
+}
+
+func BenchmarkOLHPerturb(b *testing.B) {
+	o := NewOLH(1024, 1)
+	rng := randx.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Perturb(i&1023, rng)
+	}
+}
+
+func BenchmarkOLHEstimate(b *testing.B) {
+	o := NewOLH(256, 1)
+	rng := randx.New(1)
+	reports := make([]OLHReport, 10000)
+	for i := range reports {
+		reports[i] = o.Perturb(i&255, rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Estimate(reports)
+	}
+}
+
+func BenchmarkHRRCollect(b *testing.B) {
+	h := NewHRR(1024, 1)
+	rng := randx.New(1)
+	values := make([]int, 10000)
+	for i := range values {
+		values[i] = i & 1023
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Collect(values, rng)
+	}
+}

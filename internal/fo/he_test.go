@@ -1,0 +1,180 @@
+package fo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+func TestLaplaceSampler(t *testing.T) {
+	r := randx.New(1)
+	const n = 400000
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		v := r.Laplace(2)
+		sum += v
+		sumAbs += math.Abs(v)
+	}
+	if got := sum / n; math.Abs(got) > 0.02 {
+		t.Errorf("Laplace mean = %v, want 0", got)
+	}
+	// E|X| = scale.
+	if got := sumAbs / n; math.Abs(got-2) > 0.03 {
+		t.Errorf("Laplace E|X| = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Laplace(0) should panic")
+		}
+	}()
+	r.Laplace(0)
+}
+
+func TestSHEUnbiased(t *testing.T) {
+	rng := randx.New(2)
+	const n, d = 50000, 16
+	values, truth := genValues(n, d, rng)
+	s := NewSHE(d, 1)
+	est := s.Collect(values, rng)
+	tol := 5 * math.Sqrt(s.Variance(n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("SHE estimate[%d] = %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+}
+
+func TestSHEVarianceEmpirical(t *testing.T) {
+	const d = 8
+	const n = 2000
+	const trials = 200
+	s := NewSHE(d, 1)
+	rng := randx.New(3)
+	values := make([]int, n)
+	var ests []float64
+	for trial := 0; trial < trials; trial++ {
+		est := s.Collect(values, rng)
+		ests = append(ests, est[3])
+	}
+	want := s.Variance(n)
+	got := mathx.Variance(ests)
+	if got < want*0.7 || got > want*1.4 {
+		t.Errorf("empirical SHE variance = %v, analytic %v", got, want)
+	}
+}
+
+func TestSHEPerturbShape(t *testing.T) {
+	s := NewSHE(8, 1)
+	rng := randx.New(4)
+	rep := s.Perturb(3, rng)
+	if len(rep) != 8 {
+		t.Fatalf("report length %d", len(rep))
+	}
+	// Averaged over many perturbations, bin 3 exceeds the others by ~1.
+	const n = 100000
+	sums := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		for j, v := range s.Perturb(3, rng) {
+			sums[j] += v
+		}
+	}
+	for j := range sums {
+		want := 0.0
+		if j == 3 {
+			want = 1
+		}
+		if math.Abs(sums[j]/n-want) > 0.05 {
+			t.Errorf("bin %d mean = %v, want %v", j, sums[j]/n, want)
+		}
+	}
+}
+
+func TestTHEUnbiased(t *testing.T) {
+	rng := randx.New(5)
+	const n, d = 50000, 16
+	values, truth := genValues(n, d, rng)
+	th := NewTHE(d, 1, 0.67)
+	est := th.Collect(values, rng)
+	tol := 5 * math.Sqrt(th.Variance(n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("THE estimate[%d] = %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+}
+
+func TestTHEBitProbabilities(t *testing.T) {
+	th := NewTHE(8, 1, 0.67)
+	rng := randx.New(6)
+	const n = 200000
+	ones := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		for j, b := range th.Perturb(2, rng) {
+			if b {
+				ones[j]++
+			}
+		}
+	}
+	for j := range ones {
+		got := ones[j] / n
+		want := th.q
+		if j == 2 {
+			want = th.p
+		}
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("bin %d set with frequency %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestTHEBeatsSHEAtModerateEps(t *testing.T) {
+	// Wang et al.: thresholding improves on summation for ε in the
+	// practical range.
+	for _, eps := range []float64{1.0, 2.0} {
+		she := NewSHE(32, eps).Variance(1000)
+		the := NewTHE(32, eps, 0.67).Variance(1000)
+		if the >= she {
+			t.Errorf("eps=%v: THE var %v should beat SHE var %v", eps, the, she)
+		}
+	}
+}
+
+func TestTHEPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewTHE(8, 1, 0.5) },
+		func() { NewTHE(8, 1, 1.0) },
+		func() { NewTHE(1, 1, 0.67) },
+		func() { NewSHE(8, 1).Perturb(8, randx.New(1)) },
+		func() { NewTHE(8, 1, 0.67).Perturb(-1, randx.New(1)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOracleFamilyVarianceOrdering(t *testing.T) {
+	// At ε = 1, d = 64 the known ordering of the CFO family holds:
+	// OLH = OUE < SUE < SHE, and GRR (d-dependent) is worst at large d.
+	const d, eps, n = 64, 1.0, 1000
+	olh := NewOLH(d, eps).Variance(n)
+	oue := NewOUE(d, eps).Variance(n)
+	sue := NewSUE(d, eps).Variance(n)
+	she := NewSHE(d, eps).Variance(n)
+	grr := NewGRR(d, eps).Variance(n)
+	if !mathx.AlmostEqual(olh, oue, 1e-15) {
+		t.Errorf("OLH %v != OUE %v", olh, oue)
+	}
+	if !(oue < sue && sue < she && she < grr) {
+		t.Errorf("variance ordering violated: OUE %v, SUE %v, SHE %v, GRR %v",
+			oue, sue, she, grr)
+	}
+}

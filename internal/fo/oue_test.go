@@ -1,0 +1,148 @@
+package fo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+func TestOUEParameters(t *testing.T) {
+	o := NewOUE(16, 1)
+	if o.P() != 0.5 {
+		t.Errorf("p = %v, want 0.5", o.P())
+	}
+	if !mathx.AlmostEqual(o.Q(), 1/(math.E+1), 1e-12) {
+		t.Errorf("q = %v, want 1/(e+1)", o.Q())
+	}
+	if o.Name() != "OUE" || o.Domain() != 16 || o.Epsilon() != 1 {
+		t.Errorf("metadata wrong: %s %d %v", o.Name(), o.Domain(), o.Epsilon())
+	}
+}
+
+func TestOUEPerturbBitProbabilities(t *testing.T) {
+	o := NewOUE(8, 1)
+	rng := randx.New(1)
+	const n = 200000
+	ones := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		bits := o.Perturb(3, rng)
+		for v, b := range bits {
+			if b {
+				ones[v]++
+			}
+		}
+	}
+	for v := range ones {
+		got := ones[v] / n
+		want := o.Q()
+		if v == 3 {
+			want = o.P()
+		}
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("bit %d set with frequency %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestOUEUnbiased(t *testing.T) {
+	rng := randx.New(2)
+	const n, d = 100000, 32
+	values, truth := genValues(n, d, rng)
+	o := NewOUE(d, 1)
+	est := o.Collect(values, rng)
+	tol := 5 * math.Sqrt(o.Variance(n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("OUE estimate[%d] = %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+}
+
+func TestOUEEstimateMatchesCollect(t *testing.T) {
+	// Collect (streaming counts) and Estimate (materialized reports) must
+	// implement the same estimator.
+	o := NewOUE(8, 1)
+	rngA, rngB := randx.New(3), randx.New(3)
+	values := []int{0, 1, 2, 3, 4, 5, 6, 7, 0, 0}
+
+	fromCollect := o.Collect(values, rngA)
+
+	reports := make([][]bool, len(values))
+	for i, v := range values {
+		reports[i] = o.Perturb(v, rngB)
+	}
+	fromEstimate := o.Estimate(reports)
+
+	if mathx.L1(fromCollect, fromEstimate) > 1e-12 {
+		t.Error("Collect and Estimate disagree under the same random stream")
+	}
+}
+
+func TestOUEVarianceMatchesOLH(t *testing.T) {
+	// OUE is calibrated to hit exactly the OLH variance.
+	for _, eps := range []float64{0.5, 1, 2} {
+		oue := NewOUE(64, eps)
+		olh := NewOLH(64, eps)
+		if !mathx.AlmostEqual(oue.Variance(1000), olh.Variance(1000), 1e-12) {
+			t.Errorf("eps=%v: OUE var %v != OLH var %v", eps,
+				oue.Variance(1000), olh.Variance(1000))
+		}
+	}
+}
+
+func TestOUEVarianceEmpirical(t *testing.T) {
+	const d = 32
+	const n = 2000
+	const trials = 200
+	o := NewOUE(d, 1)
+	rng := randx.New(4)
+	values := make([]int, n)
+	var ests []float64
+	for trial := 0; trial < trials; trial++ {
+		est := o.Collect(values, rng)
+		ests = append(ests, est[7])
+	}
+	want := o.Variance(n)
+	got := mathx.Variance(ests)
+	if got < want*0.6 || got > want*1.5 {
+		t.Errorf("empirical OUE variance = %v, analytic %v", got, want)
+	}
+}
+
+func TestOUEPanics(t *testing.T) {
+	o := NewOUE(4, 1)
+	rng := randx.New(5)
+	cases := []func(){
+		func() { o.Perturb(4, rng) },
+		func() { o.Perturb(-1, rng) },
+		func() { o.Collect([]int{5}, rng) },
+		func() { o.Estimate([][]bool{{true}}) },
+		func() { NewOUE(1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkOUECollect(b *testing.B) {
+	o := NewOUE(256, 1)
+	rng := randx.New(1)
+	values := make([]int, 1000)
+	for i := range values {
+		values[i] = i & 255
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Collect(values, rng)
+	}
+}

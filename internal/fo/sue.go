@@ -1,0 +1,92 @@
+package fo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// SUE is Symmetric Unary Encoding — the randomization core of basic one-time
+// RAPPOR (Erlingsson et al., CCS 2014): the value is one-hot encoded and
+// every bit is flipped symmetrically, keeping its value with probability
+// e^{ε/2}/(e^{ε/2}+1). Included alongside OUE so the repository covers the
+// deployed-system encoding the paper's introduction cites; OUE strictly
+// dominates it in variance (Wang et al.), which the tests verify.
+type SUE struct {
+	d   int
+	eps float64
+	p   float64 // probability a 1-bit stays 1
+	q   float64 // probability a 0-bit flips to 1 (= 1−p)
+}
+
+// NewSUE returns a SUE oracle over domain {0..d−1} with budget eps.
+func NewSUE(d int, eps float64) *SUE {
+	checkDomainEps(d, eps)
+	half := math.Exp(eps / 2)
+	return &SUE{d: d, eps: eps, p: half / (half + 1), q: 1 / (half + 1)}
+}
+
+// Name implements Oracle.
+func (s *SUE) Name() string { return "SUE" }
+
+// Domain implements Oracle.
+func (s *SUE) Domain() int { return s.d }
+
+// Epsilon implements Oracle.
+func (s *SUE) Epsilon() float64 { return s.eps }
+
+// P returns the keep probability of a 1-bit.
+func (s *SUE) P() float64 { return s.p }
+
+// Q returns the flip-on probability of a 0-bit.
+func (s *SUE) Q() float64 { return s.q }
+
+// Perturb one-hot encodes v and flips every bit symmetrically.
+func (s *SUE) Perturb(v int, rng *randx.Rand) []bool {
+	if v < 0 || v >= s.d {
+		panic(fmt.Sprintf("fo: SUE value %d outside domain [0,%d)", v, s.d))
+	}
+	bits := make([]bool, s.d)
+	for i := range bits {
+		if i == v {
+			bits[i] = rng.Bernoulli(s.p)
+		} else {
+			bits[i] = rng.Bernoulli(s.q)
+		}
+	}
+	return bits
+}
+
+// Collect implements Oracle.
+func (s *SUE) Collect(values []int, rng *randx.Rand) []float64 {
+	counts := make([]float64, s.d)
+	n := len(values)
+	for _, v := range values {
+		if v < 0 || v >= s.d {
+			panic(fmt.Sprintf("fo: SUE value %d outside domain [0,%d)", v, s.d))
+		}
+		for i := 0; i < s.d; i++ {
+			p := s.q
+			if i == v {
+				p = s.p
+			}
+			if rng.Bernoulli(p) {
+				counts[i]++
+			}
+		}
+	}
+	est := make([]float64, s.d)
+	denom := s.p - s.q
+	for v := range est {
+		est[v] = (counts[v]/float64(n) - s.q) / denom
+	}
+	return est
+}
+
+// Variance implements Oracle:
+// Var = e^{ε/2} / ((e^{ε/2}−1)²·n), always at least the OUE variance.
+func (s *SUE) Variance(n int) float64 {
+	half := math.Exp(s.eps / 2)
+	return half / ((half - 1) * (half - 1) * float64(n))
+}

@@ -1,0 +1,90 @@
+package fo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+func TestSUEParameters(t *testing.T) {
+	s := NewSUE(8, 2) // e^{eps/2} = e
+	if !mathx.AlmostEqual(s.P(), math.E/(math.E+1), 1e-12) {
+		t.Errorf("p = %v", s.P())
+	}
+	if !mathx.AlmostEqual(s.P()+s.Q(), 1, 1e-12) {
+		t.Error("SUE probabilities must be symmetric (p + q = 1)")
+	}
+}
+
+func TestSUESatisfiesLDPBound(t *testing.T) {
+	// For symmetric flipping, the worst-case likelihood ratio of a full
+	// bit vector is (p/q)² = e^ε, exactly the budget.
+	for _, eps := range []float64{0.5, 1, 2} {
+		s := NewSUE(8, eps)
+		ratio := (s.P() / s.Q()) * (s.P() / s.Q())
+		if !mathx.AlmostEqual(ratio, math.Exp(eps), 1e-9) {
+			t.Errorf("eps=%v: (p/q)² = %v, want e^ε = %v", eps, ratio, math.Exp(eps))
+		}
+	}
+}
+
+func TestSUEUnbiased(t *testing.T) {
+	rng := randx.New(1)
+	const n, d = 100000, 16
+	values, truth := genValues(n, d, rng)
+	s := NewSUE(d, 1)
+	est := s.Collect(values, rng)
+	tol := 5 * math.Sqrt(s.Variance(n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("SUE estimate[%d] = %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+}
+
+func TestOUEDominatesSUE(t *testing.T) {
+	// Wang et al.: OUE's variance is never worse than SUE's.
+	for _, eps := range []float64{0.25, 0.5, 1, 2, 4} {
+		oue := NewOUE(32, eps).Variance(1000)
+		sue := NewSUE(32, eps).Variance(1000)
+		if oue > sue*1.0001 {
+			t.Errorf("eps=%v: OUE var %v exceeds SUE var %v", eps, oue, sue)
+		}
+	}
+}
+
+func TestSUEVarianceEmpirical(t *testing.T) {
+	const d = 16
+	const n = 2000
+	const trials = 200
+	s := NewSUE(d, 1)
+	rng := randx.New(2)
+	values := make([]int, n)
+	var ests []float64
+	for trial := 0; trial < trials; trial++ {
+		est := s.Collect(values, rng)
+		ests = append(ests, est[5])
+	}
+	want := s.Variance(n)
+	got := mathx.Variance(ests)
+	if got < want*0.6 || got > want*1.5 {
+		t.Errorf("empirical SUE variance = %v, analytic %v", got, want)
+	}
+}
+
+func TestSUEPanics(t *testing.T) {
+	s := NewSUE(4, 1)
+	rng := randx.New(3)
+	for _, v := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Perturb(%d) should panic", v)
+				}
+			}()
+			s.Perturb(v, rng)
+		}()
+	}
+}

@@ -1,0 +1,78 @@
+// Package hashx implements the seeded 64-bit hash family used by the
+// Optimized Local Hashing (OLH) frequency oracle. OLH requires a public
+// family of hash functions H_s : {0..d-1} → {0..g-1} indexed by a seed s that
+// each user samples uniformly; the aggregator must be able to re-evaluate
+// any user's hash on any domain value. A keyed xxhash64-style finalizer over
+// the (seed, value) pair provides exactly that with good avalanche behaviour
+// and zero allocations per call.
+package hashx
+
+const (
+	prime1 = 0x9E3779B185EBCA87
+	prime2 = 0xC2B2AE3D27D4EB4F
+	prime3 = 0x165667B19E3779F9
+	prime4 = 0x85EBCA77C2B2AE63
+	prime5 = 0x27D4EB2F165667C5
+)
+
+// Hash64 mixes a seed and a 64-bit value into a 64-bit digest using the
+// xxhash64 single-lane routine (the input is always exactly 8 bytes, so the
+// striped body of full xxhash64 never runs).
+func Hash64(seed, v uint64) uint64 {
+	h := seed + prime5 + 8
+	k := v * prime2
+	k = rotl(k, 31)
+	k *= prime1
+	h ^= k
+	h = rotl(h, 27)*prime1 + prime4
+	// Finalization (avalanche).
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func rotl(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+// Family is a public hash family H_s : {0,...,d-1} → {0,...,g-1}. The zero
+// value is unusable; construct with NewFamily.
+type Family struct {
+	g uint64
+}
+
+// NewFamily returns a hash family with range size g >= 2.
+func NewFamily(g int) Family {
+	if g < 2 {
+		panic("hashx: family range must be at least 2")
+	}
+	return Family{g: uint64(g)}
+}
+
+// G returns the range size of the family.
+func (f Family) G() int { return int(f.g) }
+
+// Apply evaluates the seed-th member of the family on value v, returning a
+// bucket in [0, g).
+func (f Family) Apply(seed uint64, v int) int {
+	// Multiply-shift reduction avoids the modulo bias a plain % would
+	// introduce and is faster than a division.
+	h := Hash64(seed, uint64(v))
+	hi, _ := mul64(h, f.g)
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo). Implemented
+// manually so the package has no dependency beyond the language; the
+// compiler lowers this to a single MUL on amd64/arm64.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}

@@ -1,0 +1,140 @@
+package hashx
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2) != Hash64(1, 2) {
+		t.Error("Hash64 not deterministic")
+	}
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Error("seed and value are interchangeable; mixing is too weak")
+	}
+	if Hash64(0, 0) == Hash64(0, 1) {
+		t.Error("adjacent values collide under seed 0")
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	var totalFlips, trials int
+	for seed := uint64(0); seed < 16; seed++ {
+		for bit := 0; bit < 64; bit++ {
+			a := Hash64(seed, 12345)
+			b := Hash64(seed, 12345^(1<<bit))
+			totalFlips += bits.OnesCount64(a ^ b)
+			trials++
+		}
+	}
+	avg := float64(totalFlips) / float64(trials)
+	if avg < 28 || avg > 36 {
+		t.Errorf("avalanche average = %v flipped bits, want ~32", avg)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	tests := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, tc := range tests {
+		hi, lo := mul64(tc.a, tc.b)
+		if hi != tc.hi || lo != tc.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", tc.a, tc.b, hi, lo, tc.hi, tc.lo)
+		}
+	}
+}
+
+func TestMul64MatchesBits(t *testing.T) {
+	err := quick.Check(func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		whi, wlo := bits.Mul64(a, b)
+		return hi == whi && lo == wlo
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFamilyRange(t *testing.T) {
+	f := NewFamily(7)
+	if f.G() != 7 {
+		t.Fatalf("G = %d", f.G())
+	}
+	for seed := uint64(0); seed < 100; seed++ {
+		for v := 0; v < 50; v++ {
+			h := f.Apply(seed, v)
+			if h < 0 || h >= 7 {
+				t.Fatalf("Apply(%d,%d) = %d out of range", seed, v, h)
+			}
+		}
+	}
+}
+
+func TestFamilyUniformity(t *testing.T) {
+	// Over many seeds, each value should hash approximately uniformly
+	// across the g buckets; this is what OLH's unbiasedness relies on.
+	const g = 8
+	f := NewFamily(g)
+	const seeds = 80000
+	for _, v := range []int{0, 1, 500, 1023} {
+		counts := make([]int, g)
+		for seed := uint64(0); seed < seeds; seed++ {
+			counts[f.Apply(seed, v)]++
+		}
+		for b, c := range counts {
+			got := float64(c) / seeds
+			if math.Abs(got-1.0/g) > 0.01 {
+				t.Errorf("value %d bucket %d frequency = %v, want %v", v, b, got, 1.0/g)
+			}
+		}
+	}
+}
+
+func TestFamilyPairwiseCollisions(t *testing.T) {
+	// For two distinct values the collision rate over random seeds should
+	// be close to 1/g (pairwise near-uniformity).
+	const g = 16
+	f := NewFamily(g)
+	const seeds = 100000
+	pairs := [][2]int{{0, 1}, {3, 900}, {511, 512}}
+	for _, p := range pairs {
+		coll := 0
+		for seed := uint64(0); seed < seeds; seed++ {
+			if f.Apply(seed, p[0]) == f.Apply(seed, p[1]) {
+				coll++
+			}
+		}
+		got := float64(coll) / seeds
+		if math.Abs(got-1.0/g) > 0.005 {
+			t.Errorf("pair %v collision rate = %v, want %v", p, got, 1.0/g)
+		}
+	}
+}
+
+func TestNewFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFamily(1) should panic")
+		}
+	}()
+	NewFamily(1)
+}
+
+func BenchmarkFamilyApply(b *testing.B) {
+	f := NewFamily(16)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += f.Apply(uint64(i), i&1023)
+	}
+	_ = sink
+}

@@ -1,0 +1,89 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestCollectBudgetSplitShape(t *testing.T) {
+	rng := randx.New(1)
+	values, _ := genLeafValues(20000, 64, rng)
+	hh := NewHH(64, 4, 1)
+	est := hh.CollectBudgetSplit(values, rng)
+	est.Tree.CheckLevels(est.Levels)
+	if est.Levels[0][0] != 1 {
+		t.Errorf("root = %v", est.Levels[0][0])
+	}
+}
+
+func TestPopulationSplitBeatsBudgetSplitInLDP(t *testing.T) {
+	// The Section 4.2 claim: in the local setting, dividing the population
+	// yields better range queries than dividing the budget. Averaged over
+	// seeds to keep the test stable.
+	const d = 256
+	const eps = 1.0
+	var popMAE, budMAE float64
+	const runs = 5
+	for run := 0; run < runs; run++ {
+		rng := randx.New(uint64(100 + run))
+		values, truth := genLeafValues(30000, d, rng)
+		hh := NewHH(d, 4, eps)
+		pop := hh.Collect(values, rng).ConstrainedInference()
+		bud := hh.CollectBudgetSplit(values, rng).ConstrainedInference()
+		popMAE += RangeMAEEstimate(pop, truth, d/10)
+		budMAE += RangeMAEEstimate(bud, truth, d/10)
+	}
+	if popMAE >= budMAE {
+		t.Errorf("population split MAE %v should beat budget split MAE %v",
+			popMAE/runs, budMAE/runs)
+	}
+}
+
+func TestRangeMAEEstimatePerfectEstimate(t *testing.T) {
+	// An estimate equal to the truth has zero range error.
+	tr := NewTree(64, 4)
+	rng := randx.New(2)
+	_, truth := genLeafValues(10000, 64, rng)
+	est := &Estimate{Tree: tr, Levels: tr.TrueLevels(truth)}
+	if got := RangeMAEEstimate(est, truth, 16); got > 1e-12 {
+		t.Errorf("perfect estimate MAE = %v", got)
+	}
+}
+
+func TestRangeMAEEstimatePanics(t *testing.T) {
+	tr := NewTree(16, 4)
+	est := &Estimate{Tree: tr, Levels: tr.NewLevels()}
+	cases := []func(){
+		func() { RangeMAEEstimate(est, make([]float64, 8), 4) },
+		func() { RangeMAEEstimate(est, make([]float64, 16), 0) },
+		func() { RangeMAEEstimate(est, make([]float64, 16), 17) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBranchingFactorSweep(t *testing.T) {
+	// Sanity of the β ablation machinery: all branching factors produce
+	// working protocols on a 4096-leaf domain (4096 = 2^12 = 4^6 = 8^4 =
+	// 16^3).
+	const d = 4096
+	rng := randx.New(3)
+	values, truth := genLeafValues(20000, d, rng)
+	for _, beta := range []int{2, 4, 8, 16} {
+		hh := NewHH(d, beta, 1)
+		est := hh.Collect(values, rng).ConstrainedInference()
+		mae := RangeMAEEstimate(est, truth, d/10)
+		if mae <= 0 || mae > 0.2 {
+			t.Errorf("beta=%d: range MAE = %v out of sane bounds", beta, mae)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+func TestNewTree(t *testing.T) {
+	tr := NewTree(64, 4)
+	if tr.Height() != 3 || tr.D() != 64 || tr.Beta() != 4 {
+		t.Fatalf("tree = %+v", tr)
+	}
+	sizes := []int{1, 4, 16, 64}
+	for l, want := range sizes {
+		if got := tr.LevelSize(l); got != want {
+			t.Errorf("LevelSize(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestNewTreePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewTree(60, 4) }, // not a power
+		func() { NewTree(4, 1) },  // beta < 2
+		func() { NewTree(2, 4) },  // d < beta
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAncestorChildrenLeafSpan(t *testing.T) {
+	tr := NewTree(16, 4)
+	if got := tr.Ancestor(13, 1); got != 3 {
+		t.Errorf("Ancestor(13,1) = %d, want 3", got)
+	}
+	if got := tr.Ancestor(13, 2); got != 13 {
+		t.Errorf("Ancestor(13,2) = %d, want 13", got)
+	}
+	lo, hi := tr.Children(2, 1)
+	if lo != 8 || hi != 12 {
+		t.Errorf("Children(2,1) = [%d,%d)", lo, hi)
+	}
+	lo, hi = tr.LeafSpan(2, 1)
+	if lo != 8 || hi != 12 {
+		t.Errorf("LeafSpan(2,1) = [%d,%d)", lo, hi)
+	}
+	lo, hi = tr.LeafSpan(0, 0)
+	if lo != 0 || hi != 16 {
+		t.Errorf("LeafSpan(root) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestTrueLevelsAndResidual(t *testing.T) {
+	tr := NewTree(8, 2)
+	dist := []float64{0.1, 0.1, 0.2, 0, 0.3, 0.1, 0.1, 0.1}
+	levels := tr.TrueLevels(dist)
+	if !mathx.AlmostEqual(levels[0][0], 1, 1e-12) {
+		t.Errorf("root = %v", levels[0][0])
+	}
+	if !mathx.AlmostEqual(levels[1][0], 0.4, 1e-12) {
+		t.Errorf("left half = %v", levels[1][0])
+	}
+	if got := tr.ConsistencyResidual(levels); got > 1e-12 {
+		t.Errorf("true levels have residual %v", got)
+	}
+	levels[1][0] += 0.5
+	if got := tr.ConsistencyResidual(levels); !mathx.AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("perturbed residual = %v, want 0.5", got)
+	}
+}
+
+func TestRangeNodesPartition(t *testing.T) {
+	tr := NewTree(64, 4)
+	rng := randx.New(1)
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.Split(seed)
+		lo := r.IntN(64)
+		hi := lo + r.IntN(64-lo+1)
+		nodes := tr.RangeNodes(lo, hi)
+		// Union of leaf spans must be exactly [lo, hi) without overlap.
+		covered := make([]int, 64)
+		for _, nd := range nodes {
+			l, h := tr.LeafSpan(nd.Index, nd.Level)
+			for i := l; i < h; i++ {
+				covered[i]++
+			}
+		}
+		for i := 0; i < 64; i++ {
+			want := 0
+			if i >= lo && i < hi {
+				want = 1
+			}
+			if covered[i] != want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeNodesIsCompact(t *testing.T) {
+	tr := NewTree(1024, 4)
+	// A full-domain query must be answered by the root alone.
+	nodes := tr.RangeNodes(0, 1024)
+	if len(nodes) != 1 || nodes[0].Level != 0 {
+		t.Errorf("full-domain decomposition = %v", nodes)
+	}
+	// Any query needs at most (β−1)·h·2 nodes.
+	maxNodes := (4 - 1) * tr.Height() * 2
+	for lo := 0; lo < 1024; lo += 97 {
+		for hi := lo + 1; hi <= 1024; hi += 131 {
+			if got := len(tr.RangeNodes(lo, hi)); got > maxNodes {
+				t.Fatalf("range [%d,%d) uses %d nodes > %d", lo, hi, got, maxNodes)
+			}
+		}
+	}
+}
+
+// genLeafValues draws n leaf values from a fixed skewed distribution.
+func genLeafValues(n, d int, rng *randx.Rand) ([]int, []float64) {
+	weights := make([]float64, d)
+	for i := range weights {
+		// Smooth unimodal shape peaking around d/3.
+		x := float64(i)/float64(d) - 0.33
+		weights[i] = math.Exp(-20 * x * x)
+	}
+	alias := randx.NewAlias(weights)
+	values := make([]int, n)
+	truth := make([]float64, d)
+	for i := range values {
+		v := alias.Draw(rng)
+		values[i] = v
+		truth[v]++
+	}
+	for i := range truth {
+		truth[i] /= float64(n)
+	}
+	return values, truth
+}
+
+func TestHHCollectShape(t *testing.T) {
+	rng := randx.New(2)
+	values, _ := genLeafValues(20000, 64, rng)
+	hh := NewHH(64, 4, 1)
+	est := hh.Collect(values, rng)
+	est.Tree.CheckLevels(est.Levels)
+	if est.Levels[0][0] != 1 {
+		t.Errorf("root = %v, want 1", est.Levels[0][0])
+	}
+	if len(est.Leaves()) != 64 {
+		t.Errorf("leaves length %d", len(est.Leaves()))
+	}
+}
+
+func TestHHLevelEstimatesUnbiased(t *testing.T) {
+	// Level-1 estimates (4 nodes) should be close to the true quarters.
+	rng := randx.New(3)
+	values, truth := genLeafValues(100000, 64, rng)
+	tr := NewTree(64, 4)
+	trueLv := tr.TrueLevels(truth)
+	hh := NewHH(64, 4, 2)
+	est := hh.Collect(values, rng)
+	for i := 0; i < 4; i++ {
+		if math.Abs(est.Levels[1][i]-trueLv[1][i]) > 0.05 {
+			t.Errorf("level-1 node %d: est %v, truth %v", i, est.Levels[1][i], trueLv[1][i])
+		}
+	}
+}
+
+func TestConstrainedInferenceMakesConsistent(t *testing.T) {
+	rng := randx.New(4)
+	values, _ := genLeafValues(30000, 64, rng)
+	hh := NewHH(64, 4, 1)
+	est := hh.Collect(values, rng)
+	ci := est.ConstrainedInference()
+	if got := ci.Tree.ConsistencyResidual(ci.Levels); got > 1e-9 {
+		t.Errorf("post-CI residual = %v", got)
+	}
+}
+
+func TestConstrainedInferenceIsProjection(t *testing.T) {
+	// Idempotence: applying CI to already-consistent levels is identity.
+	tr := NewTree(16, 4)
+	truth := make([]float64, 16)
+	for i := range truth {
+		truth[i] = float64(i + 1)
+	}
+	mathx.Normalize(truth)
+	levels := tr.TrueLevels(truth)
+	est := &Estimate{Tree: tr, Levels: levels}
+	ci := est.ConstrainedInference()
+	for l := range levels {
+		if mathx.L1(ci.Levels[l], levels[l]) > 1e-9 {
+			t.Errorf("CI moved consistent level %d", l)
+		}
+	}
+}
+
+func TestConstrainedInferenceIsOrthogonalProjection(t *testing.T) {
+	// For any noisy levels, CI output must be (a) consistent and (b) at
+	// least as close in L2 to the input as any other consistent candidate
+	// we probe (orthogonal projection property).
+	tr := NewTree(16, 2)
+	rng := randx.New(5)
+	for trial := 0; trial < 20; trial++ {
+		noisy := tr.NewLevels()
+		for l := range noisy {
+			for i := range noisy[l] {
+				noisy[l][i] = rng.Normal(0, 1)
+			}
+		}
+		ci := (&Estimate{Tree: tr, Levels: noisy}).ConstrainedInference()
+		if got := tr.ConsistencyResidual(ci.Levels); got > 1e-9 {
+			t.Fatalf("CI residual = %v", got)
+		}
+		dist := func(a [][]float64) float64 {
+			var acc float64
+			for l := range a {
+				for i := range a[l] {
+					d := a[l][i] - noisy[l][i]
+					acc += d * d
+				}
+			}
+			return acc
+		}
+		base := dist(ci.Levels)
+		// Probe random consistent candidates built from random leaves.
+		for probe := 0; probe < 50; probe++ {
+			leaves := make([]float64, 16)
+			for i := range leaves {
+				leaves[i] = ci.Levels[tr.Height()][i] + rng.Normal(0, 0.05)
+			}
+			cand := tr.TrueLevels(leaves)
+			if dist(cand) < base-1e-9 {
+				t.Fatalf("trial %d: found consistent candidate closer than CI", trial)
+			}
+		}
+	}
+}
+
+func TestHHRangeCountMatchesLeafSumAfterCI(t *testing.T) {
+	rng := randx.New(6)
+	values, _ := genLeafValues(30000, 64, rng)
+	hh := NewHH(64, 4, 1)
+	ci := hh.Collect(values, rng).ConstrainedInference()
+	leaves := ci.Leaves()
+	for _, r := range [][2]int{{0, 64}, {5, 20}, {32, 33}, {10, 10}} {
+		var leafSum float64
+		for i := r[0]; i < r[1]; i++ {
+			leafSum += leaves[i]
+		}
+		if got := ci.RangeCount(r[0], r[1]); !mathx.AlmostEqual(got, leafSum, 1e-9) {
+			t.Errorf("range [%d,%d): decomposition %v != leaf sum %v", r[0], r[1], got, leafSum)
+		}
+	}
+}
+
+func TestHHRangeQueryAccuracy(t *testing.T) {
+	rng := randx.New(7)
+	const d = 256
+	values, truth := genLeafValues(200000, d, rng)
+	hh := NewHH(d, 4, 2)
+	ci := hh.Collect(values, rng).ConstrainedInference()
+	var worst float64
+	for lo := 0; lo < d; lo += 37 {
+		hi := lo + d/10
+		if hi > d {
+			hi = d
+		}
+		var want float64
+		for i := lo; i < hi; i++ {
+			want += truth[i]
+		}
+		if err := math.Abs(ci.RangeCount(lo, hi) - want); err > worst {
+			worst = err
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("worst range-query error = %v", worst)
+	}
+}
+
+func TestHaarExactCoefficients(t *testing.T) {
+	tr := NewTree(4, 2)
+	dist := []float64{0.5, 0.25, 0.25, 0}
+	coeffs := ExactCoefficients(tr, dist)
+	// Height 2 (root): (0.75 − 0.25)/2 = 0.25.
+	if !mathx.AlmostEqual(coeffs[2][0], 0.25, 1e-12) {
+		t.Errorf("root coeff = %v, want 0.25", coeffs[2][0])
+	}
+	// Height 1: (0.5−0.25)/√2 and (0.25−0)/√2.
+	if !mathx.AlmostEqual(coeffs[1][0], 0.25/math.Sqrt2, 1e-12) {
+		t.Errorf("coeff[1][0] = %v", coeffs[1][0])
+	}
+	if !mathx.AlmostEqual(coeffs[1][1], 0.25/math.Sqrt2, 1e-12) {
+		t.Errorf("coeff[1][1] = %v", coeffs[1][1])
+	}
+}
+
+func TestHaarRoundTripNoNoise(t *testing.T) {
+	// Reconstruction from exact coefficients must reproduce the exact
+	// distribution (synthesis inverts analysis).
+	tr := NewTree(32, 2)
+	rng := randx.New(8)
+	dist := make([]float64, 32)
+	for i := range dist {
+		dist[i] = rng.Float64()
+	}
+	mathx.Normalize(dist)
+	est := &HaarEstimate{Tree: tr, Coeffs: ExactCoefficients(tr, dist)}
+	est.reconstruct()
+	if got := mathx.L1(est.Leaves(), dist); got > 1e-9 {
+		t.Errorf("Haar round trip L1 = %v", got)
+	}
+}
+
+func TestHaarHRRCollect(t *testing.T) {
+	rng := randx.New(9)
+	const d = 64
+	values, truth := genLeafValues(200000, d, rng)
+	hr := NewHaarHRR(d, 2)
+	est := hr.Collect(values, rng)
+	// Reconstruction is exactly consistent by construction.
+	if got := est.Tree.ConsistencyResidual(est.Levels()); got > 1e-9 {
+		t.Errorf("Haar reconstruction residual = %v", got)
+	}
+	// Range queries should be reasonably accurate.
+	var worst float64
+	for lo := 0; lo < d; lo += 13 {
+		hi := lo + d/4
+		if hi > d {
+			hi = d
+		}
+		var want float64
+		for i := lo; i < hi; i++ {
+			want += truth[i]
+		}
+		if err := math.Abs(est.RangeCount(lo, hi) - want); err > worst {
+			worst = err
+		}
+	}
+	if worst > 0.06 {
+		t.Errorf("worst HaarHRR range error = %v", worst)
+	}
+}
+
+func TestHaarHRRNeedsBinaryDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHaarHRR(60) should panic")
+		}
+	}()
+	NewHaarHRR(60, 1)
+}
+
+func TestCollectPanics(t *testing.T) {
+	hh := NewHH(16, 4, 1)
+	rng := randx.New(10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty Collect should panic")
+			}
+		}()
+		hh.Collect(nil, rng)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-domain value should panic")
+			}
+		}()
+		hh.Collect([]int{16}, rng)
+	}()
+}
+
+func BenchmarkHHCollect(b *testing.B) {
+	rng := randx.New(1)
+	values, _ := genLeafValues(10000, 256, rng)
+	hh := NewHH(256, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hh.Collect(values, rng)
+	}
+}
+
+func BenchmarkConstrainedInference(b *testing.B) {
+	rng := randx.New(1)
+	values, _ := genLeafValues(10000, 1024, rng)
+	hh := NewHH(1024, 4, 1)
+	est := hh.Collect(values, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.ConstrainedInference()
+	}
+}

@@ -1,0 +1,183 @@
+// Package hierarchy implements the hierarchy-based baselines of Section 4.2:
+// the Hierarchical Histogram (HH) protocol with population division and
+// constrained inference (Hay et al.), and HaarHRR, the discrete-Haar
+// transform protocol with Hadamard randomized response of Kulkarni et al.
+// Both estimate all levels of a tree over an ordered domain so that range
+// queries touch only O(β·log d) noisy nodes.
+package hierarchy
+
+import "fmt"
+
+// Tree describes a complete β-ary tree over an ordered leaf domain of size
+// d = β^h. Level 0 is the root (1 node, known total), level ℓ has β^ℓ nodes,
+// and level h holds the d leaves.
+type Tree struct {
+	beta   int
+	height int
+	d      int
+}
+
+// NewTree builds the tree shape for a domain of size d with branching factor
+// beta. It panics unless beta >= 2 and d is an exact power of beta.
+func NewTree(d, beta int) Tree {
+	if beta < 2 {
+		panic(fmt.Sprintf("hierarchy: branching factor %d must be >= 2", beta))
+	}
+	if d < beta {
+		panic(fmt.Sprintf("hierarchy: domain %d smaller than branching factor %d", d, beta))
+	}
+	height := 0
+	n := 1
+	for n < d {
+		n *= beta
+		height++
+	}
+	if n != d {
+		panic(fmt.Sprintf("hierarchy: domain %d is not a power of %d", d, beta))
+	}
+	return Tree{beta: beta, height: height, d: d}
+}
+
+// Beta returns the branching factor.
+func (t Tree) Beta() int { return t.beta }
+
+// Height returns the number of non-root levels h (leaves are level h).
+func (t Tree) Height() int { return t.height }
+
+// D returns the leaf domain size β^h.
+func (t Tree) D() int { return t.d }
+
+// LevelSize returns the number of nodes at level ℓ ∈ [0, h].
+func (t Tree) LevelSize(level int) int {
+	if level < 0 || level > t.height {
+		panic(fmt.Sprintf("hierarchy: level %d outside [0, %d]", level, t.height))
+	}
+	n := 1
+	for i := 0; i < level; i++ {
+		n *= t.beta
+	}
+	return n
+}
+
+// Ancestor returns the index at the given level of the ancestor of leaf v.
+func (t Tree) Ancestor(v, level int) int {
+	if v < 0 || v >= t.d {
+		panic(fmt.Sprintf("hierarchy: leaf %d outside domain [0,%d)", v, t.d))
+	}
+	div := t.d / t.LevelSize(level)
+	return v / div
+}
+
+// Children returns the index range [lo, hi) at level+1 of the children of
+// node i at level.
+func (t Tree) Children(i, level int) (lo, hi int) {
+	if level >= t.height {
+		panic("hierarchy: leaves have no children")
+	}
+	return i * t.beta, (i + 1) * t.beta
+}
+
+// LeafSpan returns the leaf index range [lo, hi) covered by node i at level.
+func (t Tree) LeafSpan(i, level int) (lo, hi int) {
+	span := t.d / t.LevelSize(level)
+	return i * span, (i + 1) * span
+}
+
+// NewLevels allocates one float64 slice per level with the right sizes
+// (index 0 = root, index h = leaves).
+func (t Tree) NewLevels() [][]float64 {
+	levels := make([][]float64, t.height+1)
+	for l := range levels {
+		levels[l] = make([]float64, t.LevelSize(l))
+	}
+	return levels
+}
+
+// CheckLevels panics unless levels has the exact shape of t.
+func (t Tree) CheckLevels(levels [][]float64) {
+	if len(levels) != t.height+1 {
+		panic(fmt.Sprintf("hierarchy: got %d levels, want %d", len(levels), t.height+1))
+	}
+	for l, lv := range levels {
+		if len(lv) != t.LevelSize(l) {
+			panic(fmt.Sprintf("hierarchy: level %d has %d nodes, want %d", l, len(lv), t.LevelSize(l)))
+		}
+	}
+}
+
+// TrueLevels computes the exact node frequencies of a leaf distribution
+// (used by tests and to measure estimation error).
+func (t Tree) TrueLevels(leafDist []float64) [][]float64 {
+	if len(leafDist) != t.d {
+		panic("hierarchy: TrueLevels dimension mismatch")
+	}
+	levels := t.NewLevels()
+	copy(levels[t.height], leafDist)
+	for l := t.height - 1; l >= 0; l-- {
+		for i := range levels[l] {
+			lo, hi := t.Children(i, l)
+			var s float64
+			for c := lo; c < hi; c++ {
+				s += levels[l+1][c]
+			}
+			levels[l][i] = s
+		}
+	}
+	return levels
+}
+
+// ConsistencyResidual returns the largest absolute violation of the
+// parent-equals-sum-of-children constraint across all internal nodes.
+func (t Tree) ConsistencyResidual(levels [][]float64) float64 {
+	t.CheckLevels(levels)
+	var worst float64
+	for l := 0; l < t.height; l++ {
+		for i, parent := range levels[l] {
+			lo, hi := t.Children(i, l)
+			var s float64
+			for c := lo; c < hi; c++ {
+				s += levels[l+1][c]
+			}
+			if r := abs(parent - s); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// RangeNodes decomposes the leaf range [lo, hi) into a minimal set of
+// (level, index) nodes whose leaf spans partition the range. Range queries
+// answered from this decomposition touch O(β·h) noisy estimates instead of
+// hi−lo leaves.
+func (t Tree) RangeNodes(lo, hi int) [](struct{ Level, Index int }) {
+	if lo < 0 || hi > t.d || lo > hi {
+		panic(fmt.Sprintf("hierarchy: invalid range [%d,%d)", lo, hi))
+	}
+	var out [](struct{ Level, Index int })
+	var rec func(level, idx, nlo, nhi int)
+	rec = func(level, idx, nlo, nhi int) {
+		if nlo >= hi || nhi <= lo {
+			return
+		}
+		if lo <= nlo && nhi <= hi {
+			out = append(out, struct{ Level, Index int }{level, idx})
+			return
+		}
+		clo, chi := t.Children(idx, level)
+		span := (nhi - nlo) / t.beta
+		for c := clo; c < chi; c++ {
+			off := (c - clo) * span
+			rec(level+1, c, nlo+off, nlo+off+span)
+		}
+	}
+	rec(0, 0, 0, t.d)
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,236 @@
+// Package histogram provides the discretization substrate: histograms of
+// values over the unit interval and statistics computed from bucketed
+// probability distributions (CDF, mean, variance, quantiles, range
+// probabilities).
+//
+// Throughout the library a "distribution" is a non-negative []float64 over d
+// equal-width buckets of [0,1] that sums to 1; bucket i covers
+// [i/d, (i+1)/d) with the final bucket closed on the right. Statistics treat
+// probability mass as spread uniformly within each bucket, matching the
+// paper's treatment of continuous domains reconstructed on a grid.
+package histogram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Histogram accumulates counts of values in [0,1] into d equal-width buckets.
+type Histogram struct {
+	counts []float64
+	total  float64
+}
+
+// New returns an empty histogram with d buckets. It panics if d < 1.
+func New(d int) *Histogram {
+	if d < 1 {
+		panic("histogram: New needs d >= 1")
+	}
+	return &Histogram{counts: make([]float64, d)}
+}
+
+// FromSamples bucketizes the samples (each clamped to [0,1]) into d buckets.
+func FromSamples(samples []float64, d int) *Histogram {
+	h := New(d)
+	for _, v := range samples {
+		h.Add(v)
+	}
+	return h
+}
+
+// FromCounts wraps an existing count vector. The slice is copied.
+func FromCounts(counts []float64) *Histogram {
+	h := &Histogram{counts: append([]float64(nil), counts...)}
+	h.total = mathx.Sum(h.counts)
+	return h
+}
+
+// D returns the number of buckets.
+func (h *Histogram) D() int { return len(h.counts) }
+
+// Total returns the accumulated total weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Count returns the weight in bucket i.
+func (h *Histogram) Count(i int) float64 { return h.counts[i] }
+
+// Counts returns a copy of the raw count vector.
+func (h *Histogram) Counts() []float64 {
+	return append([]float64(nil), h.counts...)
+}
+
+// Add records one observation of v, clamped to [0,1].
+func (h *Histogram) Add(v float64) { h.AddWeighted(v, 1) }
+
+// AddWeighted records an observation of v with the given weight.
+func (h *Histogram) AddWeighted(v, weight float64) {
+	h.counts[BucketOf(v, len(h.counts))] += weight
+	h.total += weight
+}
+
+// Distribution returns the normalized counts as a fresh slice. An empty
+// histogram yields the uniform distribution.
+func (h *Histogram) Distribution() []float64 {
+	out := h.Counts()
+	mathx.Normalize(out)
+	return out
+}
+
+// BucketOf maps v (clamped to [0,1]) to its bucket index in a d-bucket grid.
+// The value 1.0 maps to the last bucket.
+func BucketOf(v float64, d int) int {
+	v = mathx.Clamp(v, 0, 1)
+	i := int(v * float64(d))
+	if i >= d {
+		i = d - 1
+	}
+	return i
+}
+
+// BucketBounds returns the [lo, hi) interval of bucket i in a d-bucket grid.
+func BucketBounds(i, d int) (lo, hi float64) {
+	return float64(i) / float64(d), float64(i+1) / float64(d)
+}
+
+// BucketCenter returns the midpoint of bucket i in a d-bucket grid.
+func BucketCenter(i, d int) float64 {
+	return (float64(i) + 0.5) / float64(d)
+}
+
+// CDF returns the cumulative sums of the distribution x:
+// out[i] = x[0] + ... + x[i]. For a valid distribution out[d-1] ≈ 1.
+func CDF(x []float64) []float64 { return mathx.CumSum(x) }
+
+// CDFAt evaluates the piecewise-linear CDF of distribution x at point
+// v ∈ [0,1], interpolating within the bucket containing v (mass is uniform
+// within a bucket).
+func CDFAt(x []float64, v float64) float64 {
+	d := len(x)
+	if d == 0 {
+		return 0
+	}
+	v = mathx.Clamp(v, 0, 1)
+	pos := v * float64(d)
+	i := int(pos)
+	if i >= d {
+		return 1 * sum01(x)
+	}
+	var acc float64
+	for j := 0; j < i; j++ {
+		acc += x[j]
+	}
+	return acc + x[i]*(pos-float64(i))
+}
+
+func sum01(x []float64) float64 { return mathx.Sum(x) }
+
+// Mean returns the mean of the distribution x with mass uniform within each
+// bucket (equivalently, evaluated at bucket centers).
+func Mean(x []float64) float64 {
+	d := len(x)
+	var acc float64
+	for i, p := range x {
+		acc += p * BucketCenter(i, d)
+	}
+	return acc
+}
+
+// Variance returns the variance of distribution x, including the
+// within-bucket uniform term w²/12 (w = bucket width), so that the variance
+// of the uniform distribution over [0,1] is exactly 1/12 for any d.
+func Variance(x []float64) float64 {
+	d := len(x)
+	mu := Mean(x)
+	w := 1 / float64(d)
+	var acc float64
+	for i, p := range x {
+		c := BucketCenter(i, d)
+		acc += p * ((c-mu)*(c-mu) + w*w/12)
+	}
+	return acc
+}
+
+// Quantile returns the β-quantile (0 ≤ β ≤ 1) of distribution x as a point
+// in [0,1], interpolating linearly within the bucket where the CDF crosses β.
+func Quantile(x []float64, beta float64) float64 {
+	d := len(x)
+	if d == 0 {
+		panic("histogram: Quantile of empty distribution")
+	}
+	beta = mathx.Clamp(beta, 0, 1)
+	var acc float64
+	for i, p := range x {
+		if acc+p >= beta {
+			if p <= 0 {
+				return float64(i) / float64(d)
+			}
+			frac := (beta - acc) / p
+			return (float64(i) + frac) / float64(d)
+		}
+		acc += p
+	}
+	return 1
+}
+
+// RangeProb returns the probability mass of distribution x on the interval
+// [lo, hi] ⊆ [0,1] with uniform interpolation within buckets; this is the
+// paper's range-query function R(x, lo, hi−lo) = P(x, hi) − P(x, lo).
+func RangeProb(x []float64, lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return CDFAt(x, hi) - CDFAt(x, lo)
+}
+
+// Rescale maps raw values from the source interval [lo, hi] into [0,1],
+// dropping values outside the interval. It returns the mapped values and the
+// number dropped. This mirrors the paper's dataset preprocessing (e.g.
+// incomes restricted to [0, 2^19) then mapped to [0,1]).
+func Rescale(values []float64, lo, hi float64) (mapped []float64, dropped int) {
+	if hi <= lo {
+		panic(fmt.Sprintf("histogram: Rescale with empty interval [%v, %v]", lo, hi))
+	}
+	mapped = make([]float64, 0, len(values))
+	span := hi - lo
+	for _, v := range values {
+		if v < lo || v > hi || math.IsNaN(v) {
+			dropped++
+			continue
+		}
+		mapped = append(mapped, (v-lo)/span)
+	}
+	return mapped, dropped
+}
+
+// Downsample reduces distribution x over d buckets to d/k buckets by summing
+// groups of k adjacent buckets. It panics unless k divides d.
+func Downsample(x []float64, k int) []float64 {
+	d := len(x)
+	if k < 1 || d%k != 0 {
+		panic("histogram: Downsample factor must divide the length")
+	}
+	out := make([]float64, d/k)
+	for i, p := range x {
+		out[i/k] += p
+	}
+	return out
+}
+
+// Upsample expands distribution x to len(x)*k buckets, spreading each
+// bucket's mass uniformly over its k children. This is the paper's
+// "assume uniform distribution within each bin" step for CFO-with-binning.
+func Upsample(x []float64, k int) []float64 {
+	if k < 1 {
+		panic("histogram: Upsample factor must be >= 1")
+	}
+	out := make([]float64, len(x)*k)
+	for i, p := range x {
+		share := p / float64(k)
+		for j := 0; j < k; j++ {
+			out[i*k+j] = share
+		}
+	}
+	return out
+}

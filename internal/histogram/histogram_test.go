@@ -1,0 +1,277 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+func TestBucketOf(t *testing.T) {
+	tests := []struct {
+		v    float64
+		d    int
+		want int
+	}{
+		{0, 4, 0},
+		{0.24, 4, 0},
+		{0.25, 4, 1},
+		{0.5, 4, 2},
+		{0.99, 4, 3},
+		{1, 4, 3},    // right endpoint maps into last bucket
+		{-0.5, 4, 0}, // clamped
+		{1.5, 4, 3},  // clamped
+		{0.999, 1, 0},
+	}
+	for _, tc := range tests {
+		if got := BucketOf(tc.v, tc.d); got != tc.want {
+			t.Errorf("BucketOf(%v, %d) = %d, want %d", tc.v, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestBucketBoundsAndCenter(t *testing.T) {
+	lo, hi := BucketBounds(2, 4)
+	if lo != 0.5 || hi != 0.75 {
+		t.Errorf("BucketBounds(2,4) = (%v,%v)", lo, hi)
+	}
+	if got := BucketCenter(0, 4); got != 0.125 {
+		t.Errorf("BucketCenter(0,4) = %v", got)
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	h := FromSamples([]float64{0.1, 0.1, 0.6, 0.9, 1.0}, 4)
+	want := []float64{2, 0, 1, 2}
+	for i, w := range want {
+		if h.Count(i) != w {
+			t.Errorf("Count(%d) = %v, want %v", i, h.Count(i), w)
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %v", h.Total())
+	}
+	if h.D() != 4 {
+		t.Errorf("D = %d", h.D())
+	}
+}
+
+func TestFromCountsCopies(t *testing.T) {
+	src := []float64{1, 2, 3}
+	h := FromCounts(src)
+	src[0] = 99
+	if h.Count(0) != 1 {
+		t.Error("FromCounts did not copy the slice")
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %v, want 6", h.Total())
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	h := New(4)
+	h.AddWeighted(0.1, 3)
+	h.Add(0.9)
+	dist := h.Distribution()
+	want := []float64{0.75, 0, 0, 0.25}
+	for i := range want {
+		if !mathx.AlmostEqual(dist[i], want[i], 1e-12) {
+			t.Errorf("dist[%d] = %v, want %v", i, dist[i], want[i])
+		}
+	}
+	// Empty histogram → uniform.
+	empty := New(2).Distribution()
+	if empty[0] != 0.5 || empty[1] != 0.5 {
+		t.Errorf("empty distribution = %v, want uniform", empty)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	x := []float64{0.25, 0.25, 0.25, 0.25}
+	tests := []struct {
+		v, want float64
+	}{
+		{0, 0}, {0.25, 0.25}, {0.5, 0.5}, {0.875, 0.875}, {1, 1}, {-1, 0}, {2, 1},
+	}
+	for _, tc := range tests {
+		if got := CDFAt(x, tc.v); !mathx.AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("CDFAt(uniform, %v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	// Interpolation inside a non-uniform bucket.
+	y := []float64{0.8, 0.2}
+	if got := CDFAt(y, 0.25); !mathx.AlmostEqual(got, 0.4, 1e-12) {
+		t.Errorf("CDFAt = %v, want 0.4", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	// Uniform distribution over [0,1]: mean 1/2, variance 1/12 at any d.
+	for _, d := range []int{1, 4, 256} {
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = 1 / float64(d)
+		}
+		if got := Mean(x); !mathx.AlmostEqual(got, 0.5, 1e-12) {
+			t.Errorf("uniform d=%d mean = %v", d, got)
+		}
+		if got := Variance(x); !mathx.AlmostEqual(got, 1.0/12, 1e-9) {
+			t.Errorf("uniform d=%d variance = %v, want 1/12", d, got)
+		}
+	}
+	// Point mass in one bucket: mean = center, variance = width²/12.
+	x := []float64{0, 0, 1, 0}
+	if got := Mean(x); !mathx.AlmostEqual(got, 0.625, 1e-12) {
+		t.Errorf("point-mass mean = %v", got)
+	}
+	if got := Variance(x); !mathx.AlmostEqual(got, 1.0/(16*12), 1e-12) {
+		t.Errorf("point-mass variance = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{0.5, 0, 0.5, 0}
+	tests := []struct {
+		beta, want float64
+	}{
+		{0, 0},
+		{0.25, 0.125}, // halfway through first bucket
+		{0.5, 0.25},   // first bucket exactly exhausted
+		{0.75, 0.625}, // halfway through third bucket
+		{1, 0.75},
+	}
+	for _, tc := range tests {
+		if got := Quantile(x, tc.beta); !mathx.AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.beta, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	// Property: for strictly positive distributions,
+	// CDFAt(Quantile(beta)) == beta.
+	rng := randx.New(3)
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.Split(seed)
+		x := make([]float64, 16)
+		for i := range x {
+			x[i] = r.Float64() + 0.01
+		}
+		mathx.Normalize(x)
+		for _, beta := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			q := Quantile(x, beta)
+			if !mathx.AlmostEqual(CDFAt(x, q), beta, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeProb(t *testing.T) {
+	x := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := RangeProb(x, 0.1, 0.6); !mathx.AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("RangeProb = %v, want 0.5", got)
+	}
+	// Reversed endpoints are swapped.
+	if got := RangeProb(x, 0.6, 0.1); !mathx.AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("reversed RangeProb = %v, want 0.5", got)
+	}
+	if got := RangeProb(x, 0, 1); !mathx.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("full RangeProb = %v, want 1", got)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	vals := []float64{0, 5, 10, -1, 11, math.NaN()}
+	mapped, dropped := Rescale(vals, 0, 10)
+	if dropped != 3 {
+		t.Errorf("dropped = %d, want 3", dropped)
+	}
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !mathx.AlmostEqual(mapped[i], want[i], 1e-12) {
+			t.Errorf("mapped[%d] = %v, want %v", i, mapped[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Rescale with empty interval should panic")
+		}
+	}()
+	Rescale(vals, 5, 5)
+}
+
+func TestDownsampleUpsample(t *testing.T) {
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	down := Downsample(x, 2)
+	if !mathx.AlmostEqual(down[0], 0.3, 1e-12) || !mathx.AlmostEqual(down[1], 0.7, 1e-12) {
+		t.Errorf("Downsample = %v", down)
+	}
+	up := Upsample(down, 2)
+	want := []float64{0.15, 0.15, 0.35, 0.35}
+	for i := range want {
+		if !mathx.AlmostEqual(up[i], want[i], 1e-12) {
+			t.Errorf("Upsample[%d] = %v, want %v", i, up[i], want[i])
+		}
+	}
+	if !mathx.IsDistribution(up, 1e-12) {
+		t.Error("Upsample broke the simplex")
+	}
+}
+
+func TestDownsampleUpsampleProperty(t *testing.T) {
+	// Property: Downsample(Upsample(x, k), k) == x for any distribution.
+	rng := randx.New(5)
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.Split(seed)
+		x := make([]float64, 32)
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		mathx.Normalize(x)
+		round := Downsample(Upsample(x, 4), 4)
+		return mathx.L1(round, x) < 1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramLargeSampleConvergence(t *testing.T) {
+	// Bucketizing many Beta(5,2) samples should converge to a distribution
+	// whose mean matches the analytic mean 5/7.
+	r := randx.New(6)
+	h := New(128)
+	for i := 0; i < 200000; i++ {
+		h.Add(r.Beta(5, 2))
+	}
+	dist := h.Distribution()
+	if got := Mean(dist); math.Abs(got-5.0/7.0) > 0.01 {
+		t.Errorf("empirical Beta(5,2) mean = %v, want %v", got, 5.0/7.0)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	h := New(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i%1000) / 1000)
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = 1.0 / 1024
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Quantile(x, 0.5)
+	}
+}

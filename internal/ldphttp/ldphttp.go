@@ -1,0 +1,176 @@
+// Package ldphttp exposes a Square Wave collection round over HTTP: clients
+// POST their randomized reports to a collector endpoint and anyone may GET
+// the current reconstructed distribution. This is the deployment shape of
+// the real-world LDP systems the paper cites (RAPPOR in Chrome, Apple's and
+// Microsoft's telemetry): randomization happens strictly on the client; the
+// server only ever sees ε-LDP reports.
+//
+// Endpoints:
+//
+//	POST /report   {"report": 0.1234}            one randomized report
+//	POST /batch    {"reports": [0.1, 0.2, ...]}  many reports at once
+//	GET  /estimate                               reconstruction + statistics
+//	GET  /config                                 mechanism parameters clients need
+//
+// The handler serializes access internally and is safe for concurrent use.
+package ldphttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/histogram"
+)
+
+// Server wraps a core.Aggregator behind an http.Handler.
+type Server struct {
+	cfg Config
+
+	mu  sync.Mutex
+	agg *core.Aggregator
+}
+
+// Config mirrors the mechanism parameters clients and server must share.
+type Config struct {
+	// Epsilon is the LDP budget.
+	Epsilon float64 `json:"epsilon"`
+	// Buckets is the reconstruction granularity.
+	Buckets int `json:"buckets"`
+	// Bandwidth is the wave half-width (0 = optimal).
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+// NewServer builds a collection server.
+func NewServer(cfg Config) *Server {
+	agg := core.NewAggregator(core.Config{
+		Epsilon:   cfg.Epsilon,
+		Buckets:   cfg.Buckets,
+		Bandwidth: cfg.Bandwidth,
+		Smoothing: true,
+	})
+	return &Server{cfg: cfg, agg: agg}
+}
+
+// N returns the number of reports ingested.
+func (s *Server) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg.N()
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/config", s.handleConfig)
+	return mux
+}
+
+type reportRequest struct {
+	Report float64 `json:"report"`
+}
+
+type batchRequest struct {
+	Reports []float64 `json:"reports"`
+}
+
+// EstimateResponse is the JSON shape of GET /estimate.
+type EstimateResponse struct {
+	N            int       `json:"n"`
+	Epsilon      float64   `json:"epsilon"`
+	Distribution []float64 `json:"distribution"`
+	Mean         float64   `json:"mean"`
+	Variance     float64   `json:"variance"`
+	Median       float64   `json:"median"`
+	Iterations   int       `json:"iterations"`
+	Converged    bool      `json:"converged"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req reportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.agg.Ingest(req.Report)
+	n := s.agg.N()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"accepted": true, "n": n})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Reports) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	for _, rep := range req.Reports {
+		s.agg.Ingest(rep)
+	}
+	n := s.agg.N()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"accepted": len(req.Reports), "n": n})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	n := s.agg.N()
+	if n == 0 {
+		s.mu.Unlock()
+		http.Error(w, "no reports yet", http.StatusConflict)
+		return
+	}
+	res := s.agg.Estimate()
+	s.mu.Unlock()
+
+	writeJSON(w, EstimateResponse{
+		N:            n,
+		Epsilon:      s.cfg.Epsilon,
+		Distribution: res.Estimate,
+		Mean:         histogram.Mean(res.Estimate),
+		Variance:     histogram.Variance(res.Estimate),
+		Median:       histogram.Quantile(res.Estimate, 0.5),
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+	})
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.cfg)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing useful to do but log via the
+		// standard error path of the server.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,174 @@
+package ldphttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(Config{Epsilon: 1, Buckets: 64})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestReportAndEstimate(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	// Client side: randomize locally, ship reports.
+	client := core.NewClient(core.Config{Epsilon: 1, Buckets: 64, Smoothing: true})
+	rng := randx.New(1)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		resp := postJSON(t, ts.URL+"/report", map[string]float64{"report": client.Report(rng.Beta(5, 2), rng)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("report status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if srv.N() != n {
+		t.Errorf("server N = %d, want %d", srv.N(), n)
+	}
+
+	resp, err := http.Get(ts.URL + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status = %d", resp.StatusCode)
+	}
+	var est EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	if est.N != n || len(est.Distribution) != 64 {
+		t.Errorf("estimate N=%d, buckets=%d", est.N, len(est.Distribution))
+	}
+	if math.Abs(est.Mean-5.0/7.0) > 0.05 {
+		t.Errorf("estimated mean = %v, want ≈ 0.714", est.Mean)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	client := core.NewClient(core.Config{Epsilon: 1, Buckets: 64, Smoothing: true})
+	rng := randx.New(2)
+	reports := make([]float64, 500)
+	for i := range reports {
+		reports[i] = client.Report(rng.Float64(), rng)
+	}
+	resp := postJSON(t, ts.URL+"/batch", map[string]any{"reports": reports})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	if srv.N() != 500 {
+		t.Errorf("N = %d", srv.N())
+	}
+}
+
+func TestConfigEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cfg Config
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Epsilon != 1 || cfg.Buckets != 64 {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Estimate before any reports: 409.
+	resp, _ := http.Get(ts.URL + "/estimate")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("empty estimate status = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Wrong method.
+	resp, _ = http.Get(ts.URL + "/report")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /report status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Malformed JSON.
+	r, _ := http.Post(ts.URL+"/report", "application/json", bytes.NewReader([]byte("{")))
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d", r.StatusCode)
+	}
+	r.Body.Close()
+	// Empty batch.
+	resp = postJSON(t, ts.URL+"/batch", map[string]any{"reports": []float64{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestConcurrentIngestion(t *testing.T) {
+	srv, ts := newTestServer(t)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := core.NewClient(core.Config{Epsilon: 1, Buckets: 64, Smoothing: true})
+			rng := randx.New(uint64(id + 1))
+			for i := 0; i < perWorker; i++ {
+				blob, _ := json.Marshal(map[string]float64{"report": client.Report(rng.Float64(), rng)})
+				resp, err := http.Post(ts.URL+"/report", "application/json", bytes.NewReader(blob))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.N() != workers*perWorker {
+		t.Errorf("N = %d, want %d", srv.N(), workers*perWorker)
+	}
+}

@@ -1,0 +1,176 @@
+// Package ldptest provides empirical verification that a randomization
+// mechanism satisfies ε-local differential privacy. It estimates, by Monte
+// Carlo, the worst-case ratio Pr[Ψ(v₁) ∈ T]/Pr[Ψ(v₂) ∈ T] over a grid of
+// input pairs and output cells and checks it against e^ε with a sampling
+// allowance.
+//
+// The checker is used by the test suites of every mechanism package (GRR,
+// OLH, HRR, SW/GW, SR, PM) and is exported as a library feature so users
+// adding their own wave shapes or oracles can validate them the same way.
+package ldptest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// DiscreteMechanism randomizes a discrete value into a discrete report.
+type DiscreteMechanism interface {
+	// OutputSize is the number of distinct outputs.
+	OutputSize() int
+	// Sample draws one randomized output for the input value.
+	Sample(v int, rng *randx.Rand) int
+}
+
+// ContinuousMechanism randomizes a float64 in [0,1] into a float64 report.
+type ContinuousMechanism interface {
+	// OutputRange bounds the reports.
+	OutputRange() (lo, hi float64)
+	// Sample draws one randomized output.
+	Sample(v float64, rng *randx.Rand) float64
+}
+
+// Options tunes the empirical check.
+type Options struct {
+	// Samples per input value. Defaults to 200,000.
+	Samples int
+	// Slack multiplies the e^ε bound to absorb sampling error.
+	// Defaults to 1.15.
+	Slack float64
+	// Cells discretizes continuous outputs. Defaults to 20.
+	Cells int
+	// Inputs is the input grid to test. Defaults to every value for
+	// discrete mechanisms (when the domain is small) and an 11-point grid
+	// for continuous ones.
+	Inputs []float64
+	// Seed for the sampling randomness. Defaults to 1.
+	Seed uint64
+}
+
+func (o Options) filled() Options {
+	if o.Samples <= 0 {
+		o.Samples = 200000
+	}
+	if o.Slack <= 0 {
+		o.Slack = 1.15
+	}
+	if o.Cells <= 0 {
+		o.Cells = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Violation describes an observed breach of the privacy bound.
+type Violation struct {
+	V1, V2 float64 // the input pair
+	Cell   int     // output cell index
+	Ratio  float64 // observed probability ratio
+	Bound  float64 // e^ε · slack
+}
+
+// Error formats the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("ldptest: Pr[Ψ(%v)∈cell %d] / Pr[Ψ(%v)∈cell %d] = %.4f exceeds bound %.4f",
+		v.V1, v.Cell, v.V2, v.Cell, v.Ratio, v.Bound)
+}
+
+// CheckDiscrete empirically verifies ε-LDP for a discrete mechanism over
+// the input domain {0..domain−1}. It returns nil when no cell's probability
+// ratio exceeds e^ε·Slack, and the first Violation otherwise.
+func CheckDiscrete(m DiscreteMechanism, domain int, eps float64, opts Options) error {
+	opts = opts.filled()
+	inputs := make([]int, 0, domain)
+	if opts.Inputs != nil {
+		for _, v := range opts.Inputs {
+			inputs = append(inputs, int(v))
+		}
+	} else {
+		for v := 0; v < domain; v++ {
+			inputs = append(inputs, v)
+		}
+	}
+	rng := randx.New(opts.Seed)
+	freqs := make(map[int][]float64, len(inputs))
+	for _, v := range inputs {
+		f := make([]float64, m.OutputSize())
+		for i := 0; i < opts.Samples; i++ {
+			f[m.Sample(v, rng)]++
+		}
+		for j := range f {
+			f[j] /= float64(opts.Samples)
+		}
+		freqs[v] = f
+	}
+	bound := math.Exp(eps) * opts.Slack
+	// Probabilities below this resolution are too noisy to ratio-test.
+	minProb := 10.0 / float64(opts.Samples)
+	for _, v1 := range inputs {
+		for _, v2 := range inputs {
+			for cell := 0; cell < m.OutputSize(); cell++ {
+				p1, p2 := freqs[v1][cell], freqs[v2][cell]
+				if p2 < minProb {
+					continue
+				}
+				if ratio := p1 / p2; ratio > bound {
+					return Violation{V1: float64(v1), V2: float64(v2), Cell: cell, Ratio: ratio, Bound: bound}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckContinuous empirically verifies ε-LDP for a continuous mechanism
+// over inputs in [0,1], discretizing the output range into Cells.
+func CheckContinuous(m ContinuousMechanism, eps float64, opts Options) error {
+	opts = opts.filled()
+	inputs := opts.Inputs
+	if inputs == nil {
+		inputs = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	}
+	lo, hi := m.OutputRange()
+	if hi <= lo {
+		return fmt.Errorf("ldptest: empty output range [%v, %v]", lo, hi)
+	}
+	rng := randx.New(opts.Seed)
+	freqs := make([][]float64, len(inputs))
+	for i, v := range inputs {
+		f := make([]float64, opts.Cells)
+		for s := 0; s < opts.Samples; s++ {
+			x := m.Sample(v, rng)
+			j := int((x - lo) / (hi - lo) * float64(opts.Cells))
+			if j < 0 {
+				j = 0
+			}
+			if j >= opts.Cells {
+				j = opts.Cells - 1
+			}
+			f[j]++
+		}
+		for j := range f {
+			f[j] /= float64(opts.Samples)
+		}
+		freqs[i] = f
+	}
+	bound := math.Exp(eps) * opts.Slack
+	minProb := 10.0 / float64(opts.Samples)
+	for i1 := range inputs {
+		for i2 := range inputs {
+			for cell := 0; cell < opts.Cells; cell++ {
+				p1, p2 := freqs[i1][cell], freqs[i2][cell]
+				if p2 < minProb {
+					continue
+				}
+				if ratio := p1 / p2; ratio > bound {
+					return Violation{V1: inputs[i1], V2: inputs[i2], Cell: cell, Ratio: ratio, Bound: bound}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package matrixx
+
+import "fmt"
+
+// Channel is the minimal matrix surface the EM reconstruction needs: the
+// forward map (distribution → expected report histogram) and its transpose.
+// Both *Matrix and *Banded satisfy it.
+type Channel interface {
+	Rows() int
+	Cols() int
+	// MulVec computes dst = M·x (len(dst) = Rows, len(x) = Cols).
+	MulVec(dst, x []float64) []float64
+	// MulVecT computes dst = Mᵀ·x (len(dst) = Cols, len(x) = Rows).
+	MulVecT(dst, x []float64) []float64
+}
+
+// Banded is a structured representation of a Square Wave transition matrix:
+// a constant floor plus a contiguous per-column band of excess values,
+//
+//	M[j][i] = base + excess_i[j − lo_i]  for lo_i ≤ j < lo_i+len(excess_i),
+//	M[j][i] = base                        otherwise.
+//
+// The SW channel has exactly this shape — density q everywhere with a
+// plateau band around the input — so M·x reduces to base·Σx plus a band
+// product whose cost scales with the wave width b instead of the full
+// matrix. At large ε (small b) this is an order-of-magnitude EM speedup
+// with bit-identical structure (within compression tolerance).
+type Banded struct {
+	rows, cols int
+	base       float64
+	lo         []int
+	excess     [][]float64
+}
+
+// CompressBanded converts a dense matrix into banded form. base is the
+// minimum entry of m; every entry exceeding base by more than tol must form
+// one contiguous run per column, which holds for all wave-shaped channels.
+// It panics if a column's excess support is not contiguous.
+func CompressBanded(m *Matrix, tol float64) *Banded {
+	rows, cols := m.Rows(), m.Cols()
+	base := m.At(0, 0)
+	for i := 0; i < rows; i++ {
+		for _, v := range m.Row(i) {
+			if v < base {
+				base = v
+			}
+		}
+	}
+	b := &Banded{rows: rows, cols: cols, base: base,
+		lo: make([]int, cols), excess: make([][]float64, cols)}
+	for i := 0; i < cols; i++ {
+		first, last := -1, -1
+		for j := 0; j < rows; j++ {
+			if m.At(j, i)-base > tol {
+				if first < 0 {
+					first = j
+				}
+				last = j
+			}
+		}
+		if first < 0 {
+			b.lo[i] = 0
+			b.excess[i] = nil
+			continue
+		}
+		// Contiguity check: no sub-threshold gap inside [first, last].
+		ex := make([]float64, last-first+1)
+		for j := first; j <= last; j++ {
+			ex[j-first] = m.At(j, i) - base
+		}
+		b.lo[i] = first
+		b.excess[i] = ex
+	}
+	return b
+}
+
+// Rows implements Channel.
+func (b *Banded) Rows() int { return b.rows }
+
+// Cols implements Channel.
+func (b *Banded) Cols() int { return b.cols }
+
+// Base returns the constant floor.
+func (b *Banded) Base() float64 { return b.base }
+
+// Bandwidth returns the widest column band (diagnostics and tests).
+func (b *Banded) Bandwidth() int {
+	var w int
+	for _, ex := range b.excess {
+		if len(ex) > w {
+			w = len(ex)
+		}
+	}
+	return w
+}
+
+// MulVec implements Channel: dst = base·Σx + Σ_i excess_i·x_i scattered
+// into the band rows.
+func (b *Banded) MulVec(dst, x []float64) []float64 {
+	if len(x) != b.cols || len(dst) != b.rows {
+		panic(fmt.Sprintf("matrixx: Banded.MulVec dimension mismatch (%d,%d) vs (%d,%d)",
+			len(dst), len(x), b.rows, b.cols))
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	floor := b.base * sum
+	for j := range dst {
+		dst[j] = floor
+	}
+	for i, ex := range b.excess {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		lo := b.lo[i]
+		for k, e := range ex {
+			dst[lo+k] += e * xi
+		}
+	}
+	return dst
+}
+
+// MulVecT implements Channel: dst_i = base·Σy + excess_i·y[band_i].
+func (b *Banded) MulVecT(dst, y []float64) []float64 {
+	if len(y) != b.rows || len(dst) != b.cols {
+		panic(fmt.Sprintf("matrixx: Banded.MulVecT dimension mismatch (%d,%d) vs (%d,%d)",
+			len(dst), len(y), b.cols, b.rows))
+	}
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	floor := b.base * sum
+	for i, ex := range b.excess {
+		lo := b.lo[i]
+		acc := floor
+		for k, e := range ex {
+			acc += e * y[lo+k]
+		}
+		dst[i] = acc
+	}
+	return dst
+}
+
+// Dense materializes the banded matrix back to dense form (tests).
+func (b *Banded) Dense() *Matrix {
+	m := New(b.rows, b.cols)
+	for i := 0; i < b.cols; i++ {
+		for j := 0; j < b.rows; j++ {
+			m.Set(j, i, b.base)
+		}
+		for k, e := range b.excess[i] {
+			m.Set(b.lo[i]+k, i, b.base+e)
+		}
+	}
+	return m
+}
+
+// Compile-time interface checks.
+var (
+	_ Channel = (*Matrix)(nil)
+	_ Channel = (*Banded)(nil)
+)

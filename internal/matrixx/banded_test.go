@@ -1,0 +1,134 @@
+package matrixx
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+// waveLike builds a dense matrix with the SW structure: floor q plus a
+// contiguous band of height p−q around the (scaled) diagonal.
+func waveLike(rows, cols int, q, p float64, half int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < cols; i++ {
+		center := i * rows / cols
+		for j := 0; j < rows; j++ {
+			v := q
+			if j >= center-half && j <= center+half {
+				v = p
+			}
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestCompressBandedRoundTrip(t *testing.T) {
+	m := waveLike(32, 32, 0.01, 0.08, 4)
+	b := CompressBanded(m, 1e-12)
+	if b.Base() != 0.01 {
+		t.Errorf("base = %v, want 0.01", b.Base())
+	}
+	if got := b.Dense().MaxAbsDiff(m); got > 1e-12 {
+		t.Errorf("round trip differs by %v", got)
+	}
+	if b.Bandwidth() != 9 {
+		t.Errorf("bandwidth = %d, want 9", b.Bandwidth())
+	}
+}
+
+func TestBandedMulVecMatchesDense(t *testing.T) {
+	rng := randx.New(1)
+	for trial := 0; trial < 20; trial++ {
+		rows := 16 + rng.IntN(48)
+		cols := 16 + rng.IntN(48)
+		half := 1 + rng.IntN(6)
+		m := waveLike(rows, cols, 0.003, 0.05, half)
+		b := CompressBanded(m, 1e-12)
+
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		dDense := m.MulVec(make([]float64, rows), x)
+		dBand := b.MulVec(make([]float64, rows), x)
+		if mathx.L1(dDense, dBand) > 1e-9 {
+			t.Fatalf("trial %d: MulVec differs", trial)
+		}
+
+		y := make([]float64, rows)
+		for i := range y {
+			y[i] = rng.Float64()
+		}
+		tDense := m.MulVecT(make([]float64, cols), y)
+		tBand := b.MulVecT(make([]float64, cols), y)
+		if mathx.L1(tDense, tBand) > 1e-9 {
+			t.Fatalf("trial %d: MulVecT differs", trial)
+		}
+	}
+}
+
+func TestBandedConstantMatrix(t *testing.T) {
+	// A constant matrix compresses to empty bands.
+	m := New(8, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			m.Set(i, j, 0.125)
+		}
+	}
+	b := CompressBanded(m, 1e-12)
+	if b.Bandwidth() != 0 {
+		t.Errorf("constant matrix bandwidth = %d", b.Bandwidth())
+	}
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	got := b.MulVec(make([]float64, 8), x)
+	want := m.MulVec(make([]float64, 8), x)
+	if mathx.L1(got, want) > 1e-12 {
+		t.Error("constant matrix product differs")
+	}
+}
+
+func TestBandedDimensionPanics(t *testing.T) {
+	b := CompressBanded(waveLike(8, 8, 0.01, 0.1, 1), 1e-12)
+	cases := []func(){
+		func() { b.MulVec(make([]float64, 7), make([]float64, 8)) },
+		func() { b.MulVecT(make([]float64, 7), make([]float64, 8)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkDenseMulVec1024Narrow(b *testing.B) {
+	m := waveLike(1024, 1024, 0.0005, 0.02, 30)
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = 1.0 / 1024
+	}
+	dst := make([]float64, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkBandedMulVec1024Narrow(b *testing.B) {
+	m := CompressBanded(waveLike(1024, 1024, 0.0005, 0.02, 30), 1e-12)
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = 1.0 / 1024
+	}
+	dst := make([]float64, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}

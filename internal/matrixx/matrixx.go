@@ -1,0 +1,173 @@
+// Package matrixx provides the small dense-matrix substrate used by the
+// Square Wave transition matrix and the EM reconstruction: row-major float64
+// matrices with the handful of operations the estimators need (matrix–vector
+// products, column sums/normalization, transpose products). Dimensions in
+// this library top out around 2048×2048, so a simple contiguous layout with
+// cache-friendly loops is all that is required.
+package matrixx
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero matrix with the given shape. It panics on non-positive
+// dimensions.
+func New(rows, cols int) *Matrix {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("matrixx: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be non-empty and of
+// equal length. The data is copied.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("matrixx: FromRows needs non-empty data")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("matrixx: FromRows with ragged rows")
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the (i, j) entry.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the (i, j) entry.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec computes dst = M·x. dst must have length Rows and x length Cols;
+// dst must not alias x. It returns dst for chaining.
+func (m *Matrix) MulVec(dst, x []float64) []float64 {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic("matrixx: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var acc float64
+		for j, v := range row {
+			acc += v * x[j]
+		}
+		dst[i] = acc
+	}
+	return dst
+}
+
+// MulVecT computes dst = Mᵀ·x (x over rows, dst over columns) without
+// materializing the transpose. dst must not alias x.
+func (m *Matrix) MulVecT(dst, x []float64) []float64 {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic("matrixx: MulVecT dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+	return dst
+}
+
+// ColSums returns the sum of each column.
+func (m *Matrix) ColSums() []float64 {
+	sums := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// NormalizeCols scales each column to sum to 1. Columns that sum to zero are
+// left untouched. This is used to squash residual quadrature error in
+// transition matrices, whose columns are probability distributions.
+func (m *Matrix) NormalizeCols() {
+	sums := m.ColSums()
+	for j, s := range sums {
+		if s == 0 {
+			continue
+		}
+		sums[j] = 1 / s
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= sums[j]
+		}
+	}
+}
+
+// IsColumnStochastic reports whether every entry is non-negative and every
+// column sums to 1 within tol.
+func (m *Matrix) IsColumnStochastic(tol float64) bool {
+	for _, v := range m.data {
+		if v < -tol {
+			return false
+		}
+	}
+	for _, s := range m.ColSums() {
+		if !mathx.AlmostEqual(s, 1, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute entry-wise difference between m
+// and other, which must have the same shape.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	if m.rows != other.rows || m.cols != other.cols {
+		panic("matrixx: MaxAbsDiff shape mismatch")
+	}
+	var worst float64
+	for i, v := range m.data {
+		d := v - other.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

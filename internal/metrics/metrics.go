@@ -1,0 +1,175 @@
+// Package metrics implements the utility metrics of Section 3 of the paper:
+// distribution distances (Wasserstein-1 and Kolmogorov–Smirnov on CDFs) and
+// semantic/statistical quantities (range-query error, mean, variance and
+// quantile errors). All metrics operate on bucketed distributions over [0,1]
+// as produced by package histogram.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/histogram"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+// Wasserstein returns the 1-Wasserstein (earth-mover) distance between the
+// distributions x and xhat over a common d-bucket grid of [0,1]:
+//
+//	W1 = Σ_v |P(x,v) − P(xhat,v)| · (1/d)
+//
+// The 1/d factor places the domain on [0,1] so magnitudes are comparable
+// across granularities (and to the paper's figures). It panics on length
+// mismatch.
+func Wasserstein(x, xhat []float64) float64 {
+	if len(x) != len(xhat) {
+		panic("metrics: Wasserstein length mismatch")
+	}
+	d := len(x)
+	if d == 0 {
+		return 0
+	}
+	var acc, cx, cy float64
+	for i := range x {
+		cx += x[i]
+		cy += xhat[i]
+		acc += math.Abs(cx - cy)
+	}
+	return acc / float64(d)
+}
+
+// KS returns the Kolmogorov–Smirnov distance: the maximum absolute difference
+// between the two cumulative distribution functions. It panics on length
+// mismatch.
+func KS(x, xhat []float64) float64 {
+	if len(x) != len(xhat) {
+		panic("metrics: KS length mismatch")
+	}
+	var maxDiff, cx, cy float64
+	for i := range x {
+		cx += x[i]
+		cy += xhat[i]
+		if d := math.Abs(cx - cy); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff
+}
+
+// MeanError returns |µ − µ̂| between the distribution means.
+func MeanError(x, xhat []float64) float64 {
+	return math.Abs(histogram.Mean(x) - histogram.Mean(xhat))
+}
+
+// MeanErrorVs returns |µ − µ̂| where the estimate µ̂ is a scalar (used for
+// mechanisms such as SR and PM that estimate the mean directly rather than
+// reconstructing a distribution).
+func MeanErrorVs(x []float64, muHat float64) float64 {
+	return math.Abs(histogram.Mean(x) - muHat)
+}
+
+// VarianceError returns |σ² − σ̂²| between the distribution variances.
+func VarianceError(x, xhat []float64) float64 {
+	return math.Abs(histogram.Variance(x) - histogram.Variance(xhat))
+}
+
+// VarianceErrorVs returns |σ² − σ̂²| with a scalar variance estimate.
+func VarianceErrorVs(x []float64, varHat float64) float64 {
+	return math.Abs(histogram.Variance(x) - varHat)
+}
+
+// DecileBetas is the quantile set B = {10%, 20%, ..., 90%} the paper
+// evaluates.
+var DecileBetas = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// QuantileMAE returns the mean absolute error of the estimated quantiles over
+// the probability set betas:
+//
+//	(1/|B|) Σ_{β∈B} |Q(x,β) − Q(xhat,β)|
+//
+// with quantiles expressed as points in [0,1].
+func QuantileMAE(x, xhat []float64, betas []float64) float64 {
+	if len(betas) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, beta := range betas {
+		acc += math.Abs(histogram.Quantile(x, beta) - histogram.Quantile(xhat, beta))
+	}
+	return acc / float64(len(betas))
+}
+
+// RangeQueryMAE returns the mean absolute error of nQueries random range
+// queries of width alpha: the left endpoint i is sampled uniformly from
+// [0, 1−alpha] and the error is |R(x,i,alpha) − R(xhat,i,alpha)|.
+func RangeQueryMAE(x, xhat []float64, alpha float64, nQueries int, rng *randx.Rand) float64 {
+	if alpha <= 0 || alpha > 1 {
+		panic("metrics: range query width must be in (0,1]")
+	}
+	if nQueries < 1 {
+		panic("metrics: need at least one range query")
+	}
+	var acc float64
+	for k := 0; k < nQueries; k++ {
+		i := rng.Uniform(0, 1-alpha)
+		truth := histogram.RangeProb(x, i, i+alpha)
+		est := histogram.RangeProb(xhat, i, i+alpha)
+		acc += math.Abs(truth - est)
+	}
+	return acc / float64(nQueries)
+}
+
+// L1 and L2 point-wise distances are provided for completeness (the paper
+// argues they are the wrong metrics for ordered domains; Section 3.1) and are
+// used in tests to demonstrate exactly that.
+
+// L1 returns the point-wise L1 distance between the distributions.
+func L1(x, xhat []float64) float64 { return mathx.L1(x, xhat) }
+
+// L2 returns the point-wise L2 distance between the distributions.
+func L2(x, xhat []float64) float64 { return mathx.L2(x, xhat) }
+
+// KL returns the Kullback–Leibler divergence D(x ‖ xhat) in nats, treating
+// 0·log(0/·) as 0. Buckets where xhat is 0 but x is positive contribute +Inf.
+func KL(x, xhat []float64) float64 {
+	if len(x) != len(xhat) {
+		panic("metrics: KL length mismatch")
+	}
+	var acc float64
+	for i := range x {
+		if x[i] <= 0 {
+			continue
+		}
+		if xhat[i] <= 0 {
+			return math.Inf(1)
+		}
+		acc += x[i] * math.Log(x[i]/xhat[i])
+	}
+	return acc
+}
+
+// Report bundles every §3 metric for one (truth, estimate) pair. Produce it
+// with Evaluate.
+type Report struct {
+	Wasserstein   float64
+	KS            float64
+	RangeMAE01    float64 // α = 0.1
+	RangeMAE04    float64 // α = 0.4
+	MeanError     float64
+	VarianceError float64
+	QuantileMAE   float64 // deciles
+}
+
+// Evaluate computes the full metric suite for an estimated distribution.
+// nQueries controls the number of random range queries per width.
+func Evaluate(x, xhat []float64, nQueries int, rng *randx.Rand) Report {
+	return Report{
+		Wasserstein:   Wasserstein(x, xhat),
+		KS:            KS(x, xhat),
+		RangeMAE01:    RangeQueryMAE(x, xhat, 0.1, nQueries, rng),
+		RangeMAE04:    RangeQueryMAE(x, xhat, 0.4, nQueries, rng),
+		MeanError:     MeanError(x, xhat),
+		VarianceError: VarianceError(x, xhat),
+		QuantileMAE:   QuantileMAE(x, xhat, DecileBetas),
+	}
+}

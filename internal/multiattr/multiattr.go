@@ -1,0 +1,130 @@
+// Package multiattr collects several numerical attributes from the same
+// population under a single ε-LDP budget. The standard construction (used by
+// the multi-dimensional analytical-query systems the paper cites [33]) is
+// attribute sampling: each user is assigned one attribute uniformly at
+// random and spends the entire budget reporting that attribute through the
+// Square Wave mechanism. Compared to splitting ε across the k attributes,
+// sampling trades a k-fold smaller per-attribute population for full-budget
+// (much lower-noise) reports — the same population-vs-budget trade-off that
+// favors population division in the hierarchy protocols (Section 4.2).
+package multiattr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+	"repro/internal/sw"
+)
+
+// Record is one user's private values, one per attribute.
+type Record []float64
+
+// Config parameterizes a multi-attribute round.
+type Config struct {
+	// Epsilon is the per-user LDP budget. Required.
+	Epsilon float64
+	// Attributes is the number of attributes k. Required.
+	Attributes int
+	// Buckets is the per-attribute reconstruction granularity.
+	// Defaults to 256.
+	Buckets int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Epsilon <= 0 {
+		panic("multiattr: epsilon must be positive")
+	}
+	if c.Attributes < 1 {
+		panic("multiattr: need at least one attribute")
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 256
+	}
+}
+
+// Result holds the per-attribute reconstructions.
+type Result struct {
+	// Distributions[a] is the estimated distribution of attribute a.
+	Distributions [][]float64
+	// Counts[a] is the number of users sampled to attribute a.
+	Counts []int
+}
+
+// Collect runs a full multi-attribute round: every record is assigned one
+// attribute uniformly at random, the user reports that attribute's value
+// through SW at the full budget, and each attribute's report pool is
+// reconstructed with EMS.
+func Collect(records []Record, cfg Config, rng *randx.Rand) *Result {
+	cfg.fillDefaults()
+	if len(records) == 0 {
+		panic("multiattr: no records")
+	}
+	w := sw.NewSquare(cfg.Epsilon)
+	d := cfg.Buckets
+	span := 1 + 2*w.B()
+
+	counts := make([][]float64, cfg.Attributes)
+	for a := range counts {
+		counts[a] = make([]float64, d)
+	}
+	n := make([]int, cfg.Attributes)
+	for i, rec := range records {
+		if len(rec) != cfg.Attributes {
+			panic(fmt.Sprintf("multiattr: record %d has %d attributes, want %d",
+				i, len(rec), cfg.Attributes))
+		}
+		a := rng.IntN(cfg.Attributes)
+		n[a]++
+		vt := w.Sample(mathx.Clamp(rec[a], 0, 1), rng)
+		j := int((vt - w.OutLo()) / span * float64(d))
+		counts[a][mathx.ClampInt(j, 0, d-1)]++
+	}
+
+	m := w.TransitionMatrix(d, d)
+	res := &Result{Distributions: make([][]float64, cfg.Attributes), Counts: n}
+	for a := 0; a < cfg.Attributes; a++ {
+		if n[a] == 0 {
+			uniform := make([]float64, d)
+			for i := range uniform {
+				uniform[i] = 1 / float64(d)
+			}
+			res.Distributions[a] = uniform
+			continue
+		}
+		res.Distributions[a] = em.Reconstruct(m, counts[a], em.EMSOptions()).Estimate
+	}
+	return res
+}
+
+// CollectBudgetSplit is the alternative accounting: every user reports every
+// attribute, each at ε/k. Provided for the ablation; attribute sampling
+// (Collect) should dominate for k ≥ 2 under LDP noise levels.
+func CollectBudgetSplit(records []Record, cfg Config, rng *randx.Rand) *Result {
+	cfg.fillDefaults()
+	if len(records) == 0 {
+		panic("multiattr: no records")
+	}
+	perEps := cfg.Epsilon / float64(cfg.Attributes)
+	res := &Result{
+		Distributions: make([][]float64, cfg.Attributes),
+		Counts:        make([]int, cfg.Attributes),
+	}
+	for a := 0; a < cfg.Attributes; a++ {
+		values := make([]float64, len(records))
+		for i, rec := range records {
+			if len(rec) != cfg.Attributes {
+				panic(fmt.Sprintf("multiattr: record %d has %d attributes, want %d",
+					i, len(rec), cfg.Attributes))
+			}
+			values[i] = rec[a]
+		}
+		res.Counts[a] = len(records)
+		res.Distributions[a] = core.Run(core.Config{
+			Epsilon: perEps, Buckets: cfg.Buckets, Smoothing: true,
+		}, values, rng)
+	}
+	return res
+}

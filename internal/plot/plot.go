@@ -1,0 +1,176 @@
+// Package plot renders small ASCII line charts for the experiment CLI, so
+// `experiments -exp fig2 -chart` shows the figure's shape (who wins, where
+// curves cross) directly in the terminal without any plotting dependency.
+// Series are drawn over a shared axis grid with one marker rune per series
+// and an optional log-scaled y axis (the paper's figures are log-y).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Options sizes and scales the chart.
+type Options struct {
+	// Width and Height of the plotting area in characters. Default 60×16.
+	Width, Height int
+	// LogY uses a log10 y axis (non-positive values are clamped to the
+	// smallest positive y present).
+	LogY bool
+	// Title is printed above the chart.
+	Title string
+	// XLabel annotates the x axis.
+	XLabel string
+}
+
+func (o *Options) fillDefaults() {
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+}
+
+// markers are assigned to series in sorted-name order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '~', '^', '&'}
+
+// Chart renders the series into a multi-line string. Series are drawn in
+// sorted name order; each point is the nearest character cell, with linear
+// interpolation between consecutive points of a series.
+func Chart(series map[string][]Point, opts Options) string {
+	opts.fillDefaults()
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	minPosY := math.Inf(1)
+	for _, pts := range series {
+		for _, p := range pts {
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymin = math.Min(ymin, p.Y)
+			ymax = math.Max(ymax, p.Y)
+			if p.Y > 0 {
+				minPosY = math.Min(minPosY, p.Y)
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return "(no data)\n"
+	}
+	ty := func(y float64) float64 { return y }
+	if opts.LogY {
+		if math.IsInf(minPosY, 1) {
+			minPosY = 1e-12
+		}
+		ty = func(y float64) float64 {
+			if y < minPosY {
+				y = minPosY
+			}
+			return math.Log10(y)
+		}
+		ymin, ymax = ty(math.Max(ymin, minPosY)), ty(ymax)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, opts.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", opts.Width))
+	}
+	cell := func(p Point) (col, row int, ok bool) {
+		cx := (p.X - xmin) / (xmax - xmin)
+		cy := (ty(p.Y) - ymin) / (ymax - ymin)
+		col = int(cx * float64(opts.Width-1))
+		row = opts.Height - 1 - int(cy*float64(opts.Height-1))
+		if col < 0 || col >= opts.Width || row < 0 || row >= opts.Height {
+			return 0, 0, false
+		}
+		return col, row, true
+	}
+
+	for si, name := range names {
+		m := markers[si%len(markers)]
+		pts := append([]Point(nil), series[name]...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		// Interpolated trace between consecutive points.
+		for i := 0; i+1 < len(pts); i++ {
+			a, b := pts[i], pts[i+1]
+			steps := opts.Width / 2
+			for s := 0; s <= steps; s++ {
+				f := float64(s) / float64(steps)
+				y := a.Y*(1-f) + b.Y*f
+				if opts.LogY && a.Y > 0 && b.Y > 0 {
+					y = math.Pow(10, ty(a.Y)*(1-f)+ty(b.Y)*f)
+				}
+				if col, row, ok := cell(Point{X: a.X*(1-f) + b.X*f, Y: y}); ok {
+					if grid[row][col] == ' ' {
+						grid[row][col] = '·'
+					}
+				}
+			}
+		}
+		for _, p := range pts {
+			if col, row, ok := cell(p); ok {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	yLabel := func(row int) string {
+		frac := float64(opts.Height-1-row) / float64(opts.Height-1)
+		v := ymin + frac*(ymax-ymin)
+		if opts.LogY {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < opts.Height; r++ {
+		label := strings.Repeat(" ", 9)
+		if r == 0 || r == opts.Height-1 || r == opts.Height/2 {
+			label = yLabel(r)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&sb, "%s  %-10.3g%s%10.3g\n", strings.Repeat(" ", 9), xmin,
+		strings.Repeat(" ", maxInt(1, opts.Width-22)), xmax)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&sb, "%s  (x: %s)\n", strings.Repeat(" ", 9), opts.XLabel)
+	}
+	for si, name := range names {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], name)
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() map[string][]Point {
+	return map[string][]Point{
+		"SW-EMS": {{0.5, 0.02}, {1, 0.01}, {2, 0.004}},
+		"HH":     {{0.5, 0.05}, {1, 0.02}, {2, 0.01}},
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	out := Chart(twoSeries(), Options{Title: "W1 vs eps", XLabel: "epsilon"})
+	// Markers are assigned in sorted-name order: HH before SW-EMS.
+	for _, want := range []string{"W1 vs eps", "* HH", "o SW-EMS", "(x: epsilon)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Plot area has the requested default height of 16 rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows != 16 {
+		t.Errorf("plot rows = %d, want 16", rows)
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	out := Chart(twoSeries(), Options{LogY: true})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("log chart missing markers:\n%s", out)
+	}
+	// Non-positive values must not panic under LogY.
+	bad := map[string][]Point{"z": {{0, 0}, {1, 0.5}}}
+	out = Chart(bad, Options{LogY: true})
+	if !strings.Contains(out, "^") && !strings.Contains(out, "*") {
+		t.Errorf("chart with zero y rendered nothing:\n%s", out)
+	}
+}
+
+func TestChartMonotoneSeriesOrientation(t *testing.T) {
+	// A decreasing series should put its first marker on a higher row
+	// than its last marker.
+	series := map[string][]Point{"only": {{0, 10}, {1, 1}}}
+	out := Chart(series, Options{Width: 20, Height: 10})
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		body := line[strings.Index(line, "|"):]
+		if idx := strings.IndexRune(body, '*'); idx >= 0 {
+			if firstRow == -1 || idx <= 2 {
+				if idx <= 2 && firstRow == -1 {
+					firstRow = i
+				}
+			}
+			lastRow = i
+		}
+		_ = body
+	}
+	if firstRow == -1 || lastRow == -1 || firstRow >= lastRow {
+		t.Errorf("decreasing series should slope downward (rows %d -> %d):\n%s",
+			firstRow, lastRow, out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if got := Chart(nil, Options{}); got != "(no data)\n" {
+		t.Errorf("empty chart = %q", got)
+	}
+}
+
+func TestChartSinglePointAndFlatSeries(t *testing.T) {
+	// Degenerate spans (xmin == xmax, ymin == ymax) must not divide by
+	// zero.
+	series := map[string][]Point{"p": {{1, 5}}}
+	out := Chart(series, Options{Width: 10, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+	flat := map[string][]Point{"f": {{0, 2}, {1, 2}, {2, 2}}}
+	out = Chart(flat, Options{})
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestManySeriesGetDistinctMarkers(t *testing.T) {
+	series := map[string][]Point{}
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		series[name] = []Point{{0, 1}, {1, 2}}
+	}
+	out := Chart(series, Options{})
+	for _, m := range []string{"* a", "o b", "+ c", "x d", "# e"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("legend missing %q:\n%s", m, out)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package postprocess implements simplex projections for noisy frequency
+// estimates. LDP frequency oracles produce unbiased but noisy estimates that
+// are routinely negative and do not sum to one; the paper (Section 4.1,
+// following Wang et al. [35]) post-processes them with Norm-Sub so the result
+// is a valid probability distribution.
+package postprocess
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// NormSub projects the estimate vector onto the probability simplex using
+// the Norm-Sub rule: negative entries are clipped to zero and a constant is
+// subtracted from the remaining positive entries so the total becomes 1,
+// repeating if the subtraction creates new negative entries. The input is
+// not modified; the returned slice is fresh.
+//
+// Norm-Sub is exactly the Euclidean projection onto the simplex restricted
+// to the support it converges to, and is the estimator of choice for CFO
+// outputs in the paper.
+func NormSub(est []float64) []float64 {
+	d := len(est)
+	out := make([]float64, d)
+	copy(out, est)
+	if d == 0 {
+		return out
+	}
+	// Iteratively: find delta such that Σ max(out_i − delta, 0) = 1.
+	// The classical simplex-projection algorithm solves this in one pass
+	// over the sorted values; iterating the clip-and-shift rule converges
+	// to the same fixed point, but the sorted form is O(d log d) and
+	// deterministic, so use it directly.
+	sorted := append([]float64(nil), out...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var cum float64
+	var delta float64
+	for i, v := range sorted {
+		cum += v
+		d := (cum - 1) / float64(i+1)
+		if v-d > 0 {
+			delta = d
+		}
+	}
+	// The first sorted element always satisfies v − (v−1)/1 = 1 > 0, so
+	// delta is always set; an all-negative input projects to a point mass
+	// at its largest entry.
+	for i := range out {
+		out[i] = math.Max(out[i]-delta, 0)
+	}
+	// Guard against floating-point drift.
+	mathx.Normalize(out)
+	return out
+}
+
+// NormSubTo applies Norm-Sub with a target total other than 1 (used per
+// hierarchy level where each level must sum to the level total). target must
+// be positive.
+func NormSubTo(est []float64, target float64) []float64 {
+	if target <= 0 {
+		panic("postprocess: NormSubTo target must be positive")
+	}
+	scaled := make([]float64, len(est))
+	inv := 1 / target
+	for i, v := range est {
+		scaled[i] = v * inv
+	}
+	out := NormSub(scaled)
+	for i := range out {
+		out[i] *= target
+	}
+	return out
+}
+
+// ClipRenorm is the naive baseline projection: clip negatives to zero and
+// rescale to sum 1. It keeps more spurious support than Norm-Sub and is
+// provided for comparison and tests.
+func ClipRenorm(est []float64) []float64 {
+	out := make([]float64, len(est))
+	for i, v := range est {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	mathx.Normalize(out)
+	return out
+}
+
+// SimplexProject is an alias for NormSub kept for call sites that care about
+// the geometric interpretation (Euclidean projection onto the probability
+// simplex) rather than the paper's name for it.
+func SimplexProject(est []float64) []float64 { return NormSub(est) }
+
+// Norm applies the additive normalization of Wang et al. [35]: a single
+// constant is added to every entry so the total becomes 1, keeping negative
+// entries. The result is NOT a valid distribution, but it is the estimator
+// that keeps range-query answers unbiased (errors on disjoint ranges cancel
+// instead of being clipped), which is why [35] recommends it for
+// range-query workloads.
+func Norm(est []float64) []float64 {
+	d := len(est)
+	out := make([]float64, d)
+	if d == 0 {
+		return out
+	}
+	delta := (1 - mathx.Sum(est)) / float64(d)
+	for i, v := range est {
+		out[i] = v + delta
+	}
+	return out
+}
+
+// NormCut applies the cut normalization of Wang et al. [35]: negative
+// entries are zeroed, then — if the positive mass exceeds 1 — the smallest
+// positive entries are cut to zero until the remaining mass is at most 1,
+// and the survivors are rescaled to sum to exactly 1. NormCut preserves
+// large spikes even more aggressively than Norm-Sub (everything below the
+// cut threshold becomes exactly zero) at the cost of bias on the tail.
+func NormCut(est []float64) []float64 {
+	d := len(est)
+	out := make([]float64, d)
+	if d == 0 {
+		return out
+	}
+	type entry struct {
+		idx int
+		v   float64
+	}
+	positives := make([]entry, 0, d)
+	for i, v := range est {
+		if v > 0 {
+			positives = append(positives, entry{i, v})
+		}
+	}
+	if len(positives) == 0 {
+		return NormSub(est) // degenerate: fall back to the projection
+	}
+	sort.Slice(positives, func(i, j int) bool { return positives[i].v > positives[j].v })
+	// Keep the largest entries until their mass reaches 1.
+	var mass float64
+	kept := 0
+	for _, e := range positives {
+		if mass >= 1 {
+			break
+		}
+		mass += e.v
+		kept++
+	}
+	for _, e := range positives[:kept] {
+		out[e.idx] = e.v
+	}
+	mathx.Normalize(out)
+	return out
+}

@@ -1,0 +1,310 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(1)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("splits with different ids produced identical first draw")
+	}
+	// Splitting must not advance the parent stream.
+	r1 := New(1)
+	_ = r1.Split(99)
+	r2 := New(1)
+	if r1.Uint64() != r2.Uint64() {
+		t.Error("Split advanced the parent stream")
+	}
+	// Same id twice gives the same stream.
+	a, b := New(5).Split(7), New(5).Split(7)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic in id")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) out of range: %v", v)
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", got)
+	}
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(2, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("Normal mean = %v, want 2", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Errorf("Normal variance = %v, want 9", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(4)
+	}
+	if got := sum / n; math.Abs(got-0.25) > 0.01 {
+		t.Errorf("Exponential(4) mean = %v, want 0.25", got)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(6)
+	for _, alpha := range []float64{0.5, 1, 2.5, 7} {
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := r.Gamma(alpha)
+			if v < 0 {
+				t.Fatalf("Gamma(%v) produced negative sample %v", alpha, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-alpha) > 0.1*alpha+0.02 {
+			t.Errorf("Gamma(%v) mean = %v, want %v", alpha, mean, alpha)
+		}
+		if math.Abs(variance-alpha) > 0.15*alpha+0.05 {
+			t.Errorf("Gamma(%v) variance = %v, want %v", alpha, variance, alpha)
+		}
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	r := New(7)
+	// Beta(5,2): mean 5/7, variance 5*2/(49*8) = 10/392.
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Beta(5, 2)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta sample out of [0,1]: %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5.0/7.0) > 0.005 {
+		t.Errorf("Beta(5,2) mean = %v, want %v", mean, 5.0/7.0)
+	}
+	if math.Abs(variance-10.0/392.0) > 0.002 {
+		t.Errorf("Beta(5,2) variance = %v, want %v", variance, 10.0/392.0)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(8)
+	const n = 100001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.LogNormal(1, 0.5)
+	}
+	// Median of lognormal is exp(mu); use a counting estimate.
+	below := 0
+	for _, v := range xs {
+		if v < math.E {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("lognormal median fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	if a.N() != 4 {
+		t.Fatalf("N = %d", a.N())
+	}
+	r := New(9)
+	counts := make([]int, 4)
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("alias outcome %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	a := NewAlias([]float64{0, 0, 5, 0})
+	r := New(10)
+	for i := 0; i < 1000; i++ {
+		if got := a.Draw(r); got != 2 {
+			t.Fatalf("degenerate alias drew %d", got)
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	cases := [][]float64{nil, {0, 0}, {-1, 2}, {math.NaN()}, {math.Inf(1)}}
+	for _, weights := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAlias(%v) should panic", weights)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+func TestAliasPropertySumsPreserved(t *testing.T) {
+	// Property: for arbitrary positive weights, empirical frequencies
+	// converge to normalized weights.
+	err := quick.Check(func(seed uint64, raw [5]float64) bool {
+		weights := make([]float64, 5)
+		var total float64
+		for i, v := range raw {
+			weights[i] = math.Abs(math.Mod(v, 10)) + 0.1
+			total += weights[i]
+		}
+		a := NewAlias(weights)
+		r := New(seed)
+		counts := make([]int, 5)
+		const n = 20000
+		for i := 0; i < n; i++ {
+			counts[a.Draw(r)]++
+		}
+		for i := range weights {
+			if math.Abs(float64(counts[i])/n-weights[i]/total) > 0.03 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m := NewMixture(
+		MixtureComponent{Weight: 1, Sample: func(r *Rand) float64 { return r.Uniform(0, 0.1) }},
+		MixtureComponent{Weight: 3, Sample: func(r *Rand) float64 { return r.Uniform(0.9, 1) }},
+	)
+	r := New(11)
+	low, high := 0, 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := m.Sample(r)
+		switch {
+		case v < 0.1:
+			low++
+		case v >= 0.9:
+			high++
+		default:
+			t.Fatalf("mixture sample outside components: %v", v)
+		}
+	}
+	if got := float64(low) / n; math.Abs(got-0.25) > 0.01 {
+		t.Errorf("low component frequency = %v, want 0.25", got)
+	}
+	if got := float64(high) / n; math.Abs(got-0.75) > 0.01 {
+		t.Errorf("high component frequency = %v, want 0.75", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Gamma(5)
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	weights := make([]float64, 1024)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	a := NewAlias(weights)
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Draw(r)
+	}
+}

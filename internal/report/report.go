@@ -1,0 +1,126 @@
+// Package report renders experiment results as aligned ASCII tables and CSV,
+// the two output formats of cmd/experiments. It is deliberately tiny: rows
+// of strings in, formatted text out.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rectangular grid of cells with a header row.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	if len(headers) == 0 {
+		panic("report: table needs at least one column")
+	}
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; the cell count must match the header count. Values
+// are formatted with %v, with float64 rendered in compact scientific form.
+func (t *Table) AddRow(cells ...any) {
+	if len(cells) != len(t.headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// FormatFloat renders a float compactly: fixed-point for moderate
+// magnitudes, scientific for very small or large values.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 0.001 && av < 100000:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.5f", v), "0"), ".")
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}
+
+// Render writes the table as aligned monospace text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	var sep strings.Builder
+	for i, wd := range widths {
+		if i > 0 {
+			sep.WriteString("  ")
+		}
+		sep.WriteString(strings.Repeat("-", wd))
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sep.String()); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderString returns the rendered table as a string.
+func (t *Table) RenderString() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// WriteCSV writes the table (header row first) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("method", "eps", "w1")
+	tb.AddRow("SW-EMS", 0.5, 0.0123)
+	tb.AddRow("HH-ADMM", 2.5, 0.00045)
+	out := tb.RenderString()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "method") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "SW-EMS") || !strings.Contains(lines[3], "HH-ADMM") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.5, "0.5"},
+		{0.0123, "0.0123"},
+		{1, "1"},
+		{12345.6, "12345.6"},
+		{0.0000012, "1.200e-06"},
+		{1e7, "1.000e+07"},
+		{-0.25, "-0.25"},
+	}
+	for _, tc := range tests {
+		if got := FormatFloat(tc.in); got != tc.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("y, with comma", 2)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "a,b\nx,1.5\n\"y, with comma\",2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestAddRowPanicsOnArity(t *testing.T) {
+	tb := NewTable("a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row should panic")
+		}
+	}()
+	tb.AddRow("only one")
+}
+
+func TestNewTablePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty table should panic")
+		}
+	}()
+	NewTable()
+}
+
+func TestLen(t *testing.T) {
+	tb := NewTable("a")
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	tb.AddRow("x")
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}

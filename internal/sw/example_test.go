@@ -1,0 +1,44 @@
+package sw_test
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+	"repro/internal/sw"
+)
+
+// ExampleBOpt shows the closed-form bandwidth at the ε values of the
+// paper's Figure 6 captions.
+func ExampleBOpt() {
+	for _, eps := range []float64{1, 2, 3, 4} {
+		fmt.Printf("eps=%d: b=%.3f\n", int(eps), sw.BOpt(eps))
+	}
+	// Output:
+	// eps=1: b=0.256
+	// eps=2: b=0.129
+	// eps=3: b=0.064
+	// eps=4: b=0.030
+}
+
+// ExampleWave_Sample randomizes one private value with the Square Wave
+// mechanism.
+func ExampleWave_Sample() {
+	w := sw.NewSquare(1.0)
+	rng := randx.New(1)
+	report := w.Sample(0.5, rng)
+	fmt.Printf("report in [%.3f, %.3f]: %v\n", w.OutLo(), w.OutHi(),
+		report >= w.OutLo() && report <= w.OutHi())
+	// Output:
+	// report in [-0.256, 1.256]: true
+}
+
+// ExampleDiscrete shows the bucketize-before-randomize variant on an
+// already-discrete domain.
+func ExampleDiscrete() {
+	s := sw.NewDiscrete(100, 1.0) // e.g. ages 0..99
+	rng := randx.New(2)
+	out := s.Perturb(30, rng)
+	fmt.Printf("output domain size %d, report valid: %v\n", s.Dt(), out >= 0 && out < s.Dt())
+	// Output:
+	// output domain size 150, report valid: true
+}

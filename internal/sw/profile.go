@@ -1,0 +1,186 @@
+package sw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/matrixx"
+	"repro/internal/randx"
+)
+
+// Profile is an arbitrary wave profile for the General Wave mechanism: a
+// shape function φ : [−1, 1] → [0, 1] (evaluated at z/b) that scales the
+// density between the floor q (φ = 0) and the ceiling e^ε·q (φ = 1).
+// Definition 5.1 requires only that the density stays within [q, e^ε·q] on
+// the band, so any φ into [0,1] yields a valid ε-LDP mechanism; the floor q
+// is pinned by total probability:
+//
+//	q = 1 / (1 + 2b + (e^ε−1)·b·I(φ)),  I(φ) = ∫_{−1}^{1} φ(u) du.
+//
+// ProfileWave generalizes Wave (whose trapezoid family corresponds to
+// piecewise-linear φ) so researchers can evaluate novel shapes against the
+// square wave; Theorem 5.3 predicts none can beat it, and the shape
+// benchmarks agree.
+type Profile func(u float64) float64
+
+// ProfileWave is a General Wave mechanism with an arbitrary profile.
+// Construct with NewProfileWave.
+type ProfileWave struct {
+	eps     float64
+	b       float64
+	profile Profile
+	q       float64
+	ceil    float64 // e^ε·q
+	// cdf tabulates the in-band cumulative mass for sampling and the
+	// transition matrix (4096-point grid; the profile is user code, so no
+	// closed form exists).
+	cdf []float64
+}
+
+// profileGrid is the tabulation resolution of the in-band CDF.
+const profileGrid = 4096
+
+// NewProfileWave builds the mechanism, validating that the profile maps
+// into [0,1] on a dense grid.
+func NewProfileWave(eps, b float64, profile Profile) *ProfileWave {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		panic(fmt.Sprintf("sw: epsilon %v must be positive and finite", eps))
+	}
+	if b <= 0 || b > 2 {
+		panic(fmt.Sprintf("sw: bandwidth %v out of range (0, 2]", b))
+	}
+	if profile == nil {
+		panic("sw: nil profile")
+	}
+	// Validate and integrate the profile.
+	var integral float64
+	h := 2.0 / profileGrid
+	for i := 0; i < profileGrid; i++ {
+		u := -1 + (float64(i)+0.5)*h
+		v := profile(u)
+		if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+			panic(fmt.Sprintf("sw: profile(%v) = %v outside [0,1]", u, v))
+		}
+		integral += mathx.Clamp(v, 0, 1) * h
+	}
+	ee := math.Exp(eps)
+	q := 1 / (1 + 2*b + (ee-1)*b*integral)
+	w := &ProfileWave{eps: eps, b: b, profile: profile, q: q, ceil: ee * q}
+
+	// Tabulate F(z) = ∫_{−b}^{z} W, W(z) = q + (ceil−q)·φ(z/b).
+	w.cdf = make([]float64, profileGrid+1)
+	hz := 2 * b / profileGrid
+	var acc float64
+	for i := 0; i < profileGrid; i++ {
+		z := -b + (float64(i)+0.5)*hz
+		acc += (q + (w.ceil-q)*mathx.Clamp(profile(z/b), 0, 1)) * hz
+		w.cdf[i+1] = acc
+	}
+	return w
+}
+
+// Epsilon returns the privacy budget.
+func (w *ProfileWave) Epsilon() float64 { return w.eps }
+
+// B returns the band half-width.
+func (w *ProfileWave) B() float64 { return w.b }
+
+// Q returns the floor density.
+func (w *ProfileWave) Q() float64 { return w.q }
+
+// OutLo and OutHi delimit the output domain [−b, 1+b].
+func (w *ProfileWave) OutLo() float64 { return -w.b }
+
+// OutHi returns the top of the output domain.
+func (w *ProfileWave) OutHi() float64 { return 1 + w.b }
+
+// Density returns M_v(ṽ).
+func (w *ProfileWave) Density(v, vt float64) float64 {
+	if vt < w.OutLo() || vt > w.OutHi() {
+		return 0
+	}
+	z := vt - v
+	if z < -w.b || z > w.b {
+		return w.q
+	}
+	return w.q + (w.ceil-w.q)*mathx.Clamp(w.profile(z/w.b), 0, 1)
+}
+
+// bandMass returns ∫ over [z1, z2] ⊆ [−b, b] of W via the tabulated CDF.
+func (w *ProfileWave) bandMass(z1, z2 float64) float64 {
+	at := func(z float64) float64 {
+		pos := (z + w.b) / (2 * w.b) * profileGrid
+		i := mathx.ClampInt(int(pos), 0, profileGrid)
+		return w.cdf[i]
+	}
+	return at(mathx.Clamp(z2, -w.b, w.b)) - at(mathx.Clamp(z1, -w.b, w.b))
+}
+
+// inBandMass is the total band mass 1 − q.
+func (w *ProfileWave) inBandMass() float64 { return w.cdf[profileGrid] }
+
+// Sample draws one report for v ∈ [0,1] by inverse-CDF over the tabulated
+// band plus the uniform out-of-band region.
+func (w *ProfileWave) Sample(v float64, rng *randx.Rand) float64 {
+	if v < 0 || v > 1 {
+		panic(fmt.Sprintf("sw: input %v outside [0,1]", v))
+	}
+	band := w.inBandMass()
+	if rng.Float64() >= band {
+		// Out of band: uniform over [−b, v−b) ∪ (v+b, 1+b], length 1.
+		s := rng.Float64()
+		if s < v {
+			return -w.b + s
+		}
+		return v + w.b + (s - v)
+	}
+	// In band: inverse CDF by binary search over the table.
+	target := rng.Float64() * band
+	lo, hi := 0, profileGrid
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	z := -w.b + float64(lo)/profileGrid*2*w.b
+	return mathx.Clamp(v+z, w.OutLo(), w.OutHi())
+}
+
+// TransitionMatrix builds the dt×d column-stochastic channel by midpoint
+// quadrature over the input bucket (as the trapezoid path of Wave does).
+func (w *ProfileWave) TransitionMatrix(d, dt int) *matrixx.Matrix {
+	if d < 1 || dt < 1 {
+		panic("sw: TransitionMatrix needs positive bucket counts")
+	}
+	m := matrixx.New(dt, d)
+	outW := (1 + 2*w.b) / float64(dt)
+	inW := 1 / float64(d)
+	const quadPoints = 16
+	for i := 0; i < d; i++ {
+		vlo := float64(i) * inW
+		for j := 0; j < dt; j++ {
+			ulo := w.OutLo() + float64(j)*outW
+			uhi := ulo + outW
+			var mass float64
+			for k := 0; k < quadPoints; k++ {
+				v := vlo + (float64(k)+0.5)*inW/quadPoints
+				overlap := mathx.IntervalOverlap(ulo, uhi, v-w.b, v+w.b)
+				mass += w.q*((uhi-ulo)-overlap) + w.bandMass(ulo-v, uhi-v)
+			}
+			m.Set(j, i, mass/quadPoints)
+		}
+	}
+	m.NormalizeCols()
+	return m
+}
+
+// Cosine is a smooth raised-cosine profile, a natural "gentler than square"
+// candidate shape.
+func Cosine(u float64) float64 { return (1 + math.Cos(math.Pi*u)) / 2 }
+
+// Parabolic is the Epanechnikov-style profile 1 − u².
+func Parabolic(u float64) float64 { return 1 - u*u }

@@ -1,0 +1,129 @@
+package sw
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+func TestProfileWaveDensityIntegratesToOne(t *testing.T) {
+	for _, p := range []struct {
+		name string
+		fn   Profile
+	}{
+		{"cosine", Cosine},
+		{"parabolic", Parabolic},
+		{"square", func(u float64) float64 { return 1 }},
+	} {
+		w := NewProfileWave(1.5, 0.3, p.fn)
+		for _, v := range []float64{0, 0.37, 1} {
+			const steps = 100000
+			span := w.OutHi() - w.OutLo()
+			h := span / steps
+			var acc float64
+			for i := 0; i < steps; i++ {
+				acc += w.Density(v, w.OutLo()+(float64(i)+0.5)*h) * h
+			}
+			if math.Abs(acc-1) > 1e-3 {
+				t.Errorf("%s v=%v: density integrates to %v", p.name, v, acc)
+			}
+		}
+	}
+}
+
+func TestProfileWaveSquareMatchesWave(t *testing.T) {
+	// A constant-1 profile is the square wave: q must match the closed
+	// form and the transition matrices must agree.
+	const eps, b = 1.0, 0.25
+	pw := NewProfileWave(eps, b, func(u float64) float64 { return 1 })
+	sq := NewSquareWithB(eps, b)
+	if !mathx.AlmostEqual(pw.Q(), sq.Q(), 1e-9) {
+		t.Errorf("q = %v, want %v", pw.Q(), sq.Q())
+	}
+	mp := pw.TransitionMatrix(24, 24)
+	ms := sq.TransitionMatrix(24, 24)
+	if diff := mp.MaxAbsDiff(ms); diff > 1e-3 {
+		t.Errorf("transition matrices differ by %v", diff)
+	}
+}
+
+func TestProfileWaveLDP(t *testing.T) {
+	// Density ratio bounded by e^ε for smooth profiles.
+	const eps = 1.2
+	for _, fn := range []Profile{Cosine, Parabolic} {
+		w := NewProfileWave(eps, 0.25, fn)
+		limit := math.Exp(eps) * (1 + 1e-9)
+		for v1 := 0.0; v1 <= 1; v1 += 0.2 {
+			for v2 := 0.0; v2 <= 1; v2 += 0.2 {
+				for vt := w.OutLo(); vt <= w.OutHi(); vt += 0.03 {
+					d1, d2 := w.Density(v1, vt), w.Density(v2, vt)
+					if d2 <= 0 {
+						t.Fatal("zero density inside the output domain")
+					}
+					if d1/d2 > limit {
+						t.Fatalf("LDP violated at (%v,%v,%v): ratio %v", v1, v2, vt, d1/d2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProfileWaveSampleMatchesDensity(t *testing.T) {
+	w := NewProfileWave(1, 0.3, Cosine)
+	rng := randx.New(5)
+	const n = 300000
+	const cells = 20
+	span := w.OutHi() - w.OutLo()
+	counts := make([]float64, cells)
+	v := 0.4
+	for i := 0; i < n; i++ {
+		vt := w.Sample(v, rng)
+		if vt < w.OutLo() || vt > w.OutHi() {
+			t.Fatalf("sample %v out of domain", vt)
+		}
+		j := int((vt - w.OutLo()) / span * cells)
+		counts[mathx.ClampInt(j, 0, cells-1)]++
+	}
+	for j := 0; j < cells; j++ {
+		lo := w.OutLo() + float64(j)*span/cells
+		hi := lo + span/cells
+		// Analytic cell mass via floor + tabulated band.
+		overlap := mathx.IntervalOverlap(lo, hi, v-w.B(), v+w.B())
+		want := w.Q()*((hi-lo)-overlap) + w.bandMass(lo-v, hi-v)
+		got := counts[j] / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("cell %d: empirical %v, analytic %v", j, got, want)
+		}
+	}
+}
+
+func TestProfileWaveTransitionMatrixStochastic(t *testing.T) {
+	w := NewProfileWave(2, 0.15, Parabolic)
+	m := w.TransitionMatrix(32, 32)
+	if !m.IsColumnStochastic(1e-9) {
+		t.Error("profile wave transition matrix not column stochastic")
+	}
+}
+
+func TestProfileWavePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewProfileWave(0, 0.2, Cosine) },
+		func() { NewProfileWave(1, 0, Cosine) },
+		func() { NewProfileWave(1, 0.2, nil) },
+		func() { NewProfileWave(1, 0.2, func(u float64) float64 { return 2 }) },
+		func() { NewProfileWave(1, 0.2, func(u float64) float64 { return math.NaN() }) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
