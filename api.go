@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/aggregate"
 	"repro/internal/boot"
 	"repro/internal/core"
+	"repro/internal/em"
 	"repro/internal/histogram"
 	"repro/internal/mathx"
 	"repro/internal/randx"
@@ -58,6 +60,14 @@ type Options struct {
 	// fixed default seed (LDP noise must be random in production; expose
 	// the seed only for experiments and tests).
 	Seed uint64
+	// Workers sets the reconstruction's EM parallelism: 0 or 1 run
+	// serially, n > 1 partitions the E-step matrix products across n
+	// workers, negative uses every CPU. Parallel reconstructions are
+	// bit-identical to serial ones, so this is purely a latency knob.
+	Workers int
+	// Shards overrides the Aggregator's ingestion stripe count
+	// (0 = one per CPU, rounded up to a power of two).
+	Shards int
 }
 
 // DefaultOptions returns the recommended configuration at the given budget.
@@ -224,10 +234,13 @@ func (c *Client) Bandwidth() float64 { return c.inner.Bandwidth() }
 
 // Aggregator is the collector-side half of the streaming pipeline: feed it
 // reports as they arrive and call Estimate whenever a reconstruction is
-// needed. Not safe for concurrent use.
+// needed. All methods are safe for heavy concurrent use: reports land in a
+// striped histogram of atomic counters (no global lock), and Estimate works
+// from a non-blocking snapshot, so reconstruction never stalls ingestion.
 type Aggregator struct {
-	inner *core.Aggregator
-	opts  Options
+	inner  *core.Aggregator // immutable channel + mechanism parameters
+	counts *aggregate.Striped
+	opts   Options
 }
 
 // NewAggregator builds an aggregator with the same Options as the clients.
@@ -236,22 +249,52 @@ func NewAggregator(opts Options) (*Aggregator, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{Epsilon: opts.Epsilon, Buckets: opts.Buckets, Bandwidth: opts.Bandwidth, Smoothing: true}
-	return &Aggregator{inner: core.NewAggregator(cfg), opts: opts}, nil
+	cfg := core.Config{
+		Epsilon:   opts.Epsilon,
+		Buckets:   opts.Buckets,
+		Bandwidth: opts.Bandwidth,
+		Smoothing: true,
+		EM:        em.Options{Workers: opts.Workers},
+	}
+	inner := core.NewAggregator(cfg)
+	return &Aggregator{
+		inner:  inner,
+		counts: aggregate.New(inner.OutputBuckets(), opts.Shards),
+		opts:   opts,
+	}, nil
 }
 
-// Ingest adds one client report.
-func (a *Aggregator) Ingest(report float64) { a.inner.Ingest(report) }
+// Ingest adds one client report. Safe to call from many goroutines at once.
+func (a *Aggregator) Ingest(report float64) {
+	a.counts.Add(a.inner.Bucket(report))
+}
+
+// IngestBatch adds many client reports, resolving the counter stripe once
+// for the whole batch — the cheapest way to drain a transport that delivers
+// reports in chunks.
+func (a *Aggregator) IngestBatch(reports []float64) {
+	if len(reports) == 0 {
+		return
+	}
+	buckets := make([]int, len(reports))
+	for i, r := range reports {
+		buckets[i] = a.inner.Bucket(r)
+	}
+	a.counts.AddBatch(buckets)
+}
 
 // N returns the number of reports ingested so far.
-func (a *Aggregator) N() int { return a.inner.N() }
+func (a *Aggregator) N() int { return a.counts.N() }
 
-// Estimate reconstructs the distribution from the reports so far.
+// Estimate reconstructs the distribution from a snapshot of the reports so
+// far. Concurrent ingestion is never blocked; reports that finish arriving
+// before the call are always included.
 func (a *Aggregator) Estimate() (*Result, error) {
-	if a.inner.N() == 0 {
+	counts, n := a.counts.Snapshot(nil)
+	if n == 0 {
 		return nil, ErrNoValues
 	}
-	res := a.inner.Estimate()
+	res := a.inner.EstimateFrom(counts, nil)
 	return &Result{Distribution: res.Estimate, Method: SWEMS, Epsilon: a.opts.Epsilon}, nil
 }
 
@@ -289,13 +332,14 @@ type ConfidenceInterval struct {
 // percentile interval at the given level (e.g. 0.9). Replicas ≤ 0 selects
 // 100. This is expensive — one EMS reconstruction per replica.
 func (a *Aggregator) ConfidenceInterval(stat Statistic, level float64, replicas int) (ConfidenceInterval, error) {
-	if a.inner.N() == 0 {
+	counts, n := a.counts.Snapshot(nil)
+	if n == 0 {
 		return ConfidenceInterval{}, ErrNoValues
 	}
 	if level <= 0 || level >= 1 {
 		return ConfidenceInterval{}, fmt.Errorf("repro: confidence level %v outside (0,1)", level)
 	}
-	ci := boot.Estimate(a.inner.Channel(), a.inner.Counts(), stat,
+	ci := boot.Estimate(a.inner.Channel(), counts, stat,
 		boot.Options{Replicas: replicas, Level: level}, randx.New(a.opts.Seed^0xb007))
 	return ConfidenceInterval{Point: ci.Point, Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}, nil
 }

@@ -2,12 +2,14 @@ package repro_test
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro"
 	"repro/internal/dataset"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/randx"
 )
 
 func TestEstimateDistributionQuickstart(t *testing.T) {
@@ -207,5 +209,65 @@ func TestConfidenceIntervalAPI(t *testing.T) {
 	empty, _ := repro.NewAggregator(opts)
 	if _, err := empty.ConfidenceInterval(repro.MeanStatistic(), 0.9, 10); err == nil {
 		t.Error("empty aggregator accepted")
+	}
+}
+
+func TestAggregatorConcurrentIngestion(t *testing.T) {
+	opts := repro.DefaultOptions(1.0)
+	opts.Buckets = 64
+	agg, err := repro.NewAggregator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Each goroutine owns its Client (clients are not shared);
+			// the Aggregator is shared by all of them.
+			client, err := repro.NewClient(repro.Options{Epsilon: 1, Buckets: 64, Seed: uint64(id + 1)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rng := randx.New(uint64(1000 + id))
+			batch := make([]float64, 0, 16)
+			for i := 0; i < perWorker; i++ {
+				r := client.Report(rng.Beta(5, 2))
+				if i%2 == 0 {
+					agg.Ingest(r)
+				} else {
+					batch = append(batch, r)
+					if len(batch) == cap(batch) {
+						agg.IngestBatch(batch)
+						batch = batch[:0]
+					}
+				}
+			}
+			agg.IngestBatch(batch)
+		}(w)
+	}
+	// Estimating mid-ingestion must not block writers or corrupt counts.
+	for i := 0; i < 3; i++ {
+		if _, err := agg.Estimate(); err != nil && err != repro.ErrNoValues {
+			t.Errorf("mid-ingestion estimate: %v", err)
+		}
+	}
+	wg.Wait()
+	if agg.N() != workers*perWorker {
+		t.Fatalf("N = %d, want %d (reports lost)", agg.N(), workers*perWorker)
+	}
+	res, err := agg.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.IsDistribution(res.Distribution, 1e-9) {
+		t.Error("concurrent-ingestion estimate is not a distribution")
+	}
+	if math.Abs(res.Mean()-5.0/7.0) > 0.05 {
+		t.Errorf("mean = %v, want ≈ 0.714", res.Mean())
 	}
 }

@@ -4,6 +4,12 @@
 // it with clients built on repro.NewClient (see examples/httpcollect for a
 // self-contained demo of both halves).
 //
+// Ingestion is lock-free (striped atomic counters, one stripe per CPU by
+// default) and estimation runs on a background goroutine that re-runs EMS
+// warm-started from the previous estimate, so GET /estimate serves a cached
+// reconstruction instead of blocking on the EM loop. SIGINT/SIGTERM drain
+// in-flight requests and stop the estimator cleanly.
+//
 // Usage:
 //
 //	ldpserver -addr :8080 -eps 1.0 -buckets 512
@@ -12,10 +18,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/ldphttp"
@@ -27,21 +38,51 @@ func main() {
 		eps     = flag.Float64("eps", 1.0, "LDP privacy budget ε")
 		buckets = flag.Int("buckets", 512, "reconstruction granularity")
 		band    = flag.Float64("bandwidth", 0, "wave half-width override (0 = optimal)")
+		shards  = flag.Int("shards", 0, "ingestion stripe count (0 = one per CPU)")
+		workers = flag.Int("em-workers", 0, "EM parallelism (0 = all CPUs, 1 = serial)")
+		refresh = flag.Duration("refresh", 500*time.Millisecond, "background re-estimation cadence")
 	)
 	flag.Parse()
 
 	srv := ldphttp.NewServer(ldphttp.Config{
-		Epsilon:   *eps,
-		Buckets:   *buckets,
-		Bandwidth: *band,
+		Epsilon:         *eps,
+		Buckets:         *buckets,
+		Bandwidth:       *band,
+		Shards:          *shards,
+		EMWorkers:       *workers,
+		RefreshInterval: *refresh,
 	})
 	httpSrv := &http.Server{
 		Addr:         *addr,
 		Handler:      srv.Handler(),
 		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 60 * time.Second, // /estimate runs EM
+		WriteTimeout: 30 * time.Second, // /estimate is cached; only the first call waits for EM
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ldpserver listening on %s (epsilon=%g, buckets=%d)\n", *addr, *eps, *buckets)
 	fmt.Println("endpoints: POST /report, POST /batch, GET /estimate, GET /config")
-	log.Fatal(httpSrv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills immediately
+		fmt.Println("\nshutting down: draining requests, stopping estimator...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		srv.Close() // background estimator exits before we do
+		fmt.Printf("done; %d reports collected this run\n", srv.N())
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
 }

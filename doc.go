@@ -38,4 +38,21 @@
 // Baseline methods from the paper's evaluation (HH-ADMM, plain hierarchical
 // histograms, HaarHRR, CFO-with-binning) are available through Estimate with
 // an explicit Method, for comparisons and research use.
+//
+// # Collection at scale
+//
+// The Aggregator is built for heavy concurrent ingestion: reports land in a
+// striped histogram of atomic counters (one stripe per CPU, Options.Shards
+// overrides), so Ingest and IngestBatch take no lock and may be called from
+// any number of goroutines; Estimate works from a non-blocking snapshot and
+// never stalls writers. Options.Workers additionally partitions the EM
+// reconstruction's matrix products across a reusable worker pool — the
+// parallel estimate is bit-identical to the serial one, so it is purely a
+// latency knob.
+//
+// The same substrate backs the HTTP collector (internal/ldphttp, run with
+// cmd/ldpserver): POST /report and POST /batch are lock-free, and GET
+// /estimate serves a cached reconstruction that a background goroutine
+// refreshes with warm-started EMS, so estimation cost never lands on a
+// request goroutine. See README.md for the operational details.
 package repro

@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ldphttp"
@@ -26,6 +27,7 @@ func main() {
 
 	// --- server ------------------------------------------------------------
 	srv := ldphttp.NewServer(cfg)
+	defer srv.Close() // stop the background estimation engine
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -71,16 +73,26 @@ func main() {
 	fmt.Printf("ingested %d reports from %d client shards\n", srv.N(), shards)
 
 	// --- anyone can query the aggregate -------------------------------------
-	resp, err := http.Get(base + "/estimate")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
+	// /estimate serves the background engine's cached reconstruction; poll
+	// until it has caught up with every report we just ingested.
 	var est ldphttp.EstimateResponse
-	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
-		log.Fatal(err)
+	for {
+		resp, err := http.Get(base + "/estimate")
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&est)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if est.N == srv.N() {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
-	fmt.Printf("reconstruction: %d EM iterations (converged=%v)\n", est.Iterations, est.Converged)
+	fmt.Printf("reconstruction: %d EM iterations (converged=%v, warm_start=%v)\n",
+		est.Iterations, est.Converged, est.WarmStart)
 	fmt.Printf("  estimated mean:     %.4f (Beta(5,2) truth 0.7143)\n", est.Mean)
 	fmt.Printf("  estimated median:   %.4f (truth 0.7356)\n", est.Median)
 	fmt.Printf("  estimated variance: %.4f (truth 0.0255)\n", est.Variance)

@@ -69,11 +69,13 @@ func (c *Config) fillDefaults() {
 		c.PlateauRatio = 1
 	}
 	if c.EM.Tau == 0 {
+		workers := c.EM.Workers
 		if c.Smoothing {
 			c.EM = em.EMSOptions()
 		} else {
 			c.EM = em.EMOptions(c.Epsilon)
 		}
+		c.EM.Workers = workers
 	} else {
 		c.EM.Smoothing = c.Smoothing
 	}
@@ -139,16 +141,28 @@ func NewAggregator(cfg Config) *Aggregator {
 	}
 }
 
-// Ingest adds one report (a value in [−b, 1+b]) to the aggregate.
-func (a *Aggregator) Ingest(report float64) {
+// Bucket maps one report (a value in [−b, 1+b]) to its report-histogram
+// bucket. It reads only immutable mechanism state and is safe for concurrent
+// use — it is the ingestion kernel concurrent accumulators (package
+// aggregate, the HTTP collector) build on.
+func (a *Aggregator) Bucket(report float64) int {
 	span := a.wave.OutHi() - a.wave.OutLo()
 	j := int((report - a.wave.OutLo()) / span * float64(a.cfg.OutputBuckets))
-	a.counts[mathx.ClampInt(j, 0, a.cfg.OutputBuckets-1)]++
+	return mathx.ClampInt(j, 0, a.cfg.OutputBuckets-1)
+}
+
+// Ingest adds one report (a value in [−b, 1+b]) to the aggregate.
+func (a *Aggregator) Ingest(report float64) {
+	a.counts[a.Bucket(report)]++
 	a.n++
 }
 
 // N returns the number of reports ingested.
 func (a *Aggregator) N() int { return a.n }
+
+// OutputBuckets returns the report-histogram granularity d̃ after defaulting
+// — the length external accumulators must use.
+func (a *Aggregator) OutputBuckets() int { return a.cfg.OutputBuckets }
 
 // Channel returns the transition channel the aggregator reconstructs with
 // (shared, not copied — callers must treat it as read-only).
@@ -181,6 +195,20 @@ func (a *Aggregator) Decay(factor float64) {
 // far with EM/EMS per the configuration.
 func (a *Aggregator) Estimate() em.Result {
 	return em.Reconstruct(a.m, a.counts, a.cfg.EM)
+}
+
+// EstimateFrom reconstructs from an externally-accumulated report histogram
+// (e.g. an aggregate.Striped snapshot) instead of the aggregator's own
+// counts. A non-nil init warm-starts EM from a previous estimate, which
+// typically converges in a fraction of the iterations — the backbone of the
+// background re-estimation engine. EstimateFrom does not touch mutable
+// aggregator state and is safe to call concurrently with Bucket.
+func (a *Aggregator) EstimateFrom(counts, init []float64) em.Result {
+	opts := a.cfg.EM
+	if init != nil {
+		opts.Init = init
+	}
+	return em.Reconstruct(a.m, counts, opts)
 }
 
 // Run executes a complete round over a slice of private values and returns

@@ -53,6 +53,13 @@ type Options struct {
 	// as tracking estimation error against likelihood (the paper's EM
 	// overfitting observation, Section 5.5).
 	OnIteration func(iter int, estimate []float64, ll float64)
+	// Workers partitions the E-step matrix–vector products across the
+	// shared worker pool: 0 or 1 run serially, n > 1 uses n partitions,
+	// negative selects runtime.NumCPU(). Both dense and banded channels
+	// accumulate every output element in the same order under any
+	// partition, so parallel reconstructions are bit-identical to serial
+	// ones.
+	Workers int
 }
 
 // EMOptions returns the paper's EM configuration: τ = 1e-3·e^ε, which scales
@@ -106,6 +113,9 @@ func Reconstruct(m matrixx.Channel, counts []float64, opts Options) Result {
 	dt, d := m.Rows(), m.Cols()
 	if len(counts) != dt {
 		panic(fmt.Sprintf("em: counts length %d does not match matrix rows %d", len(counts), dt))
+	}
+	if opts.Workers != 0 && opts.Workers != 1 {
+		m = matrixx.Parallelize(m, opts.Workers)
 	}
 	for _, c := range counts {
 		if c < 0 || math.IsNaN(c) {

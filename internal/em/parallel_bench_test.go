@@ -1,0 +1,46 @@
+package em
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/matrixx"
+)
+
+// benchOpts pins the iteration count so serial and parallel runs execute
+// identical work regardless of convergence noise.
+func benchOpts(workers int) Options {
+	return Options{MaxIters: 20, MinIters: 20, Smoothing: true, Workers: workers}
+}
+
+// BenchmarkReconstruct measures one EMS reconstruction (20 iterations) at
+// the paper's granularities, serial vs parallel, on both channel
+// representations. `go run ./cmd/experiments` is the full-scale harness;
+// this is the perf-trajectory benchmark behind BENCH_em.json.
+func BenchmarkReconstruct(b *testing.B) {
+	for _, d := range []int{256, 1024, 4096} {
+		dense, counts := swChannel(d, 1.0, uint64(d))
+		banded := matrixx.CompressBanded(dense, 1e-15)
+		for _, bc := range []struct {
+			name string
+			ch   matrixx.Channel
+		}{{"dense", dense}, {"banded", banded}} {
+			for _, workers := range []int{1, -1} {
+				mode := "serial"
+				if workers != 1 {
+					mode = "parallel"
+				}
+				b.Run(fmt.Sprintf("%s/B=%d/%s", bc.name, d, mode), func(b *testing.B) {
+					opts := benchOpts(workers)
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						res := Reconstruct(bc.ch, counts, opts)
+						if len(res.Estimate) != d {
+							b.Fatal("bad estimate")
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrixx"
+	"repro/internal/randx"
+	"repro/internal/sw"
+)
+
+// swChannel builds the real Square Wave transition matrix at granularity d
+// and a plausible aggregated report histogram for it.
+func swChannel(d int, eps float64, seed uint64) (*matrixx.Matrix, []float64) {
+	w := sw.NewWave(eps, sw.BOpt(eps), 1)
+	m := w.TransitionMatrix(d, d)
+	rng := randx.New(seed)
+	counts := make([]float64, d)
+	for r := 0; r < 20*d; r++ {
+		v := w.Sample(rng.Beta(5, 2), rng)
+		j := int((v - w.OutLo()) / (w.OutHi() - w.OutLo()) * float64(d))
+		if j < 0 {
+			j = 0
+		}
+		if j >= d {
+			j = d - 1
+		}
+		counts[j]++
+	}
+	return m, counts
+}
+
+func TestParallelReconstructBitIdenticalDense(t *testing.T) {
+	m, counts := swChannel(200, 1.0, 11)
+	for _, smoothing := range []bool{false, true} {
+		serial := Reconstruct(m, counts, Options{MaxIters: 200, Smoothing: smoothing})
+		for _, workers := range []int{2, 3, 7, -1} {
+			par := Reconstruct(m, counts, Options{MaxIters: 200, Smoothing: smoothing, Workers: workers})
+			if par.Iterations != serial.Iterations || par.Converged != serial.Converged {
+				t.Fatalf("smoothing=%v workers=%d: iterations %d/%v vs %d/%v",
+					smoothing, workers, par.Iterations, par.Converged,
+					serial.Iterations, serial.Converged)
+			}
+			if par.LogLikelihood != serial.LogLikelihood {
+				t.Fatalf("smoothing=%v workers=%d: log-likelihood %v vs %v",
+					smoothing, workers, par.LogLikelihood, serial.LogLikelihood)
+			}
+			for i := range serial.Estimate {
+				if math.Float64bits(par.Estimate[i]) != math.Float64bits(serial.Estimate[i]) {
+					t.Fatalf("smoothing=%v workers=%d: estimate[%d] = %v vs %v",
+						smoothing, workers, i, par.Estimate[i], serial.Estimate[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelReconstructBitIdenticalBanded(t *testing.T) {
+	dense, counts := swChannel(256, 0.5, 12)
+	banded := matrixx.CompressBanded(dense, 1e-15)
+	serial := Reconstruct(banded, counts, Options{MaxIters: 300, Smoothing: true})
+	for _, workers := range []int{2, 4, -1} {
+		par := Reconstruct(banded, counts, Options{MaxIters: 300, Smoothing: true, Workers: workers})
+		if par.Iterations != serial.Iterations {
+			t.Fatalf("workers=%d: %d iterations vs %d", workers, par.Iterations, serial.Iterations)
+		}
+		for i := range serial.Estimate {
+			if math.Float64bits(par.Estimate[i]) != math.Float64bits(serial.Estimate[i]) {
+				t.Fatalf("workers=%d: estimate[%d] = %v vs %v",
+					workers, i, par.Estimate[i], serial.Estimate[i])
+			}
+		}
+	}
+}
+
+func TestParallelWarmStartMatchesSerialWarmStart(t *testing.T) {
+	m, counts := swChannel(128, 1.0, 13)
+	cold := Reconstruct(m, counts, Options{Smoothing: true})
+	serial := Reconstruct(m, counts, Options{Smoothing: true, Init: cold.Estimate})
+	par := Reconstruct(m, counts, Options{Smoothing: true, Init: cold.Estimate, Workers: 4})
+	if serial.Iterations != par.Iterations {
+		t.Fatalf("warm-start iterations diverge: %d vs %d", serial.Iterations, par.Iterations)
+	}
+	if serial.Iterations > cold.Iterations {
+		t.Errorf("warm start took %d iterations, cold start %d", serial.Iterations, cold.Iterations)
+	}
+	for i := range serial.Estimate {
+		if math.Float64bits(par.Estimate[i]) != math.Float64bits(serial.Estimate[i]) {
+			t.Fatalf("estimate[%d] = %v vs %v", i, par.Estimate[i], serial.Estimate[i])
+		}
+	}
+}

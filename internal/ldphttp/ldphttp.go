@@ -12,7 +12,19 @@
 //	GET  /estimate                               reconstruction + statistics
 //	GET  /config                                 mechanism parameters clients need
 //
-// The handler serializes access internally and is safe for concurrent use.
+// # Architecture
+//
+// Ingestion and estimation are decoupled so neither blocks the other.
+// Reports land in a striped atomic histogram (package aggregate) — no lock
+// is taken on the request path, so POST /report and POST /batch scale with
+// the hardware. A single background goroutine re-runs the EMS
+// reconstruction over non-blocking snapshots of that histogram, warm-started
+// from its previous estimate (which converges in a fraction of the
+// iterations) and with the E-step matrix products partitioned across the
+// worker pool. GET /estimate never runs EM on the request goroutine: it
+// serves the cached reconstruction — waiting only when no estimate has been
+// computed yet — and reports how many reports arrived after the served
+// estimate was computed.
 package ldphttp
 
 import (
@@ -20,20 +32,17 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/aggregate"
 	"repro/internal/core"
+	"repro/internal/em"
 	"repro/internal/histogram"
 )
 
-// Server wraps a core.Aggregator behind an http.Handler.
-type Server struct {
-	cfg Config
-
-	mu  sync.Mutex
-	agg *core.Aggregator
-}
-
-// Config mirrors the mechanism parameters clients and server must share.
+// Config mirrors the mechanism parameters clients and server must share,
+// plus server-side tuning knobs (omitted from /config when zero).
 type Config struct {
 	// Epsilon is the LDP budget.
 	Epsilon float64 `json:"epsilon"`
@@ -41,24 +50,129 @@ type Config struct {
 	Buckets int `json:"buckets"`
 	// Bandwidth is the wave half-width (0 = optimal).
 	Bandwidth float64 `json:"bandwidth"`
+	// Shards overrides the ingestion stripe count (0 = one per CPU,
+	// rounded up to a power of two).
+	Shards int `json:"shards,omitempty"`
+	// EMWorkers sets the EM parallelism of the background estimator:
+	// 0 uses every CPU, 1 forces serial, n > 1 uses n partitions. Note
+	// the zero value is "automatic" like every knob in this Config —
+	// unlike em.Options.Workers and repro.Options.Workers, whose zero
+	// value is the library's conservative serial default.
+	EMWorkers int `json:"em_workers,omitempty"`
+	// RefreshInterval is the cadence at which the background estimator
+	// re-checks for new reports (0 = 500ms). Estimate requests that find
+	// the cache stale also wake it immediately.
+	RefreshInterval time.Duration `json:"-"`
 }
 
-// NewServer builds a collection server.
+// Server wraps striped ingestion and a background estimation engine behind
+// an http.Handler.
+type Server struct {
+	cfg     Config
+	refresh time.Duration
+	agg     *core.Aggregator // immutable channel + EM config; counts unused
+	counts  *aggregate.Striped
+
+	est       atomic.Pointer[EstimateResponse]
+	kick      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	firstOnce sync.Once
+	first     chan struct{} // closed once the first estimate is published
+	wg        sync.WaitGroup
+}
+
+// NewServer builds a collection server and starts its background estimator.
+// Call Close when done with the server to stop the estimator goroutine.
 func NewServer(cfg Config) *Server {
+	workers := cfg.EMWorkers
+	if workers == 0 {
+		workers = -1 // em semantics: negative = all CPUs
+	}
 	agg := core.NewAggregator(core.Config{
 		Epsilon:   cfg.Epsilon,
 		Buckets:   cfg.Buckets,
 		Bandwidth: cfg.Bandwidth,
 		Smoothing: true,
+		EM:        em.Options{Workers: workers},
 	})
-	return &Server{cfg: cfg, agg: agg}
+	refresh := cfg.RefreshInterval
+	if refresh <= 0 {
+		refresh = 500 * time.Millisecond
+	}
+	s := &Server{
+		cfg:     cfg,
+		refresh: refresh,
+		agg:     agg,
+		counts:  aggregate.New(agg.OutputBuckets(), cfg.Shards),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		first:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.estimator()
+	return s
 }
 
 // N returns the number of reports ingested.
-func (s *Server) N() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.agg.N()
+func (s *Server) N() int { return s.counts.N() }
+
+// Close stops the background estimator and waits for it to exit. The
+// handler keeps accepting reports after Close, but estimates are no longer
+// refreshed.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// wake nudges the background estimator without blocking.
+func (s *Server) wake() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// estimator is the background estimation engine: on every tick (or wake) it
+// snapshots the striped histogram and, if new reports arrived, re-runs EMS
+// warm-started from the previous estimate.
+func (s *Server) estimator() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.refresh)
+	defer ticker.Stop()
+	var (
+		counts    []float64
+		init      []float64
+		published int
+	)
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+		case <-ticker.C:
+		}
+		var n int
+		counts, n = s.counts.Snapshot(counts)
+		if n == 0 || n == published {
+			continue
+		}
+		res := s.agg.EstimateFrom(counts, init)
+		init = append(init[:0], res.Estimate...)
+		s.est.Store(&EstimateResponse{
+			N:            n,
+			Epsilon:      s.cfg.Epsilon,
+			Distribution: res.Estimate,
+			Mean:         histogram.Mean(res.Estimate),
+			Variance:     histogram.Variance(res.Estimate),
+			Median:       histogram.Quantile(res.Estimate, 0.5),
+			Iterations:   res.Iterations,
+			Converged:    res.Converged,
+			WarmStart:    published > 0,
+		})
+		published = n
+		s.firstOnce.Do(func() { close(s.first) })
+	}
 }
 
 // Handler returns the HTTP routes.
@@ -89,6 +203,13 @@ type EstimateResponse struct {
 	Median       float64   `json:"median"`
 	Iterations   int       `json:"iterations"`
 	Converged    bool      `json:"converged"`
+	// WarmStart reports whether the reconstruction was warm-started from
+	// the previous estimate (false only for the first one).
+	WarmStart bool `json:"warm_start"`
+	// PendingReports is the number of reports ingested after the served
+	// estimate was computed — the staleness of a cached response. The
+	// background engine is already re-estimating when this is non-zero.
+	PendingReports int `json:"pending_reports,omitempty"`
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -101,11 +222,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	s.agg.Ingest(req.Report)
-	n := s.agg.N()
-	s.mu.Unlock()
-	writeJSON(w, map[string]any{"accepted": true, "n": n})
+	s.counts.Add(s.agg.Bucket(req.Report))
+	writeJSON(w, map[string]any{"accepted": true, "n": s.counts.N()})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -122,13 +240,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	for _, rep := range req.Reports {
-		s.agg.Ingest(rep)
+	buckets := make([]int, len(req.Reports))
+	for i, rep := range req.Reports {
+		buckets[i] = s.agg.Bucket(rep)
 	}
-	n := s.agg.N()
-	s.mu.Unlock()
-	writeJSON(w, map[string]any{"accepted": len(req.Reports), "n": n})
+	s.counts.AddBatch(buckets)
+	writeJSON(w, map[string]any{"accepted": len(req.Reports), "n": s.counts.N()})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -136,26 +253,40 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	n := s.agg.N()
+	n := s.counts.N()
 	if n == 0 {
-		s.mu.Unlock()
 		http.Error(w, "no reports yet", http.StatusConflict)
 		return
 	}
-	res := s.agg.Estimate()
-	s.mu.Unlock()
+	if cached := s.est.Load(); cached != nil {
+		if cached.N != n {
+			s.wake() // refresh in the background; serve stale now
+		}
+		serveEstimate(w, cached, n)
+		return
+	}
+	// Cold cache: the first estimate is being computed — wait for it (on
+	// the background goroutine, never this one).
+	s.wake()
+	select {
+	case <-s.first:
+		serveEstimate(w, s.est.Load(), n)
+	case <-r.Context().Done():
+		http.Error(w, "estimate not ready", http.StatusServiceUnavailable)
+	case <-s.done:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	}
+}
 
-	writeJSON(w, EstimateResponse{
-		N:            n,
-		Epsilon:      s.cfg.Epsilon,
-		Distribution: res.Estimate,
-		Mean:         histogram.Mean(res.Estimate),
-		Variance:     histogram.Variance(res.Estimate),
-		Median:       histogram.Quantile(res.Estimate, 0.5),
-		Iterations:   res.Iterations,
-		Converged:    res.Converged,
-	})
+// serveEstimate writes a cached estimate, stamping its staleness relative to
+// the current ingestion total. The cached response is shared — copy, don't
+// mutate.
+func serveEstimate(w http.ResponseWriter, cached *EstimateResponse, n int) {
+	out := *cached
+	if n > cached.N {
+		out.PendingReports = n - cached.N
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {

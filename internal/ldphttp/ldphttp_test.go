@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/randx"
@@ -16,10 +17,45 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := NewServer(Config{Epsilon: 1, Buckets: 64})
+	s := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 20 * time.Millisecond})
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+// getFreshEstimate polls GET /estimate until the served reconstruction
+// covers every ingested report (the background engine refreshes
+// asynchronously, so a bounded number of responses may be stale).
+func getFreshEstimate(t *testing.T, url string, wantN int) EstimateResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/estimate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("estimate status = %d", resp.StatusCode)
+		}
+		var est EstimateResponse
+		err = json.NewDecoder(resp.Body).Decode(&est)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.N == wantN {
+			if est.PendingReports != 0 {
+				t.Errorf("fresh estimate reports %d pending", est.PendingReports)
+			}
+			return est
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("estimate never caught up: N = %d, want %d", est.N, wantN)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func postJSON(t *testing.T, url string, body any) *http.Response {
@@ -53,20 +89,9 @@ func TestReportAndEstimate(t *testing.T) {
 		t.Errorf("server N = %d, want %d", srv.N(), n)
 	}
 
-	resp, err := http.Get(ts.URL + "/estimate")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("estimate status = %d", resp.StatusCode)
-	}
-	var est EstimateResponse
-	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
-		t.Fatal(err)
-	}
-	if est.N != n || len(est.Distribution) != 64 {
-		t.Errorf("estimate N=%d, buckets=%d", est.N, len(est.Distribution))
+	est := getFreshEstimate(t, ts.URL, n)
+	if len(est.Distribution) != 64 {
+		t.Errorf("estimate buckets=%d", len(est.Distribution))
 	}
 	if math.Abs(est.Mean-5.0/7.0) > 0.05 {
 		t.Errorf("estimated mean = %v, want ≈ 0.714", est.Mean)

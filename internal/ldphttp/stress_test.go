@@ -1,0 +1,170 @@
+package ldphttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// TestStressConcurrentIngestionWithEstimates hammers POST /report and
+// POST /batch from many goroutines while other goroutines poll GET
+// /estimate, then asserts that not a single report was lost and that the
+// estimate catches up to the full population. Run with -race: every handler
+// path, the striped accumulator and the background estimation engine are
+// exercised concurrently.
+func TestStressConcurrentIngestionWithEstimates(t *testing.T) {
+	s := NewServer(Config{Epsilon: 1, Buckets: 32, RefreshInterval: 5 * time.Millisecond})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const (
+		reporters   = 6
+		perReporter = 120
+		batchers    = 4
+		batches     = 8
+		batchSize   = 50
+		pollers     = 3
+	)
+	wantN := reporters*perReporter + batchers*batches*batchSize
+
+	var (
+		wg       sync.WaitGroup
+		ingested atomic.Int64
+		errs     = make(chan error, reporters+batchers+pollers)
+	)
+
+	for w := 0; w < reporters; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := core.NewClient(core.Config{Epsilon: 1, Buckets: 32, Smoothing: true})
+			rng := randx.New(uint64(id + 1))
+			for i := 0; i < perReporter; i++ {
+				blob, _ := json.Marshal(map[string]float64{"report": client.Report(rng.Beta(5, 2), rng)})
+				resp, err := http.Post(ts.URL+"/report", "application/json", bytes.NewReader(blob))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("report status %d", resp.StatusCode)
+					return
+				}
+				ingested.Add(1)
+			}
+		}(w)
+	}
+
+	for w := 0; w < batchers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := core.NewClient(core.Config{Epsilon: 1, Buckets: 32, Smoothing: true})
+			rng := randx.New(uint64(100 + id))
+			for bi := 0; bi < batches; bi++ {
+				reports := make([]float64, batchSize)
+				for i := range reports {
+					reports[i] = client.Report(rng.Beta(5, 2), rng)
+				}
+				blob, _ := json.Marshal(map[string]any{"reports": reports})
+				resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(blob))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("batch status %d", resp.StatusCode)
+					return
+				}
+				ingested.Add(batchSize)
+			}
+		}(w)
+	}
+
+	stopPolling := make(chan struct{})
+	var pollWG sync.WaitGroup
+	for w := 0; w < pollers; w++ {
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			for {
+				select {
+				case <-stopPolling:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/estimate")
+				if err != nil {
+					errs <- err
+					return
+				}
+				var est EstimateResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&est)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if decErr != nil {
+						errs <- decErr
+						return
+					}
+					// A served estimate must never cover more reports
+					// than have finished ingesting at read time...
+					if est.N > wantN {
+						errs <- fmt.Errorf("estimate N=%d exceeds population %d", est.N, wantN)
+						return
+					}
+					// ...and must always be a full-granularity simplex
+					// point.
+					if len(est.Distribution) != 32 {
+						errs <- fmt.Errorf("estimate has %d buckets", len(est.Distribution))
+						return
+					}
+				case http.StatusConflict:
+					// No reports ingested yet — legal early on.
+				default:
+					errs <- fmt.Errorf("estimate status %d", resp.StatusCode)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stopPolling)
+	pollWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := s.N(); got != wantN {
+		t.Fatalf("reports lost: N = %d, want %d", got, wantN)
+	}
+	est := getFreshEstimate(t, ts.URL, wantN)
+	if !est.WarmStart && est.Iterations == 0 {
+		t.Error("final estimate looks uncomputed")
+	}
+	var sum float64
+	for _, p := range est.Distribution {
+		if p < 0 {
+			t.Fatalf("negative probability %v", p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+}

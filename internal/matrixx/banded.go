@@ -30,6 +30,16 @@ type Banded struct {
 	base       float64
 	lo         []int
 	excess     [][]float64
+
+	// Row-major (CSR) view of the excess entries, built once at compression
+	// time: for output row j, the contributing columns are tcol[tptr[j]:
+	// tptr[j+1]] with excesses tval[...], stored in increasing column order.
+	// This is what lets MulVec be partitioned by output row — the natural
+	// per-column scatter cannot split rows — while preserving the serial
+	// accumulation order exactly.
+	tptr []int
+	tcol []int
+	tval []float64
 }
 
 // CompressBanded converts a dense matrix into banded form. base is the
@@ -71,7 +81,41 @@ func CompressBanded(m *Matrix, tol float64) *Banded {
 		b.lo[i] = first
 		b.excess[i] = ex
 	}
+	b.buildTranspose()
 	return b
+}
+
+// buildTranspose indexes the excess entries by output row (CSR). Entries
+// within a row are stored in increasing column order, matching the order the
+// per-column scatter of the serial MulVec touches each row.
+func (b *Banded) buildTranspose() {
+	nnz := 0
+	for _, ex := range b.excess {
+		nnz += len(ex)
+	}
+	b.tptr = make([]int, b.rows+1)
+	for i, ex := range b.excess {
+		for k := range ex {
+			b.tptr[b.lo[i]+k+1]++
+		}
+	}
+	for j := 0; j < b.rows; j++ {
+		b.tptr[j+1] += b.tptr[j]
+	}
+	b.tcol = make([]int, nnz)
+	b.tval = make([]float64, nnz)
+	next := make([]int, b.rows)
+	copy(next, b.tptr[:b.rows])
+	for i, ex := range b.excess {
+		lo := b.lo[i]
+		for k, e := range ex {
+			j := lo + k
+			p := next[j]
+			next[j]++
+			b.tcol[p] = i
+			b.tval[p] = e
+		}
+	}
 }
 
 // Rows implements Channel.
@@ -142,6 +186,59 @@ func (b *Banded) MulVecT(dst, y []float64) []float64 {
 		dst[i] = acc
 	}
 	return dst
+}
+
+// MulVecRows computes the dst[lo:hi] rows of M·x via the row-major excess
+// index, leaving the rest of dst untouched. For every output row the
+// contributions are added in increasing column order after the constant
+// floor — exactly the order the serial MulVec scatter produces — so a row
+// partition across goroutines is bit-identical to MulVec.
+func (b *Banded) MulVecRows(dst, x []float64, lo, hi int) {
+	if len(x) != b.cols || len(dst) != b.rows || lo < 0 || hi > b.rows || lo > hi {
+		panic("matrixx: Banded.MulVecRows dimension mismatch")
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	floor := b.base * sum
+	for j := lo; j < hi; j++ {
+		acc := floor
+		s, e := b.tptr[j], b.tptr[j+1]
+		cols := b.tcol[s:e]
+		vals := b.tval[s:e]
+		for k, i := range cols {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			acc += vals[k] * xi
+		}
+		dst[j] = acc
+	}
+}
+
+// MulVecTCols computes the dst[lo:hi] columns of Mᵀ·y, leaving the rest of
+// dst untouched. Columns are independent in the banded transpose product, so
+// this is the serial MulVecT loop restricted to [lo, hi) — bit-identical
+// under any partition.
+func (b *Banded) MulVecTCols(dst, y []float64, lo, hi int) {
+	if len(y) != b.rows || len(dst) != b.cols || lo < 0 || hi > b.cols || lo > hi {
+		panic("matrixx: Banded.MulVecTCols dimension mismatch")
+	}
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	floor := b.base * sum
+	for i := lo; i < hi; i++ {
+		blo := b.lo[i]
+		acc := floor
+		for k, e := range b.excess[i] {
+			acc += e * y[blo+k]
+		}
+		dst[i] = acc
+	}
 }
 
 // Dense materializes the banded matrix back to dense form (tests).

@@ -73,7 +73,19 @@ func (m *Matrix) MulVec(dst, x []float64) []float64 {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic("matrixx: MulVec dimension mismatch")
 	}
-	for i := 0; i < m.rows; i++ {
+	m.MulVecRows(dst, x, 0, m.rows)
+	return dst
+}
+
+// MulVecRows computes the dst[lo:hi] rows of M·x, leaving the rest of dst
+// untouched. Disjoint row ranges are independent, so a row partition across
+// goroutines reproduces MulVec bit for bit (each dst entry is accumulated in
+// the same order as the serial product).
+func (m *Matrix) MulVecRows(dst, x []float64, lo, hi int) {
+	if len(x) != m.cols || len(dst) != m.rows || lo < 0 || hi > m.rows || lo > hi {
+		panic("matrixx: MulVecRows dimension mismatch")
+	}
+	for i := lo; i < hi; i++ {
 		row := m.Row(i)
 		var acc float64
 		for j, v := range row {
@@ -81,7 +93,6 @@ func (m *Matrix) MulVec(dst, x []float64) []float64 {
 		}
 		dst[i] = acc
 	}
-	return dst
 }
 
 // MulVecT computes dst = Mᵀ·x (x over rows, dst over columns) without
@@ -90,20 +101,32 @@ func (m *Matrix) MulVecT(dst, x []float64) []float64 {
 	if len(x) != m.rows || len(dst) != m.cols {
 		panic("matrixx: MulVecT dimension mismatch")
 	}
-	for j := range dst {
-		dst[j] = 0
+	m.MulVecTCols(dst, x, 0, m.cols)
+	return dst
+}
+
+// MulVecTCols computes the dst[lo:hi] columns of Mᵀ·x, leaving the rest of
+// dst untouched. Each output column still accumulates over rows in
+// increasing order, so a column partition across goroutines reproduces
+// MulVecT bit for bit.
+func (m *Matrix) MulVecTCols(dst, x []float64, lo, hi int) {
+	if len(x) != m.rows || len(dst) != m.cols || lo < 0 || hi > m.cols || lo > hi {
+		panic("matrixx: MulVecTCols dimension mismatch")
+	}
+	seg := dst[lo:hi]
+	for j := range seg {
+		seg[j] = 0
 	}
 	for i := 0; i < m.rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		row := m.Row(i)
+		row := m.data[i*m.cols+lo : i*m.cols+hi : i*m.cols+hi]
 		for j, v := range row {
-			dst[j] += v * xi
+			seg[j] += v * xi
 		}
 	}
-	return dst
 }
 
 // ColSums returns the sum of each column.

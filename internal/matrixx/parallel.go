@@ -1,0 +1,100 @@
+package matrixx
+
+import (
+	"runtime"
+
+	"repro/internal/parallel"
+)
+
+// RangeChannel is a Channel whose products can be computed over contiguous
+// output sub-ranges: rows of M·x, columns of Mᵀ·x. Both *Matrix and *Banded
+// satisfy it, and both guarantee that a partitioned product accumulates each
+// output element in the same order as the serial one — partitioning changes
+// wall-clock time, never bits.
+type RangeChannel interface {
+	Channel
+	MulVecRows(dst, x []float64, lo, hi int)
+	MulVecTCols(dst, x []float64, lo, hi int)
+}
+
+// parallelThreshold is the rows×cols size below which fan-out overhead
+// (one channel handoff per chunk) exceeds the compute being split.
+const parallelThreshold = 1 << 14
+
+// ParallelChannel wraps a RangeChannel so MulVec row-partitions and MulVecT
+// column-partitions across the shared worker pool. Products remain
+// bit-identical to the wrapped channel's serial ones. Small matrices are
+// executed serially regardless.
+type ParallelChannel struct {
+	inner  RangeChannel
+	chunks int
+	pool   *parallel.Pool
+}
+
+// Parallelize wraps c for parallel products over `workers` partitions.
+// workers == 0 or 1 (or a channel without range kernels) returns c
+// unchanged; workers < 0 selects runtime.NumCPU().
+func Parallelize(c Channel, workers int) Channel {
+	if workers == 0 || workers == 1 {
+		return c
+	}
+	rc, ok := c.(RangeChannel)
+	if !ok {
+		return c
+	}
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers <= 1 {
+		return c
+	}
+	return &ParallelChannel{inner: rc, chunks: workers, pool: parallel.Default()}
+}
+
+// Rows implements Channel.
+func (p *ParallelChannel) Rows() int { return p.inner.Rows() }
+
+// Cols implements Channel.
+func (p *ParallelChannel) Cols() int { return p.inner.Cols() }
+
+// Unwrap returns the wrapped serial channel.
+func (p *ParallelChannel) Unwrap() Channel { return p.inner }
+
+// MulVec implements Channel, row-partitioned across the pool.
+func (p *ParallelChannel) MulVec(dst, x []float64) []float64 {
+	rows, cols := p.inner.Rows(), p.inner.Cols()
+	if len(dst) != rows || len(x) != cols {
+		// Fail on the caller's goroutine, not inside a pool worker.
+		panic("matrixx: ParallelChannel.MulVec dimension mismatch")
+	}
+	if rows*cols < parallelThreshold {
+		return p.inner.MulVec(dst, x)
+	}
+	p.pool.For(rows, p.chunks, func(lo, hi int) {
+		p.inner.MulVecRows(dst, x, lo, hi)
+	})
+	return dst
+}
+
+// MulVecT implements Channel, column-partitioned across the pool.
+func (p *ParallelChannel) MulVecT(dst, x []float64) []float64 {
+	rows, cols := p.inner.Rows(), p.inner.Cols()
+	if len(dst) != cols || len(x) != rows {
+		panic("matrixx: ParallelChannel.MulVecT dimension mismatch")
+	}
+	if rows*cols < parallelThreshold {
+		return p.inner.MulVecT(dst, x)
+	}
+	p.pool.For(cols, p.chunks, func(lo, hi int) {
+		p.inner.MulVecTCols(dst, x, lo, hi)
+	})
+	return dst
+}
+
+// Compile-time checks: the concrete channels support range partitioning and
+// the wrapper remains a Channel.
+var (
+	_ RangeChannel = (*Matrix)(nil)
+	_ RangeChannel = (*Banded)(nil)
+	_ Channel      = (*ParallelChannel)(nil)
+)

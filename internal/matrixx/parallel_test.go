@@ -1,0 +1,155 @@
+package matrixx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// waveMatrix builds a column-stochastic wave-shaped matrix (constant floor
+// plus a contiguous per-column band) of the kind CompressBanded expects.
+func waveMatrix(rows, cols, band int) *Matrix {
+	m := New(rows, cols)
+	base := 0.2 / float64(rows)
+	for i := 0; i < cols; i++ {
+		lo := i * (rows - band) / maxInt(cols-1, 1)
+		for j := 0; j < rows; j++ {
+			m.Set(j, i, base)
+		}
+		for k := 0; k < band; k++ {
+			m.Set(lo+k, i, base+0.8/float64(band))
+		}
+	}
+	m.NormalizeCols()
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func randVec(n int, rng *randx.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	v[n/3] = 0 // exercise the xi == 0 skip path
+	return v
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: entry %d differs: %v vs %v (Δ=%g)",
+				name, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+func TestRangeKernelsMatchSerialDense(t *testing.T) {
+	rng := randx.New(7)
+	for _, shape := range [][2]int{{64, 64}, {200, 128}, {128, 200}, {257, 255}} {
+		rows, cols := shape[0], shape[1]
+		m := waveMatrix(rows, cols, maxInt(rows/4, 1))
+		x := randVec(cols, rng)
+		y := randVec(rows, rng)
+
+		want := m.MulVec(make([]float64, rows), x)
+		got := make([]float64, rows)
+		for _, pieces := range []int{1, 2, 3, 5} {
+			for p := 0; p < pieces; p++ {
+				lo, hi := rows*p/pieces, rows*(p+1)/pieces
+				m.MulVecRows(got, x, lo, hi)
+			}
+			bitsEqual(t, "dense MulVecRows", got, want)
+		}
+
+		wantT := m.MulVecT(make([]float64, cols), y)
+		gotT := make([]float64, cols)
+		for _, pieces := range []int{1, 2, 3, 5} {
+			for p := 0; p < pieces; p++ {
+				lo, hi := cols*p/pieces, cols*(p+1)/pieces
+				m.MulVecTCols(gotT, y, lo, hi)
+			}
+			bitsEqual(t, "dense MulVecTCols", gotT, wantT)
+		}
+	}
+}
+
+func TestRangeKernelsMatchSerialBanded(t *testing.T) {
+	rng := randx.New(8)
+	for _, shape := range [][2]int{{64, 64}, {200, 128}, {300, 300}} {
+		rows, cols := shape[0], shape[1]
+		b := CompressBanded(waveMatrix(rows, cols, maxInt(rows/5, 1)), 1e-15)
+		x := randVec(cols, rng)
+		y := randVec(rows, rng)
+
+		want := b.MulVec(make([]float64, rows), x)
+		got := make([]float64, rows)
+		for p := 0; p < 4; p++ {
+			lo, hi := rows*p/4, rows*(p+1)/4
+			b.MulVecRows(got, x, lo, hi)
+		}
+		bitsEqual(t, "banded MulVecRows", got, want)
+
+		wantT := b.MulVecT(make([]float64, cols), y)
+		gotT := make([]float64, cols)
+		for p := 0; p < 4; p++ {
+			lo, hi := cols*p/4, cols*(p+1)/4
+			b.MulVecTCols(gotT, y, lo, hi)
+		}
+		bitsEqual(t, "banded MulVecTCols", gotT, wantT)
+	}
+}
+
+func TestParallelizeBitIdentical(t *testing.T) {
+	rng := randx.New(9)
+	rows, cols := 300, 280 // above parallelThreshold
+	dense := waveMatrix(rows, cols, 60)
+	banded := CompressBanded(dense, 1e-15)
+	x := randVec(cols, rng)
+	y := randVec(rows, rng)
+
+	for _, tc := range []struct {
+		name   string
+		serial Channel
+	}{{"dense", dense}, {"banded", banded}} {
+		for _, workers := range []int{2, 3, 8, -1} {
+			par := Parallelize(tc.serial, workers)
+			if _, ok := par.(*ParallelChannel); !ok && workers != -1 {
+				t.Fatalf("%s: Parallelize(workers=%d) did not wrap", tc.name, workers)
+			}
+			bitsEqual(t, tc.name+" parallel MulVec",
+				par.MulVec(make([]float64, rows), x),
+				tc.serial.MulVec(make([]float64, rows), x))
+			bitsEqual(t, tc.name+" parallel MulVecT",
+				par.MulVecT(make([]float64, cols), y),
+				tc.serial.MulVecT(make([]float64, cols), y))
+		}
+	}
+}
+
+func TestParallelizeDegenerate(t *testing.T) {
+	m := waveMatrix(32, 32, 8)
+	if Parallelize(m, 0) != Channel(m) {
+		t.Error("workers=0 should return the channel unchanged")
+	}
+	if Parallelize(m, 1) != Channel(m) {
+		t.Error("workers=1 should return the channel unchanged")
+	}
+	// Small matrix goes through the serial fallback inside the wrapper.
+	par := Parallelize(m, 4)
+	x := make([]float64, 32)
+	x[3] = 1
+	bitsEqual(t, "small-matrix fallback",
+		par.MulVec(make([]float64, 32), x),
+		m.MulVec(make([]float64, 32), x))
+}

@@ -1,0 +1,121 @@
+// Package parallel provides the reusable worker pool the hot numeric paths
+// fan out on: a fixed set of persistent goroutines, sized to the machine
+// (runtime.NumCPU), executing contiguous index ranges of a data-parallel
+// kernel. The pool exists so the EM reconstruction — which runs thousands of
+// matrix–vector products per estimate — pays the goroutine start-up cost
+// once per process instead of once per product.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// chunk is one contiguous range of a For call.
+type chunk struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+// Pool is a fixed-size set of persistent workers executing range chunks.
+// The zero value is not usable; construct with NewPool. All methods are safe
+// for concurrent use.
+type Pool struct {
+	workers  int
+	tasks    chan chunk
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewPool starts a pool with the given number of workers; workers <= 0
+// selects runtime.NumCPU().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan chunk),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *Pool) run() {
+	for {
+		select {
+		case c := <-p.tasks:
+			c.fn(c.lo, c.hi)
+			c.wg.Done()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers. For calls issued after (or racing with) Close
+// still complete — chunks that cannot be handed to a worker run on the
+// calling goroutine — so Close never strands a caller.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// For splits [0, n) into at most `chunks` contiguous ranges and runs fn on
+// each concurrently, returning once every range has completed. fn must be
+// safe to call concurrently on disjoint ranges. The calling goroutine always
+// executes the first range itself, so For makes progress even when every
+// worker is busy with other callers. chunks <= 1 (or n <= 1) degenerates to
+// a plain serial call; ranges never overlap and cover [0, n) exactly.
+func (p *Pool) For(n, chunks int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunks > n {
+		chunks = n
+	}
+	if chunks > p.workers+1 {
+		chunks = p.workers + 1
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := size; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		select {
+		case p.tasks <- chunk{lo: lo, hi: hi, fn: fn, wg: &wg}:
+		case <-p.stop:
+			// Pool closed: degrade to inline execution.
+			fn(lo, hi)
+			wg.Done()
+		}
+	}
+	fn(0, size)
+	wg.Wait()
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, created on first use with
+// runtime.NumCPU() workers. It is never closed; its workers idle on a
+// channel receive and cost nothing between bursts.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000, 1001} {
+		for _, chunks := range []int{1, 2, 3, 4, 8, 100} {
+			hits := make([]int32, n)
+			p.For(n, chunks, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad range [%d, %d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d chunks=%d: index %d visited %d times", n, chunks, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForConcurrentCallers(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	const callers = 8
+	const n = 500
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.For(n, 4, func(lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != callers*n {
+		t.Errorf("total work = %d, want %d", got, callers*n)
+	}
+}
+
+func TestForAfterClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	var total atomic.Int64
+	p.For(100, 4, func(lo, hi int) { total.Add(int64(hi - lo)) })
+	if total.Load() != 100 {
+		t.Errorf("closed-pool For covered %d of 100", total.Load())
+	}
+}
+
+func TestDefaultPoolShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() is not a singleton")
+	}
+	if Default().Workers() < 1 {
+		t.Error("default pool has no workers")
+	}
+}
