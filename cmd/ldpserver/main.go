@@ -1,20 +1,28 @@
 // Command ldpserver runs the HTTP collection endpoint: clients POST
-// randomized Square Wave reports and anyone can GET the reconstructed
-// distribution. This is the collector half of a real LDP deployment; pair
-// it with clients built on repro.NewClient (see examples/httpcollect for a
-// self-contained demo of both halves).
+// randomized Square Wave reports to named attribute streams and anyone can
+// GET the reconstructed distributions and the analytics computed from them.
+// This is the collector half of a real LDP deployment; pair it with clients
+// built on repro.NewClient (see examples/httpcollect for a self-contained
+// demo of both halves).
 //
-// Ingestion is lock-free (striped atomic counters, one stripe per CPU by
-// default) and estimation runs on a background goroutine that re-runs EMS
-// warm-started from the previous estimate, so GET /estimate serves a cached
-// reconstruction instead of blocking on the EM loop. SIGINT/SIGTERM drain
-// in-flight requests and stop the estimator cleanly.
+// Ingestion is lock-free (striped atomic counters per stream, one stripe per
+// CPU by default) and estimation runs on a shared background goroutine that
+// round-robins warm-started EMS refreshes across the streams, so GET
+// /estimate and GET /query serve cached reconstructions instead of blocking
+// on the EM loop. With -snapshot, every stream's histogram and cached
+// estimate are persisted atomically on an interval and at shutdown, and
+// restored at boot — a restarted collector resumes warm instead of losing
+// every report. SIGINT/SIGTERM drain in-flight requests, save a final
+// snapshot, and stop the estimator cleanly.
 //
 // Usage:
 //
-//	ldpserver -addr :8080 -eps 1.0 -buckets 512
+//	ldpserver -addr :8080 -eps 1.0 -buckets 512 \
+//	    -stream age:1.0:256 -stream income:0.5:512 \
+//	    -snapshot /var/lib/ldp/state.snap -snapshot-interval 30s
 //
-// Endpoints: POST /report, POST /batch, GET /estimate, GET /config.
+// Endpoints: POST /streams, GET /streams, POST /report, POST /batch,
+// GET /estimate, GET /query, POST /query, GET /config.
 package main
 
 import (
@@ -26,22 +34,64 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/ldphttp"
 )
 
+// streamFlag is one -stream declaration: name:eps:buckets[:bandwidth].
+type streamFlag struct {
+	name string
+	cfg  ldphttp.StreamConfig
+}
+
+func parseStreamFlag(raw string) (streamFlag, error) {
+	parts := strings.Split(raw, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return streamFlag{}, fmt.Errorf("want name:eps:buckets[:bandwidth], got %q", raw)
+	}
+	eps, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return streamFlag{}, fmt.Errorf("bad epsilon in %q: %v", raw, err)
+	}
+	buckets, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return streamFlag{}, fmt.Errorf("bad bucket count in %q: %v", raw, err)
+	}
+	sf := streamFlag{name: parts[0], cfg: ldphttp.StreamConfig{Epsilon: eps, Buckets: buckets}}
+	if len(parts) == 4 {
+		if sf.cfg.Bandwidth, err = strconv.ParseFloat(parts[3], 64); err != nil {
+			return streamFlag{}, fmt.Errorf("bad bandwidth in %q: %v", raw, err)
+		}
+	}
+	return sf, nil
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		eps     = flag.Float64("eps", 1.0, "LDP privacy budget ε")
-		buckets = flag.Int("buckets", 512, "reconstruction granularity")
+		eps     = flag.Float64("eps", 1.0, "default stream LDP privacy budget ε")
+		buckets = flag.Int("buckets", 512, "default stream reconstruction granularity")
 		band    = flag.Float64("bandwidth", 0, "wave half-width override (0 = optimal)")
 		shards  = flag.Int("shards", 0, "ingestion stripe count (0 = one per CPU)")
 		workers = flag.Int("em-workers", 0, "EM parallelism (0 = all CPUs, 1 = serial)")
 		refresh = flag.Duration("refresh", 500*time.Millisecond, "background re-estimation cadence")
+
+		snapPath     = flag.String("snapshot", "", "snapshot file: restore at boot, persist on an interval and at shutdown")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "cadence of periodic snapshots (with -snapshot)")
 	)
+	var streamFlags []streamFlag
+	flag.Func("stream", "declare a stream as name:eps:buckets[:bandwidth] (repeatable)", func(raw string) error {
+		sf, err := parseStreamFlag(raw)
+		if err != nil {
+			return err
+		}
+		streamFlags = append(streamFlags, sf)
+		return nil
+	})
 	flag.Parse()
 
 	srv := ldphttp.NewServer(ldphttp.Config{
@@ -52,20 +102,64 @@ func main() {
 		EMWorkers:       *workers,
 		RefreshInterval: *refresh,
 	})
+
+	// Restore first, so -stream declarations that match restored streams
+	// are no-ops and mismatches fail loudly before serving.
+	if *snapPath != "" {
+		switch err := srv.LoadSnapshot(*snapPath); {
+		case err == nil:
+			fmt.Printf("restored %d reports across %d streams from %s\n",
+				srv.N(), len(srv.Streams()), *snapPath)
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no snapshot at %s yet; starting cold\n", *snapPath)
+		default:
+			log.Fatalf("restore %s: %v", *snapPath, err)
+		}
+	}
+	for _, sf := range streamFlags {
+		if err := srv.CreateStream(sf.name, sf.cfg); err != nil {
+			log.Fatalf("declare stream %s: %v", sf.name, err)
+		}
+	}
+
 	httpSrv := &http.Server{
 		Addr:         *addr,
 		Handler:      srv.Handler(),
 		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second, // /estimate is cached; only the first call waits for EM
+		WriteTimeout: 30 * time.Second, // /estimate and /query serve caches and never block on EM
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Periodic durability: snapshots are atomic (temp file + rename), so a
+	// crash mid-save can never clobber the previous good state.
+	saverDone := make(chan struct{})
+	if *snapPath != "" {
+		go func() {
+			defer close(saverDone)
+			ticker := time.NewTicker(*snapInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := srv.SaveSnapshot(*snapPath); err != nil {
+						log.Printf("snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(saverDone)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("ldpserver listening on %s (epsilon=%g, buckets=%d)\n", *addr, *eps, *buckets)
-	fmt.Println("endpoints: POST /report, POST /batch, GET /estimate, GET /config")
+	fmt.Printf("ldpserver listening on %s (default stream: epsilon=%g, buckets=%d; %d streams)\n",
+		*addr, *eps, *buckets, len(srv.Streams()))
+	fmt.Println("endpoints: POST /streams, GET /streams, POST /report, POST /batch, GET /estimate, GET /query, POST /query, GET /config")
 
 	select {
 	case err := <-errc:
@@ -79,8 +173,16 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("drain incomplete: %v", err)
 		}
+		<-saverDone
 		srv.Close() // background estimator exits before we do
-		fmt.Printf("done; %d reports collected this run\n", srv.N())
+		if *snapPath != "" {
+			if err := srv.SaveSnapshot(*snapPath); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				fmt.Printf("state saved to %s\n", *snapPath)
+			}
+		}
+		fmt.Printf("done; %d reports collected across %d streams\n", srv.N(), len(srv.Streams()))
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}

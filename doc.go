@@ -39,6 +39,24 @@
 // histograms, HaarHRR, CFO-with-binning) are available through Estimate with
 // an explicit Method, for comparisons and research use.
 //
+// # Streams and queries
+//
+// A Streams registry hosts any number of named attributes (ages, incomes,
+// session lengths, ...), each with its own Options and concurrency-safe
+// Aggregator, and answers the analytics the reconstruction exists to serve
+// — range probability, CDF, arbitrary quantiles, mean/variance, top-k
+// buckets with significance scores:
+//
+//	streams := repro.NewStreams()
+//	agg, _ := streams.Declare("age", repro.DefaultOptions(1.0))
+//	... ingest ...
+//	med, _ := streams.Query("age", repro.QueryRequest{Type: repro.QueryQuantile, Qs: []float64{0.5, 0.9}})
+//
+// The same queries are available on any Result via Result.Query (plus the
+// Quantiles and TopK shorthands). Streams.Save and Streams.Load persist
+// every stream's report histogram to a checksummed snapshot file (written
+// atomically), interoperable with the HTTP collector's -snapshot files.
+//
 // # Collection at scale
 //
 // The Aggregator is built for heavy concurrent ingestion: reports land in a
@@ -51,8 +69,12 @@
 // latency knob.
 //
 // The same substrate backs the HTTP collector (internal/ldphttp, run with
-// cmd/ldpserver): POST /report and POST /batch are lock-free, and GET
-// /estimate serves a cached reconstruction that a background goroutine
-// refreshes with warm-started EMS, so estimation cost never lands on a
-// request goroutine. See README.md for the operational details.
+// cmd/ldpserver), which serves named streams over POST /streams, POST
+// /report, POST /batch, GET /estimate, GET /query, POST /query and GET
+// /config: ingestion is lock-free per stream, and a shared background
+// goroutine round-robins warm-started EMS refreshes, so estimation cost
+// never lands on a request goroutine (a not-yet-computed estimate answers
+// 503 with pending_reports instead of blocking). The -snapshot flag makes
+// the collector durable across restarts. See README.md for the operational
+// details.
 package repro

@@ -96,4 +96,20 @@ func main() {
 	fmt.Printf("  estimated mean:     %.4f (Beta(5,2) truth 0.7143)\n", est.Mean)
 	fmt.Printf("  estimated median:   %.4f (truth 0.7356)\n", est.Median)
 	fmt.Printf("  estimated variance: %.4f (truth 0.0255)\n", est.Variance)
+
+	// --- and the analytics layer --------------------------------------------
+	// GET /query evaluates range/CDF/quantile/top-k analytics against the
+	// same cached reconstruction.
+	resp, err := http.Get(base + "/query?type=quantile&q=0.1,0.5,0.9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var q ldphttp.QueryResponse
+	err = json.NewDecoder(resp.Body).Decode(&q)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  served quantiles:   q10=%.4f q50=%.4f q90=%.4f (truths 0.4577, 0.7356, 0.9274)\n",
+		q.Values[0], q.Values[1], q.Values[2])
 }

@@ -1,0 +1,120 @@
+package ldphttp
+
+// Statistical acceptance tests for the serving path (ldptest.CheckServing):
+// synthetic client populations run full HTTP rounds — randomize on the
+// client, POST /batch, poll GET /estimate — and the served reconstruction
+// must land within paper-level Wasserstein/KS distance of the truth. All
+// rounds are seeded, so failures reproduce exactly.
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ldptest"
+	"repro/internal/randx"
+)
+
+// Paper-level bounds for n ≈ 4–5k, ε = 1, d = 64: SW-EMS lands around
+// W1 ≈ 0.01–0.02 on smooth unimodal inputs (Figure 2 is at n = 10^6, where
+// it is far tighter); 0.05/0.12 leaves room for sampling noise while still
+// failing loudly on any systematic serving bug (a uniform answer against
+// Beta(5,2) truth has W1 ≈ 0.21).
+const (
+	acceptW1 = 0.05
+	acceptKS = 0.12
+)
+
+func TestServingAcceptanceSingleStream(t *testing.T) {
+	s := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 10 * time.Millisecond})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	rep, err := ldptest.CheckServing(ts.URL,
+		func(rng *randx.Rand) float64 { return rng.Beta(5, 2) },
+		ldptest.ServingOptions{
+			Epsilon: 1, Buckets: 64, Clients: 5000, Seed: 42,
+			MaxW1: acceptW1, MaxKS: acceptKS,
+		})
+	t.Logf("single stream: N=%d W1=%.4f KS=%.4f", rep.N, rep.W1, rep.KS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 5000 {
+		t.Errorf("estimate covers %d reports, want 5000", rep.N)
+	}
+}
+
+// TestServingAcceptanceMultiStream is the acceptance criterion of the
+// multi-stream layer: two streams with different domains and budgets ingest
+// concurrently, and each served estimate must match its own population — no
+// cross-stream bleed, no lost reports, both within bounds.
+func TestServingAcceptanceMultiStream(t *testing.T) {
+	s := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 10 * time.Millisecond})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	if err := s.CreateStream("age", StreamConfig{Epsilon: 1, Buckets: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateStream("income", StreamConfig{Epsilon: 2, Buckets: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		name string
+		rep  ldptest.ServingReport
+		err  error
+	}
+	results := make(chan outcome, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		// Ages: right-skewed Beta(5,2).
+		rep, err := ldptest.CheckServing(ts.URL,
+			func(rng *randx.Rand) float64 { return rng.Beta(5, 2) },
+			ldptest.ServingOptions{
+				Stream: "age", Epsilon: 1, Buckets: 64, Clients: 4000, Seed: 7,
+				MaxW1: acceptW1, MaxKS: acceptKS,
+			})
+		results <- outcome{"age", rep, err}
+	}()
+	go func() {
+		defer wg.Done()
+		// Incomes: left-skewed Beta(2,6) — a distinctly different truth, at
+		// a different budget and granularity, ingesting at the same time.
+		rep, err := ldptest.CheckServing(ts.URL,
+			func(rng *randx.Rand) float64 { return rng.Beta(2, 6) },
+			ldptest.ServingOptions{
+				Stream: "income", Epsilon: 2, Buckets: 32, Clients: 4000, Seed: 11,
+				MaxW1: acceptW1, MaxKS: acceptKS,
+			})
+		results <- outcome{"income", rep, err}
+	}()
+	wg.Wait()
+	close(results)
+
+	for out := range results {
+		t.Logf("%s: N=%d W1=%.4f KS=%.4f", out.name, out.rep.N, out.rep.W1, out.rep.KS)
+		if out.err != nil {
+			t.Errorf("stream %s: %v", out.name, out.err)
+		}
+		if out.rep.N != 4000 {
+			t.Errorf("stream %s covers %d reports, want 4000", out.name, out.rep.N)
+		}
+	}
+	// The populations must not have bled into each other.
+	if n := s.StreamN("age"); n != 4000 {
+		t.Errorf("age N = %d, want 4000", n)
+	}
+	if n := s.StreamN("income"); n != 4000 {
+		t.Errorf("income N = %d, want 4000", n)
+	}
+	if n := s.StreamN(""); n != 0 {
+		t.Errorf("default stream N = %d, want 0", n)
+	}
+}

@@ -1,30 +1,43 @@
-// Package ldphttp exposes a Square Wave collection round over HTTP: clients
+// Package ldphttp exposes Square Wave collection rounds over HTTP: clients
 // POST their randomized reports to a collector endpoint and anyone may GET
-// the current reconstructed distribution. This is the deployment shape of
-// the real-world LDP systems the paper cites (RAPPOR in Chrome, Apple's and
-// Microsoft's telemetry): randomization happens strictly on the client; the
-// server only ever sees ε-LDP reports.
+// the current reconstructed distribution and the analytics computed from it.
+// This is the deployment shape of the real-world LDP systems the paper cites
+// (RAPPOR in Chrome, Apple's and Microsoft's telemetry): randomization
+// happens strictly on the client; the server only ever sees ε-LDP reports.
 //
 // Endpoints:
 //
-//	POST /report   {"report": 0.1234}            one randomized report
-//	POST /batch    {"reports": [0.1, 0.2, ...]}  many reports at once
-//	GET  /estimate                               reconstruction + statistics
-//	GET  /config                                 mechanism parameters clients need
+//	POST /streams  {"name": "age", "epsilon": 1, "buckets": 256}  declare a stream
+//	GET  /streams                                list streams and their state
+//	POST /report   {"stream": "age", "report": 0.1234}           one report
+//	POST /batch    {"stream": "age", "reports": [0.1, 0.2]}      many reports
+//	GET  /estimate?stream=age                    reconstruction + statistics
+//	GET  /query?stream=age&type=quantile&q=0.5,0.9,0.99          analytics
+//	POST /query    {"stream": "age", "queries": [...]}           batched analytics
+//	GET  /config?stream=age                      mechanism parameters clients need
+//
+// The stream field/parameter is optional everywhere: omitting it addresses
+// the default stream every server is born with, so single-attribute
+// deployments never have to mention streams at all.
 //
 // # Architecture
 //
-// Ingestion and estimation are decoupled so neither blocks the other.
-// Reports land in a striped atomic histogram (package aggregate) — no lock
-// is taken on the request path, so POST /report and POST /batch scale with
-// the hardware. A single background goroutine re-runs the EMS
-// reconstruction over non-blocking snapshots of that histogram, warm-started
-// from its previous estimate (which converges in a fraction of the
-// iterations) and with the E-step matrix products partitioned across the
-// worker pool. GET /estimate never runs EM on the request goroutine: it
-// serves the cached reconstruction — waiting only when no estimate has been
-// computed yet — and reports how many reports arrived after the served
-// estimate was computed.
+// A server hosts any number of named attribute streams, each with its own
+// domain, privacy budget and granularity — one survey server can collect
+// ages, incomes and session lengths at once. Ingestion and estimation are
+// decoupled so neither blocks the other: each stream's reports land in its
+// own striped atomic histogram (package aggregate) — no lock on the request
+// path — while a single background goroutine round-robins over the streams,
+// re-running the EMS reconstruction for every stream whose histogram has
+// grown, warm-started from that stream's previous estimate. GET /estimate
+// and /query never run EM on a request goroutine: they serve the cached
+// reconstruction (503 with pending_reports while the very first one is still
+// being computed) and report how many reports arrived after it.
+//
+// SaveSnapshot/LoadSnapshot persist every stream's histogram and cached
+// estimate through package snapshot (atomic temp-file rename, checksummed),
+// so a restarted collector resumes warm; cmd/ldpserver wires this to the
+// -snapshot flag.
 package ldphttp
 
 import (
@@ -39,10 +52,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/em"
 	"repro/internal/histogram"
+	"repro/internal/snapshot"
 )
 
-// Config mirrors the mechanism parameters clients and server must share,
-// plus server-side tuning knobs (omitted from /config when zero).
+// DefaultStream is the name of the stream every server starts with; requests
+// that do not name a stream address it.
+const DefaultStream = "default"
+
+// Config mirrors the default stream's mechanism parameters plus server-side
+// tuning knobs (omitted from /config when zero).
 type Config struct {
 	// Epsilon is the LDP budget.
 	Epsilon float64 `json:"epsilon"`
@@ -60,42 +78,65 @@ type Config struct {
 	// value is the library's conservative serial default.
 	EMWorkers int `json:"em_workers,omitempty"`
 	// RefreshInterval is the cadence at which the background estimator
-	// re-checks for new reports (0 = 500ms). Estimate requests that find
-	// the cache stale also wake it immediately.
+	// re-checks every stream for new reports (0 = 500ms). Estimate and
+	// query requests that find a cache missing also wake it immediately.
 	RefreshInterval time.Duration `json:"-"`
 }
 
-// Server wraps striped ingestion and a background estimation engine behind
-// an http.Handler.
+// StreamConfig is the per-stream subset of Config. Zero fields inherit the
+// server defaults.
+type StreamConfig struct {
+	Epsilon   float64 `json:"epsilon"`
+	Buckets   int     `json:"buckets"`
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	Shards    int     `json:"shards,omitempty"`
+}
+
+// stream is one named attribute: immutable mechanism state, a striped
+// ingestion histogram, and the engine's cached reconstruction.
+type stream struct {
+	name   string
+	cfg    StreamConfig
+	agg    *core.Aggregator // immutable channel + EM config; counts unused
+	counts *aggregate.Striped
+
+	est       atomic.Pointer[EstimateResponse]
+	published atomic.Int64 // reports covered by est
+
+	// Engine-owned scratch (single goroutine): warm-start vector and
+	// snapshot buffer.
+	init    []float64
+	scratch []float64
+}
+
+// Server hosts named streams behind an http.Handler, with one shared
+// background estimation engine.
 type Server struct {
 	cfg     Config
 	refresh time.Duration
-	agg     *core.Aggregator // immutable channel + EM config; counts unused
-	counts  *aggregate.Striped
+	workers int // resolved EM parallelism
 
-	est       atomic.Pointer[EstimateResponse]
+	mu      sync.RWMutex
+	streams map[string]*stream
+	order   []*stream // declaration order, for fair round-robin
+
+	rr int // engine-owned rotation cursor
+
 	kick      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
-	firstOnce sync.Once
-	first     chan struct{} // closed once the first estimate is published
 	wg        sync.WaitGroup
+	snapMu    sync.Mutex // serializes SaveSnapshot
 }
 
-// NewServer builds a collection server and starts its background estimator.
-// Call Close when done with the server to stop the estimator goroutine.
+// NewServer builds a collection server with its default stream and starts
+// the background estimator. Call Close when done with the server to stop the
+// estimator goroutine.
 func NewServer(cfg Config) *Server {
 	workers := cfg.EMWorkers
 	if workers == 0 {
 		workers = -1 // em semantics: negative = all CPUs
 	}
-	agg := core.NewAggregator(core.Config{
-		Epsilon:   cfg.Epsilon,
-		Buckets:   cfg.Buckets,
-		Bandwidth: cfg.Bandwidth,
-		Smoothing: true,
-		EM:        em.Options{Workers: workers},
-	})
 	refresh := cfg.RefreshInterval
 	if refresh <= 0 {
 		refresh = 500 * time.Millisecond
@@ -103,19 +144,169 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		refresh: refresh,
-		agg:     agg,
-		counts:  aggregate.New(agg.OutputBuckets(), cfg.Shards),
+		workers: workers,
+		streams: make(map[string]*stream),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
-		first:   make(chan struct{}),
+	}
+	if err := s.CreateStream(DefaultStream, StreamConfig{
+		Epsilon:   cfg.Epsilon,
+		Buckets:   cfg.Buckets,
+		Bandwidth: cfg.Bandwidth,
+		Shards:    cfg.Shards,
+	}); err != nil {
+		panic(err) // unreachable: the registry is empty and the name valid
 	}
 	s.wg.Add(1)
 	go s.estimator()
 	return s
 }
 
-// N returns the number of reports ingested.
-func (s *Server) N() int { return s.counts.N() }
+// newStream builds the immutable per-stream machinery.
+func (s *Server) newStream(name string, cfg StreamConfig) *stream {
+	agg := core.NewAggregator(core.Config{
+		Epsilon:   cfg.Epsilon,
+		Buckets:   cfg.Buckets,
+		Bandwidth: cfg.Bandwidth,
+		Smoothing: true,
+		EM:        em.Options{Workers: s.workers},
+	})
+	return &stream{
+		name:   name,
+		cfg:    cfg,
+		agg:    agg,
+		counts: aggregate.New(agg.OutputBuckets(), cfg.Shards),
+	}
+}
+
+// fillStreamDefaults resolves zero fields against the server defaults and
+// validates the result.
+func (s *Server) fillStreamDefaults(cfg StreamConfig) (StreamConfig, error) {
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = s.cfg.Epsilon
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = s.cfg.Buckets
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 1024 // the library-wide default granularity
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = s.cfg.Shards
+	}
+	if cfg.Epsilon <= 0 {
+		return cfg, fmt.Errorf("ldphttp: stream epsilon must be positive, got %v", cfg.Epsilon)
+	}
+	if cfg.Buckets < 2 {
+		return cfg, fmt.Errorf("ldphttp: stream needs at least 2 buckets, got %d", cfg.Buckets)
+	}
+	if cfg.Bandwidth < 0 || cfg.Bandwidth > 2 {
+		return cfg, fmt.Errorf("ldphttp: stream bandwidth %v out of range [0, 2]", cfg.Bandwidth)
+	}
+	return cfg, nil
+}
+
+// ErrStreamConfigMismatch is wrapped by CreateStream when a stream already
+// exists with different parameters.
+var ErrStreamConfigMismatch = fmt.Errorf("stream exists with different configuration")
+
+// CreateStream declares a named stream. Declaring an existing stream with
+// the same mechanism parameters (ε, buckets, bandwidth) is a no-op — Shards
+// is a pure ingestion-performance knob and is deliberately ignored, so a
+// restart with a different -shards value still accepts matching -stream
+// flags against snapshot-restored streams. Different mechanism parameters
+// are an error (the report histogram of the live stream would be
+// meaningless under the new mechanism).
+func (s *Server) CreateStream(name string, cfg StreamConfig) error {
+	if !snapshot.ValidName(name) {
+		return fmt.Errorf("ldphttp: invalid stream name %q (want 1-64 chars of [A-Za-z0-9._-])", name)
+	}
+	cfg, err := s.fillStreamDefaults(cfg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.streams[name]; ok {
+		if existing.cfg.Epsilon != cfg.Epsilon || existing.cfg.Buckets != cfg.Buckets ||
+			existing.cfg.Bandwidth != cfg.Bandwidth {
+			return fmt.Errorf("ldphttp: %w: %q has %+v, requested %+v",
+				ErrStreamConfigMismatch, name, existing.cfg, cfg)
+		}
+		return nil
+	}
+	st := s.newStream(name, cfg)
+	s.streams[name] = st
+	s.order = append(s.order, st)
+	return nil
+}
+
+// lookup resolves a stream name ("" means the default stream).
+func (s *Server) lookup(name string) *stream {
+	if name == "" {
+		name = DefaultStream
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.streams[name]
+}
+
+// streamList snapshots the declaration-ordered stream slice.
+func (s *Server) streamList() []*stream {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*stream(nil), s.order...)
+}
+
+// StreamInfo is one row of GET /streams.
+type StreamInfo struct {
+	Name      string  `json:"name"`
+	Epsilon   float64 `json:"epsilon"`
+	Buckets   int     `json:"buckets"`
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	Shards    int     `json:"shards,omitempty"`
+	// N is the number of reports ingested; EstimateN the number covered by
+	// the cached reconstruction (0 = none yet).
+	N         int `json:"n"`
+	EstimateN int `json:"estimate_n"`
+}
+
+// Streams lists every stream in declaration order.
+func (s *Server) Streams() []StreamInfo {
+	list := s.streamList()
+	infos := make([]StreamInfo, len(list))
+	for i, st := range list {
+		infos[i] = StreamInfo{
+			Name:      st.name,
+			Epsilon:   st.cfg.Epsilon,
+			Buckets:   st.cfg.Buckets,
+			Bandwidth: st.cfg.Bandwidth,
+			Shards:    st.cfg.Shards,
+			N:         st.counts.N(),
+			EstimateN: int(st.published.Load()),
+		}
+	}
+	return infos
+}
+
+// N returns the total number of reports ingested across every stream.
+func (s *Server) N() int {
+	var n int
+	for _, st := range s.streamList() {
+		n += st.counts.N()
+	}
+	return n
+}
+
+// StreamN returns the report count of one stream ("" = default), or -1 if
+// the stream does not exist.
+func (s *Server) StreamN(name string) int {
+	st := s.lookup(name)
+	if st == nil {
+		return -1
+	}
+	return st.counts.N()
+}
 
 // Close stops the background estimator and waits for it to exit. The
 // handler keeps accepting reports after Close, but estimates are no longer
@@ -133,18 +324,14 @@ func (s *Server) wake() {
 	}
 }
 
-// estimator is the background estimation engine: on every tick (or wake) it
-// snapshots the striped histogram and, if new reports arrived, re-runs EMS
-// warm-started from the previous estimate.
+// estimator is the shared background estimation engine: on every tick (or
+// wake) it walks the streams round-robin — a rotating start index keeps one
+// hot stream from starving the rest — and, for each stream with new reports,
+// re-runs EMS warm-started from that stream's previous estimate.
 func (s *Server) estimator() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.refresh)
 	defer ticker.Stop()
-	var (
-		counts    []float64
-		init      []float64
-		published int
-	)
 	for {
 		select {
 		case <-s.done:
@@ -152,49 +339,80 @@ func (s *Server) estimator() {
 		case <-s.kick:
 		case <-ticker.C:
 		}
-		var n int
-		counts, n = s.counts.Snapshot(counts)
-		if n == 0 || n == published {
+		list := s.streamList()
+		if len(list) == 0 {
 			continue
 		}
-		res := s.agg.EstimateFrom(counts, init)
-		init = append(init[:0], res.Estimate...)
-		s.est.Store(&EstimateResponse{
-			N:            n,
-			Epsilon:      s.cfg.Epsilon,
-			Distribution: res.Estimate,
-			Mean:         histogram.Mean(res.Estimate),
-			Variance:     histogram.Variance(res.Estimate),
-			Median:       histogram.Quantile(res.Estimate, 0.5),
-			Iterations:   res.Iterations,
-			Converged:    res.Converged,
-			WarmStart:    published > 0,
-		})
-		published = n
-		s.firstOnce.Do(func() { close(s.first) })
+		start := s.rr % len(list)
+		s.rr++
+		for i := range list {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			s.refreshStream(list[(start+i)%len(list)])
+		}
 	}
+}
+
+// refreshStream re-estimates one stream if its histogram grew since the last
+// published estimate. Engine goroutine only.
+func (s *Server) refreshStream(st *stream) {
+	var n int
+	st.scratch, n = st.counts.Snapshot(st.scratch)
+	if n == 0 || int64(n) == st.published.Load() {
+		return
+	}
+	init := st.init
+	if init == nil {
+		// Warm-start from a snapshot-restored estimate when there is one.
+		if prev := st.est.Load(); prev != nil && len(prev.Distribution) > 0 {
+			init = prev.Distribution
+		}
+	}
+	res := st.agg.EstimateFrom(st.scratch, init)
+	st.init = append(st.init[:0], res.Estimate...)
+	st.est.Store(&EstimateResponse{
+		Stream:       st.name,
+		N:            n,
+		Epsilon:      st.cfg.Epsilon,
+		Distribution: res.Estimate,
+		Mean:         histogram.Mean(res.Estimate),
+		Variance:     histogram.Variance(res.Estimate),
+		Median:       histogram.Quantile(res.Estimate, 0.5),
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		WarmStart:    init != nil,
+	})
+	st.published.Store(int64(n))
 }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/streams", s.handleStreams)
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/config", s.handleConfig)
 	return mux
 }
 
 type reportRequest struct {
+	Stream string  `json:"stream"`
 	Report float64 `json:"report"`
 }
 
 type batchRequest struct {
+	Stream  string    `json:"stream"`
 	Reports []float64 `json:"reports"`
 }
 
 // EstimateResponse is the JSON shape of GET /estimate.
 type EstimateResponse struct {
+	Stream       string    `json:"stream"`
 	N            int       `json:"n"`
 	Epsilon      float64   `json:"epsilon"`
 	Distribution []float64 `json:"distribution"`
@@ -206,10 +424,29 @@ type EstimateResponse struct {
 	// WarmStart reports whether the reconstruction was warm-started from
 	// the previous estimate (false only for the first one).
 	WarmStart bool `json:"warm_start"`
+	// Restored reports that the estimate was loaded from a snapshot rather
+	// than computed by this process.
+	Restored bool `json:"restored,omitempty"`
 	// PendingReports is the number of reports ingested after the served
 	// estimate was computed — the staleness of a cached response. The
 	// background engine is already re-estimating when this is non-zero.
 	PendingReports int `json:"pending_reports,omitempty"`
+}
+
+// errorJSON writes a JSON error body with the given status.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// resolveStream finds the request's stream or writes a 404.
+func (s *Server) resolveStream(w http.ResponseWriter, name string) *stream {
+	st := s.lookup(name)
+	if st == nil {
+		errorJSON(w, http.StatusNotFound, "unknown stream %q (declare it with POST /streams)", name)
+	}
+	return st
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -219,11 +456,15 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	var req reportRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	s.counts.Add(s.agg.Bucket(req.Report))
-	writeJSON(w, map[string]any{"accepted": true, "n": s.counts.N()})
+	st := s.resolveStream(w, req.Stream)
+	if st == nil {
+		return
+	}
+	st.counts.Add(st.agg.Bucket(req.Report))
+	writeJSON(w, map[string]any{"accepted": true, "stream": st.name, "n": st.counts.N()})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -233,19 +474,60 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
 	if len(req.Reports) == 0 {
-		http.Error(w, "empty batch", http.StatusBadRequest)
+		errorJSON(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	st := s.resolveStream(w, req.Stream)
+	if st == nil {
 		return
 	}
 	buckets := make([]int, len(req.Reports))
 	for i, rep := range req.Reports {
-		buckets[i] = s.agg.Bucket(rep)
+		buckets[i] = st.agg.Bucket(rep)
 	}
-	s.counts.AddBatch(buckets)
-	writeJSON(w, map[string]any{"accepted": len(req.Reports), "n": s.counts.N()})
+	st.counts.AddBatch(buckets)
+	writeJSON(w, map[string]any{"accepted": len(req.Reports), "stream": st.name, "n": st.counts.N()})
+}
+
+// loadEstimate fetches a stream's cached reconstruction for serving,
+// handling the two not-ready cases uniformly for /estimate and /query:
+// 409 when the stream has no reports at all, 503 (with pending_reports and
+// Retry-After, never blocking the client) while the first estimate is still
+// being computed. The returned pending count is how many reports arrived
+// after the cached estimate, clamped at zero — the engine can publish an
+// estimate covering more reports than the count read here.
+func (s *Server) loadEstimate(w http.ResponseWriter, st *stream) (cached *EstimateResponse, pending int, ok bool) {
+	n := st.counts.N()
+	if n == 0 {
+		errorJSON(w, http.StatusConflict, "no reports yet on stream %q", st.name)
+		return nil, 0, false
+	}
+	cached = st.est.Load()
+	if cached == nil {
+		// First estimate still pending: tell the client instead of
+		// hanging, and make sure the engine is on it.
+		s.wake()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":           "estimate pending: first reconstruction in progress",
+			"stream":          st.name,
+			"pending_reports": n,
+		})
+		return nil, 0, false
+	}
+	if cached.N != n {
+		s.wake() // refresh in the background; serve the cache now
+	}
+	if n > cached.N {
+		pending = n - cached.N
+	}
+	return cached, pending, true
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -253,40 +535,53 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	n := s.counts.N()
-	if n == 0 {
-		http.Error(w, "no reports yet", http.StatusConflict)
+	st := s.resolveStream(w, r.URL.Query().Get("stream"))
+	if st == nil {
 		return
 	}
-	if cached := s.est.Load(); cached != nil {
-		if cached.N != n {
-			s.wake() // refresh in the background; serve stale now
-		}
-		serveEstimate(w, cached, n)
+	cached, pending, ok := s.loadEstimate(w, st)
+	if !ok {
 		return
 	}
-	// Cold cache: the first estimate is being computed — wait for it (on
-	// the background goroutine, never this one).
-	s.wake()
-	select {
-	case <-s.first:
-		serveEstimate(w, s.est.Load(), n)
-	case <-r.Context().Done():
-		http.Error(w, "estimate not ready", http.StatusServiceUnavailable)
-	case <-s.done:
-		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-	}
+	// The cached response is shared — copy, don't mutate.
+	out := *cached
+	out.PendingReports = pending
+	writeJSON(w, out)
 }
 
-// serveEstimate writes a cached estimate, stamping its staleness relative to
-// the current ingestion total. The cached response is shared — copy, don't
-// mutate.
-func serveEstimate(w http.ResponseWriter, cached *EstimateResponse, n int) {
-	out := *cached
-	if n > cached.N {
-		out.PendingReports = n - cached.N
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, map[string]any{"streams": s.Streams()})
+	case http.MethodPost:
+		var req struct {
+			Name string `json:"name"`
+			StreamConfig
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		s.mu.RLock()
+		_, existed := s.streams[req.Name] // exact name: "" must not alias the default stream
+		s.mu.RUnlock()
+		if err := s.CreateStream(req.Name, req.StreamConfig); err != nil {
+			status := http.StatusBadRequest
+			if existed {
+				status = http.StatusConflict
+			}
+			errorJSON(w, status, "%v", err)
+			return
+		}
+		st := s.lookup(req.Name)
+		if !existed {
+			w.WriteHeader(http.StatusCreated)
+		}
+		writeJSON(w, map[string]any{"stream": st.name, "epsilon": st.cfg.Epsilon,
+			"buckets": st.cfg.Buckets, "created": !existed})
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
 	}
-	writeJSON(w, out)
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
@@ -294,7 +589,15 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, s.cfg)
+	st := s.resolveStream(w, r.URL.Query().Get("stream"))
+	if st == nil {
+		return
+	}
+	writeJSON(w, struct {
+		Stream string `json:"stream"`
+		StreamConfig
+		EMWorkers int `json:"em_workers,omitempty"`
+	}{Stream: st.name, StreamConfig: st.cfg, EMWorkers: s.cfg.EMWorkers})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

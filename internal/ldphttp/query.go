@@ -1,0 +1,167 @@
+package ldphttp
+
+// HTTP surface of the analytics layer (package query): GET /query answers a
+// single query from URL parameters, POST /query answers a batch against one
+// consistent snapshot of a stream's estimate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// QueryResponse is the JSON shape of a /query answer: the evaluated
+// query.Response plus the provenance of the estimate it was computed from.
+type QueryResponse struct {
+	Stream string `json:"stream"`
+	// N is the number of reports covered by the estimate the answer was
+	// computed from; PendingReports how many arrived after it.
+	N              int `json:"n"`
+	PendingReports int `json:"pending_reports,omitempty"`
+	query.Response
+}
+
+// BatchQueryResponse is the JSON shape of POST /query.
+type BatchQueryResponse struct {
+	Stream         string           `json:"stream"`
+	N              int              `json:"n"`
+	PendingReports int              `json:"pending_reports,omitempty"`
+	Results        []query.Response `json:"results"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.handleQueryGet(w, r)
+	case http.MethodPost:
+		s.handleQueryPost(w, r)
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	req, err := parseQueryParams(params)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := s.resolveStream(w, params.Get("stream"))
+	if st == nil {
+		return
+	}
+	cached, pending, ok := s.loadEstimate(w, st)
+	if !ok {
+		return
+	}
+	resp, err := query.Eval(cached.Distribution, cached.N, req)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, QueryResponse{
+		Stream:         st.name,
+		N:              cached.N,
+		PendingReports: pending,
+		Response:       resp,
+	})
+}
+
+type batchQueryRequest struct {
+	Stream  string          `json:"stream"`
+	Queries []query.Request `json:"queries"`
+}
+
+func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
+	var req batchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		errorJSON(w, http.StatusBadRequest, "empty query batch")
+		return
+	}
+	// Validate the whole batch before evaluating anything, so a bad query
+	// in the middle cannot produce a half-answered 400.
+	for i, q := range req.Queries {
+		if err := query.Validate(q); err != nil {
+			errorJSON(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+	}
+	st := s.resolveStream(w, req.Stream)
+	if st == nil {
+		return
+	}
+	cached, pending, ok := s.loadEstimate(w, st)
+	if !ok {
+		return
+	}
+	// Every query in the batch reads the same cached estimate, so the
+	// answers are mutually consistent even under concurrent ingestion.
+	results := make([]query.Response, len(req.Queries))
+	for i, q := range req.Queries {
+		resp, err := query.Eval(cached.Distribution, cached.N, q)
+		if err != nil {
+			errorJSON(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		results[i] = resp
+	}
+	writeJSON(w, BatchQueryResponse{
+		Stream:         st.name,
+		N:              cached.N,
+		PendingReports: pending,
+		Results:        results,
+	})
+}
+
+// parseQueryParams maps GET /query URL parameters onto a query.Request:
+// type (required), q (comma-separated points for quantile/cdf), lo/hi
+// (range), k (topk).
+func parseQueryParams(params url.Values) (query.Request, error) {
+	req := query.Request{Type: query.Type(params.Get("type"))}
+	if raw := params.Get("q"); raw != "" {
+		for _, tok := range strings.Split(raw, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return req, fmt.Errorf("bad q value %q", tok)
+			}
+			req.Qs = append(req.Qs, v)
+		}
+	}
+	var err error
+	if req.Lo, err = parseFloatParam(params, "lo", 0); err != nil {
+		return req, err
+	}
+	if req.Hi, err = parseFloatParam(params, "hi", 0); err != nil {
+		return req, err
+	}
+	if raw := params.Get("k"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil {
+			return req, fmt.Errorf("bad k value %q", raw)
+		}
+		req.K = k
+	}
+	return req, query.Validate(req)
+}
+
+func parseFloatParam(params url.Values, name string, def float64) (float64, error) {
+	raw := params.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return def, fmt.Errorf("bad %s value %q", name, raw)
+	}
+	return v, nil
+}

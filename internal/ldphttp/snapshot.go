@@ -1,0 +1,130 @@
+package ldphttp
+
+// Durability: SaveSnapshot/LoadSnapshot persist every stream's report
+// histogram and cached reconstruction through package snapshot, so a
+// restarted collector resumes exactly where the previous process stopped —
+// the restored estimate is served immediately (bit-identical: JSON float64
+// encoding round-trips exactly) and the engine warm-starts from it when new
+// reports arrive.
+
+import (
+	"fmt"
+
+	"repro/internal/histogram"
+	"repro/internal/snapshot"
+)
+
+// SaveSnapshot atomically writes the state of every stream to path. Safe to
+// call concurrently with ingestion and estimation: each stream's histogram
+// is captured with a non-blocking consistent snapshot, and concurrent saves
+// are serialized.
+func (s *Server) SaveSnapshot(path string) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	list := s.streamList()
+	records := make([]snapshot.Stream, 0, len(list))
+	for _, st := range list {
+		counts, _ := st.counts.Snapshot(nil)
+		rec := snapshot.Stream{
+			Name:      st.name,
+			Epsilon:   st.cfg.Epsilon,
+			Buckets:   st.cfg.Buckets,
+			Bandwidth: st.cfg.Bandwidth,
+			Shards:    st.cfg.Shards,
+			Counts:    make([]uint64, len(counts)),
+		}
+		for i, c := range counts {
+			rec.Counts[i] = uint64(c)
+		}
+		if est := st.est.Load(); est != nil {
+			rec.Estimate = est.Distribution
+			rec.EstimateN = est.N
+		}
+		records = append(records, rec)
+	}
+	return snapshot.Save(path, records)
+}
+
+// LoadSnapshot restores streams from a snapshot file. Streams that do not
+// exist are created with their persisted configuration; the persisted
+// histogram of a stream that already exists (e.g. the default stream on a
+// fresh boot) is merged into it, provided the mechanism parameters match. A
+// persisted cached estimate is installed when the live stream had no reports
+// before the merge, so GET /estimate serves instantly after a restart.
+// Corrupt, truncated, or incompatible files return an error and change
+// nothing: the whole restore — validation of every record, construction of
+// every missing stream, then the merge — happens atomically under the
+// registry lock, so no concurrent stream declaration can slip between
+// validation and apply, and no error path leaves a partial merge behind.
+func (s *Server) LoadSnapshot(path string) error {
+	records, err := snapshot.Load(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Phase 1 — validate every record and build (but do not register) the
+	// streams that are missing. Nothing is mutated until every record has
+	// a proven-compatible destination.
+	targets := make([]*stream, len(records))
+	fresh := make([]bool, len(records))
+	for i, rec := range records {
+		st, ok := s.streams[rec.Name]
+		if ok {
+			if st.cfg.Epsilon != rec.Epsilon || st.cfg.Buckets != rec.Buckets ||
+				st.cfg.Bandwidth != rec.Bandwidth {
+				return fmt.Errorf("ldphttp: snapshot stream %q has (ε=%v, buckets=%d, b=%v) but the live stream has (ε=%v, buckets=%d, b=%v)",
+					rec.Name, rec.Epsilon, rec.Buckets, rec.Bandwidth,
+					st.cfg.Epsilon, st.cfg.Buckets, st.cfg.Bandwidth)
+			}
+		} else {
+			cfg, err := s.fillStreamDefaults(StreamConfig{
+				Epsilon:   rec.Epsilon,
+				Buckets:   rec.Buckets,
+				Bandwidth: rec.Bandwidth,
+				Shards:    rec.Shards,
+			})
+			if err != nil {
+				return fmt.Errorf("ldphttp: restore stream %q: %w", rec.Name, err)
+			}
+			st = s.newStream(rec.Name, cfg)
+			fresh[i] = true
+		}
+		if st.counts.Buckets() != len(rec.Counts) {
+			return fmt.Errorf("ldphttp: snapshot stream %q has %d histogram buckets, the %s stream has %d",
+				rec.Name, len(rec.Counts), map[bool]string{true: "restored", false: "live"}[fresh[i]],
+				st.counts.Buckets())
+		}
+		targets[i] = st
+	}
+	// Phase 2 — register and merge; no failure paths remain.
+	for i, rec := range records {
+		st := targets[i]
+		if fresh[i] {
+			s.streams[st.name] = st
+			s.order = append(s.order, st)
+		}
+		wasEmpty := st.counts.N() == 0
+		for bucket, c := range rec.Counts {
+			st.counts.AddN(bucket, c)
+		}
+		if wasEmpty && len(rec.Estimate) > 0 {
+			dist := append([]float64(nil), rec.Estimate...)
+			st.est.Store(&EstimateResponse{
+				Stream:       st.name,
+				N:            rec.EstimateN,
+				Epsilon:      st.cfg.Epsilon,
+				Distribution: dist,
+				Mean:         histogram.Mean(dist),
+				Variance:     histogram.Variance(dist),
+				Median:       histogram.Quantile(dist, 0.5),
+				Converged:    true,
+				WarmStart:    true,
+				Restored:     true,
+			})
+			st.published.Store(int64(rec.EstimateN))
+		}
+	}
+	s.wake() // re-estimate any stream whose counts moved past its estimate
+	return nil
+}

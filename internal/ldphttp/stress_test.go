@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -131,8 +132,9 @@ func TestStressConcurrentIngestionWithEstimates(t *testing.T) {
 						errs <- fmt.Errorf("estimate has %d buckets", len(est.Distribution))
 						return
 					}
-				case http.StatusConflict:
-					// No reports ingested yet — legal early on.
+				case http.StatusConflict, http.StatusServiceUnavailable:
+					// No reports yet / first estimate pending — legal
+					// early on; the server answered instead of blocking.
 				default:
 					errs <- fmt.Errorf("estimate status %d", resp.StatusCode)
 					return
@@ -166,5 +168,182 @@ func TestStressConcurrentIngestionWithEstimates(t *testing.T) {
 	}
 	if sum < 0.999 || sum > 1.001 {
 		t.Errorf("distribution sums to %v", sum)
+	}
+}
+
+// TestStressMultiStreamSnapshotQuery exercises the full new surface under
+// -race at once: concurrent ingestion into multiple named streams, /query
+// pollers reading cached estimates, periodic SaveSnapshot of the live
+// server, and stream declaration racing with everything else. Asserts no
+// report is lost on any stream and a concurrent snapshot restores into a
+// fresh server with every stream intact.
+func TestStressMultiStreamSnapshotQuery(t *testing.T) {
+	s := NewServer(Config{Epsilon: 1, Buckets: 32, RefreshInterval: 5 * time.Millisecond})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	streams := []string{"age", "income", "sessions"}
+	for _, name := range streams {
+		if err := s.CreateStream(name, StreamConfig{Epsilon: 1, Buckets: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		perStreamWriters = 2
+		batchesPerWriter = 6
+		batchSize        = 40
+		queryPollers     = 2
+		snapshotters     = 2
+		snapshotSaves    = 5
+	)
+	wantPerStream := perStreamWriters * batchesPerWriter * batchSize
+	snapPath := filepath.Join(t.TempDir(), "stress.snap")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(streams)*perStreamWriters+queryPollers+snapshotters+2)
+
+	// Writers: every stream gets its own concurrent batchers.
+	for si, name := range streams {
+		for w := 0; w < perStreamWriters; w++ {
+			wg.Add(1)
+			go func(stream string, seed uint64) {
+				defer wg.Done()
+				client := core.NewClient(core.Config{Epsilon: 1, Buckets: 32, Smoothing: true})
+				rng := randx.New(seed)
+				for b := 0; b < batchesPerWriter; b++ {
+					reports := make([]float64, batchSize)
+					for i := range reports {
+						reports[i] = client.Report(rng.Beta(5, 2), rng)
+					}
+					blob, _ := json.Marshal(map[string]any{"stream": stream, "reports": reports})
+					resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(blob))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("batch to %s status %d", stream, resp.StatusCode)
+						return
+					}
+				}
+			}(name, uint64(si*100+w+1))
+		}
+	}
+
+	stop := make(chan struct{})
+	var bgWG sync.WaitGroup
+
+	// Query pollers: rotate through streams and query types against the
+	// cached estimates.
+	for w := 0; w < queryPollers; w++ {
+		bgWG.Add(1)
+		go func(id int) {
+			defer bgWG.Done()
+			paths := []string{
+				"/query?type=quantile&q=0.5,0.9",
+				"/query?type=cdf&q=0.25,0.75",
+				"/query?type=range&lo=0.2&hi=0.8",
+				"/query?type=mean",
+				"/query?type=topk&k=3",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				stream := streams[i%len(streams)]
+				resp, err := http.Get(ts.URL + paths[i%len(paths)] + "&stream=" + stream)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusConflict, http.StatusServiceUnavailable:
+				default:
+					errs <- fmt.Errorf("query on %s status %d", stream, resp.StatusCode)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Snapshotters: persist the live server repeatedly while it ingests.
+	for w := 0; w < snapshotters; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			path := fmt.Sprintf("%s.%d", snapPath, id)
+			for i := 0; i < snapshotSaves; i++ {
+				if err := s.SaveSnapshot(path); err != nil {
+					errs <- fmt.Errorf("snapshot %d: %w", i, err)
+					return
+				}
+				time.Sleep(3 * time.Millisecond)
+			}
+		}(w)
+	}
+
+	// One goroutine races stream declarations with the traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			blob, _ := json.Marshal(map[string]any{
+				"name": fmt.Sprintf("late-%d", i), "epsilon": 1.0, "buckets": 16})
+			resp, err := http.Post(ts.URL+"/streams", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("late stream create status %d", resp.StatusCode)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	bgWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, name := range streams {
+		if n := s.StreamN(name); n != wantPerStream {
+			t.Errorf("stream %s lost reports: N = %d, want %d", name, n, wantPerStream)
+		}
+		est := getFreshStreamEstimate(t, ts.URL, name, wantPerStream)
+		if len(est.Distribution) != 32 {
+			t.Errorf("stream %s estimate has %d buckets", name, len(est.Distribution))
+		}
+	}
+
+	// A final snapshot of the fully-ingested server restores into a fresh
+	// one with every stream and count intact.
+	if err := s.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer(Config{Epsilon: 1, Buckets: 32, RefreshInterval: 5 * time.Millisecond})
+	t.Cleanup(s2.Close)
+	if err := s2.LoadSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range streams {
+		if n := s2.StreamN(name); n != wantPerStream {
+			t.Errorf("restored stream %s N = %d, want %d", name, n, wantPerStream)
+		}
+	}
+	if got, want := len(s2.Streams()), len(s.Streams()); got != want {
+		t.Errorf("restored server has %d streams, want %d", got, want)
 	}
 }

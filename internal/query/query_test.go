@@ -1,0 +1,246 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+// uniformDist returns the uniform distribution over d buckets.
+func uniformDist(d int) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = 1 / float64(d)
+	}
+	return out
+}
+
+// triangularDist returns the discretized symmetric triangular distribution
+// over [0,1] (density 4x on [0,1/2], 4(1−x) on [1/2,1]) by integrating the
+// density over each bucket — so the bucketed CDF agrees with the closed form
+// at every bucket boundary.
+func triangularDist(d int) []float64 {
+	cdf := func(x float64) float64 {
+		if x <= 0.5 {
+			return 2 * x * x
+		}
+		return 1 - 2*(1-x)*(1-x)
+	}
+	out := make([]float64, d)
+	for i := range out {
+		lo := float64(i) / float64(d)
+		hi := float64(i+1) / float64(d)
+		out[i] = cdf(hi) - cdf(lo)
+	}
+	return out
+}
+
+// pointMass returns a point mass at bucket i of d.
+func pointMass(i, d int) []float64 {
+	out := make([]float64, d)
+	out[i] = 1
+	return out
+}
+
+func evalOK(t *testing.T, dist []float64, req Request) Response {
+	t.Helper()
+	resp, err := Eval(dist, 0, req)
+	if err != nil {
+		t.Fatalf("Eval(%+v) error: %v", req, err)
+	}
+	return resp
+}
+
+func TestQuantileGolden(t *testing.T) {
+	const tol = 1e-12
+	cases := []struct {
+		name string
+		dist []float64
+		q    float64
+		want float64
+	}{
+		// Uniform: the β-quantile is β itself, including the endpoints.
+		{"uniform q=0", uniformDist(64), 0, 0},
+		{"uniform q=0.25", uniformDist(64), 0.25, 0.25},
+		{"uniform q=0.5", uniformDist(64), 0.5, 0.5},
+		{"uniform q=0.75", uniformDist(64), 0.75, 0.75},
+		{"uniform q=1", uniformDist(64), 1, 1},
+		// Triangular: closed form Q(β) = sqrt(β/2) for β ≤ 1/2 and
+		// 1 − sqrt((1−β)/2) above. Bucket boundaries are exact; interior
+		// points carry the piecewise-linear interpolation error O(1/d).
+		{"triangular q=0.5", triangularDist(1000), 0.5, 0.5},
+		{"triangular q=0.08", triangularDist(1000), 0.08, 0.2}, // 2·0.2² = 0.08
+		{"triangular q=0.92", triangularDist(1000), 0.92, 0.8},
+		// Point mass at bucket i of d: every interior quantile lies inside
+		// bucket i.
+		{"point mass q=0.5", pointMass(10, 64), 0.5, (10 + 0.5) / 64.0},
+		{"point mass q=1", pointMass(10, 64), 1, (10 + 1.0) / 64.0},
+		// Single-bin domain: the only bucket spans all of [0,1].
+		{"single bin q=0", []float64{1}, 0, 0},
+		{"single bin q=0.5", []float64{1}, 0.5, 0.5},
+		{"single bin q=1", []float64{1}, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := evalOK(t, tc.dist, Request{Type: Quantile, Qs: []float64{tc.q}})
+			if got := resp.Values[0]; math.Abs(got-tc.want) > tol {
+				t.Errorf("quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCDFGolden(t *testing.T) {
+	const tol = 1e-12
+	cases := []struct {
+		name string
+		dist []float64
+		at   float64
+		want float64
+	}{
+		{"uniform at 0", uniformDist(64), 0, 0},
+		{"uniform at 0.3", uniformDist(64), 0.3, 0.3},
+		{"uniform at 1", uniformDist(64), 1, 1},
+		{"triangular at 0.25", triangularDist(1000), 0.25, 0.125},
+		{"triangular at 0.5", triangularDist(1000), 0.5, 0.5},
+		{"triangular at 0.75", triangularDist(1000), 0.75, 0.875},
+		// Point mass at bucket 10 of 64 ([10/64, 11/64)): zero before,
+		// one after, linear within.
+		{"point mass before", pointMass(10, 64), 9.0 / 64, 0},
+		{"point mass after", pointMass(10, 64), 12.0 / 64, 1},
+		{"point mass inside", pointMass(10, 64), 10.5 / 64, 0.5},
+		{"single bin mid", []float64{1}, 0.25, 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := evalOK(t, tc.dist, Request{Type: CDF, Qs: []float64{tc.at}})
+			if got := resp.Values[0]; math.Abs(got-tc.want) > tol {
+				t.Errorf("cdf(%v) = %v, want %v", tc.at, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRangeMeanVarianceGolden(t *testing.T) {
+	const tol = 1e-12
+	uni := uniformDist(128)
+	if got := evalOK(t, uni, Request{Type: Range, Lo: 0.25, Hi: 0.75}).Value; math.Abs(got-0.5) > tol {
+		t.Errorf("uniform range [0.25,0.75] = %v, want 0.5", got)
+	}
+	if got := evalOK(t, uni, Request{Type: Mean}).Value; math.Abs(got-0.5) > tol {
+		t.Errorf("uniform mean = %v, want 0.5", got)
+	}
+	// histogram.Variance includes the within-bucket term so the uniform
+	// variance is exactly 1/12 at any granularity.
+	if got := evalOK(t, uni, Request{Type: Variance}).Value; math.Abs(got-1.0/12) > tol {
+		t.Errorf("uniform variance = %v, want 1/12", got)
+	}
+	tri := triangularDist(1000)
+	if got := evalOK(t, tri, Request{Type: Mean}).Value; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("triangular mean = %v, want 0.5", got)
+	}
+	// Degenerate range lo == hi has zero mass.
+	if got := evalOK(t, tri, Request{Type: Range, Lo: 0.4, Hi: 0.4}).Value; math.Abs(got) > tol {
+		t.Errorf("zero-width range = %v, want 0", got)
+	}
+	// Full range carries all the mass.
+	if got := evalOK(t, tri, Request{Type: Range, Lo: 0, Hi: 1}).Value; math.Abs(got-1) > 1e-9 {
+		t.Errorf("full range = %v, want 1", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	dist := []float64{0.1, 0.4, 0.1, 0.3, 0.1}
+	resp := evalOK(t, dist, Request{Type: TopK, K: 2})
+	if len(resp.Bins) != 2 {
+		t.Fatalf("topk returned %d bins", len(resp.Bins))
+	}
+	if resp.Bins[0].Index != 1 || resp.Bins[1].Index != 3 {
+		t.Errorf("topk order = [%d %d], want [1 3]", resp.Bins[0].Index, resp.Bins[1].Index)
+	}
+	if resp.Bins[0].Lo != 0.2 || resp.Bins[0].Hi != 0.4 {
+		t.Errorf("top bin bounds = [%v, %v], want [0.2, 0.4]", resp.Bins[0].Lo, resp.Bins[0].Hi)
+	}
+	// Ties break by lower index; K above the granularity clamps.
+	resp = evalOK(t, uniformDist(4), Request{Type: TopK, K: 99})
+	if len(resp.Bins) != 4 {
+		t.Fatalf("clamped topk returned %d bins", len(resp.Bins))
+	}
+	for i, b := range resp.Bins {
+		if b.Index != i {
+			t.Errorf("tie order bin %d has index %d", i, b.Index)
+		}
+	}
+	// With n known, a dominant bin under a wide domain is significant and
+	// a uniform bin is not.
+	withN, err := Eval([]float64{0.9, 0.05, 0.03, 0.02}, 100, Request{Type: TopK, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := withN.Bins[0].PValue; p <= 0 || p > 1e-6 {
+		t.Errorf("dominant bin p-value = %v, want tiny positive", p)
+	}
+	if p := withN.Bins[3].PValue; p < 0.5 {
+		t.Errorf("light bin p-value = %v, want ≥ 0.5", p)
+	}
+}
+
+func TestHistogramQuery(t *testing.T) {
+	dist := triangularDist(16)
+	resp := evalOK(t, dist, Request{Type: Histogram})
+	if len(resp.Values) != 16 {
+		t.Fatalf("histogram returned %d values", len(resp.Values))
+	}
+	// The answer is a copy, not an alias.
+	resp.Values[0] = 99
+	if dist[0] == 99 {
+		t.Error("histogram query aliased the input")
+	}
+}
+
+func TestSignedEstimatePostprocessing(t *testing.T) {
+	// A signed estimate (as HH/HaarHRR produce) must be projected before
+	// point statistics: quantiles of the prepared vector lie in [0,1] and
+	// the top-k masses are non-negative.
+	signed := []float64{-0.2, 0.5, 0.4, -0.1, 0.4}
+	resp := evalOK(t, signed, Request{Type: Quantile, Qs: []float64{0, 0.5, 1}})
+	for _, v := range resp.Values {
+		if v < 0 || v > 1 {
+			t.Errorf("quantile of signed estimate = %v outside [0,1]", v)
+		}
+	}
+	for _, b := range evalOK(t, signed, Request{Type: TopK, K: 5}).Bins {
+		if b.P < 0 {
+			t.Errorf("topk bin %d has negative mass %v after projection", b.Index, b.P)
+		}
+	}
+	// Range queries use the additive Norm: the full range still sums to 1.
+	if got := evalOK(t, signed, Request{Type: Range, Lo: 0, Hi: 1}).Value; math.Abs(got-1) > 1e-9 {
+		t.Errorf("signed full-range mass = %v, want 1", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	uni := uniformDist(8)
+	cases := []struct {
+		name string
+		dist []float64
+		req  Request
+	}{
+		{"empty distribution", nil, Request{Type: Mean}},
+		{"unknown type", uni, Request{Type: "median"}},
+		{"quantile no points", uni, Request{Type: Quantile}},
+		{"quantile out of range", uni, Request{Type: Quantile, Qs: []float64{1.5}}},
+		{"quantile NaN", uni, Request{Type: Quantile, Qs: []float64{math.NaN()}}},
+		{"cdf no points", uni, Request{Type: CDF}},
+		{"range inverted", uni, Request{Type: Range, Lo: 0.8, Hi: 0.2}},
+		{"range out of domain", uni, Request{Type: Range, Lo: -0.1, Hi: 0.5}},
+		{"topk k=0", uni, Request{Type: TopK}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Eval(tc.dist, 0, tc.req); err == nil {
+				t.Errorf("Eval(%+v) succeeded, want error", tc.req)
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+// Package snapshot persists the collector's stream state — report
+// histograms, mechanism parameters, and cached reconstructions — to disk and
+// restores it, so a restarted server resumes warm instead of losing every
+// report.
+//
+// The on-disk format is deliberately boring: a one-line header carrying a
+// magic string and a CRC32 of the payload, followed by a versioned JSON
+// payload. The header makes truncation and corruption detectable before any
+// field is trusted, and the JSON keeps snapshots inspectable with standard
+// tools. Writes go to a temporary file in the destination directory and are
+// published with an atomic rename, so a crash mid-save can never clobber the
+// previous good snapshot.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// magic is the first token of every snapshot file. The trailing 1 is the
+// header version; bump it only if the header line itself changes shape.
+const magic = "LDPSNAP1"
+
+// ValidName reports whether name is usable as a stream identifier: 1–64
+// characters from [A-Za-z0-9._-]. Both the HTTP collector and the library
+// stream registry enforce this, so every stream that exists can be persisted
+// and addressed in a URL query parameter without escaping.
+func ValidName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Version is the current payload version. Load rejects anything newer.
+const Version = 1
+
+// Stream is the persisted state of one named attribute stream.
+type Stream struct {
+	// Name identifies the stream.
+	Name string `json:"name"`
+	// Epsilon, Buckets, Bandwidth, Shards are the stream's mechanism and
+	// ingestion parameters; a restored stream must be reconstructed with
+	// exactly these, or the report histogram is meaningless.
+	Epsilon   float64 `json:"epsilon"`
+	Buckets   int     `json:"buckets"`
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	Shards    int     `json:"shards,omitempty"`
+	// Counts is the report histogram (length = the mechanism's output
+	// granularity, which may differ from Buckets).
+	Counts []uint64 `json:"counts"`
+	// Estimate optionally carries the cached reconstruction so a restart
+	// serves estimates immediately; EstimateN is the report count it
+	// covers.
+	Estimate  []float64 `json:"estimate,omitempty"`
+	EstimateN int       `json:"estimate_n,omitempty"`
+}
+
+// N returns the total report count of the persisted histogram.
+func (s *Stream) N() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// File is the versioned payload. SavedUnix records the save wall-clock time
+// (seconds) for operators; nothing is derived from it.
+type File struct {
+	Version   int      `json:"version"`
+	SavedUnix int64    `json:"saved_unix"`
+	Streams   []Stream `json:"streams"`
+}
+
+// Save writes the streams to path atomically: the payload lands in a
+// temporary file in the same directory (so the rename cannot cross
+// filesystems), is synced, and then renamed over path.
+func Save(path string, streams []Stream) error {
+	payload, err := json.Marshal(File{
+		Version:   Version,
+		SavedUnix: time.Now().Unix(),
+		Streams:   streams,
+	})
+	if err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	header := fmt.Sprintf("%s %08x %d\n", magic, crc32.ChecksumIEEE(payload), len(payload))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ldpsnap-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.WriteString(header); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: write %s: %w", tmpName, err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: close %s: %w", tmpName, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("snapshot: chmod %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("snapshot: publish %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads and verifies a snapshot. Truncated, corrupt, or
+// version-incompatible files return a descriptive error; Load never panics
+// on hostile input.
+func Load(path string) ([]Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %s: unreadable header (truncated?): %v", path, err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 3 || fields[0] != magic {
+		return nil, fmt.Errorf("snapshot: %s: not a snapshot file (bad magic)", path)
+	}
+	wantCRC, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %s: malformed checksum %q", path, fields[1])
+	}
+	wantLen, err := strconv.Atoi(fields[2])
+	if err != nil || wantLen < 0 {
+		return nil, fmt.Errorf("snapshot: %s: malformed payload length %q", path, fields[2])
+	}
+
+	var payload bytes.Buffer
+	if _, err := payload.ReadFrom(r); err != nil {
+		return nil, fmt.Errorf("snapshot: %s: read payload: %v", path, err)
+	}
+	if payload.Len() != wantLen {
+		return nil, fmt.Errorf("snapshot: %s: payload is %d bytes, header promises %d (truncated?)",
+			path, payload.Len(), wantLen)
+	}
+	if got := crc32.ChecksumIEEE(payload.Bytes()); uint32(wantCRC) != got {
+		return nil, fmt.Errorf("snapshot: %s: checksum mismatch (file corrupt)", path)
+	}
+
+	var file File
+	if err := json.Unmarshal(payload.Bytes(), &file); err != nil {
+		return nil, fmt.Errorf("snapshot: %s: decode payload: %v", path, err)
+	}
+	if file.Version < 1 || file.Version > Version {
+		return nil, fmt.Errorf("snapshot: %s: payload version %d not supported (this build reads ≤ %d)",
+			path, file.Version, Version)
+	}
+	seen := make(map[string]bool, len(file.Streams))
+	for i := range file.Streams {
+		st := &file.Streams[i]
+		if st.Name == "" {
+			return nil, fmt.Errorf("snapshot: %s: stream %d has no name", path, i)
+		}
+		if seen[st.Name] {
+			return nil, fmt.Errorf("snapshot: %s: duplicate stream %q", path, st.Name)
+		}
+		seen[st.Name] = true
+		if st.Epsilon <= 0 {
+			return nil, fmt.Errorf("snapshot: %s: stream %q has epsilon %v", path, st.Name, st.Epsilon)
+		}
+		if st.Buckets < 2 {
+			return nil, fmt.Errorf("snapshot: %s: stream %q has %d buckets", path, st.Name, st.Buckets)
+		}
+		if len(st.Counts) == 0 {
+			return nil, fmt.Errorf("snapshot: %s: stream %q has no report histogram", path, st.Name)
+		}
+		if st.Estimate != nil && len(st.Estimate) != st.Buckets {
+			return nil, fmt.Errorf("snapshot: %s: stream %q cached estimate has %d buckets, want %d",
+				path, st.Name, len(st.Estimate), st.Buckets)
+		}
+	}
+	return file.Streams, nil
+}

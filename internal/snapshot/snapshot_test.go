@@ -1,0 +1,226 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleStreams() []Stream {
+	return []Stream{
+		{
+			Name: "age", Epsilon: 1, Buckets: 4, Bandwidth: 0.25,
+			Counts:   []uint64{3, 0, 7, 12},
+			Estimate: []float64{0.1, 0.2, 0.3, 0.4}, EstimateN: 22,
+		},
+		{
+			Name: "income", Epsilon: 2, Buckets: 8, Shards: 2,
+			Counts: []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	want := sampleStreams()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d streams, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Name != w.Name || g.Epsilon != w.Epsilon || g.Buckets != w.Buckets ||
+			g.Bandwidth != w.Bandwidth || g.Shards != w.Shards || g.EstimateN != w.EstimateN {
+			t.Errorf("stream %d metadata mismatch: got %+v want %+v", i, g, w)
+		}
+		for j := range w.Counts {
+			if g.Counts[j] != w.Counts[j] {
+				t.Errorf("stream %q count[%d] = %d, want %d", w.Name, j, g.Counts[j], w.Counts[j])
+			}
+		}
+		// Cached estimates must survive bit-identically: JSON float64
+		// encoding is shortest-round-trip, so equality is exact.
+		for j := range w.Estimate {
+			if g.Estimate[j] != w.Estimate[j] {
+				t.Errorf("stream %q estimate[%d] = %v, want %v", w.Name, j, g.Estimate[j], w.Estimate[j])
+			}
+		}
+	}
+	if n := got[0].N(); n != 22 {
+		t.Errorf("restored N = %d, want 22", n)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if err := Save(path, sampleStreams()); err != nil {
+		t.Fatal(err)
+	}
+	// A second save replaces the file; no temp files are left behind.
+	if err := Save(path, sampleStreams()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("loaded %d streams after overwrite, want 1", len(got))
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ldpsnap-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestTruncationAndCorruption asserts every kind of damaged file yields a
+// clean error, never a panic: truncation at each prefix length, a flipped
+// payload byte, a bad magic, and an unsupported version.
+func TestTruncationAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := Save(path, sampleStreams()); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		// Every strict prefix must fail cleanly (empty file, mid-header,
+		// mid-payload).
+		for _, cut := range []int{0, 1, 5, len(blob) / 2, len(blob) - 1} {
+			p := filepath.Join(dir, fmt.Sprintf("trunc-%d.snap", cut))
+			if err := os.WriteFile(p, blob[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(p); err == nil {
+				t.Errorf("Load of %d-byte truncation succeeded, want error", cut)
+			}
+		}
+	})
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)-2] ^= 0xff
+		p := filepath.Join(dir, "corrupt.snap")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("corrupt payload error = %v, want checksum mismatch", err)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		p := filepath.Join(dir, "magic.snap")
+		if err := os.WriteFile(p, []byte("NOTASNAP 00000000 2\n{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Errorf("bad magic error = %v", err)
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		p := filepath.Join(dir, "garbage.snap")
+		if err := os.WriteFile(p, []byte("\x00\x01\x02 binary junk with no newline"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Error("garbage file loaded successfully")
+		}
+	})
+
+	t.Run("unsupported version", func(t *testing.T) {
+		payload := []byte(`{"version":99,"streams":[]}`)
+		header := fmt.Sprintf("%s %08x %d\n", magic, crc32OfTest(payload), len(payload))
+		p := filepath.Join(dir, "future.snap")
+		if err := os.WriteFile(p, append([]byte(header), payload...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("future version error = %v", err)
+		}
+	})
+
+	t.Run("invalid stream fields", func(t *testing.T) {
+		cases := []string{
+			`{"version":1,"streams":[{"name":"","epsilon":1,"buckets":4,"counts":[1]}]}`,
+			`{"version":1,"streams":[{"name":"x","epsilon":-1,"buckets":4,"counts":[1]}]}`,
+			`{"version":1,"streams":[{"name":"x","epsilon":1,"buckets":1,"counts":[1]}]}`,
+			`{"version":1,"streams":[{"name":"x","epsilon":1,"buckets":4,"counts":[]}]}`,
+			`{"version":1,"streams":[{"name":"x","epsilon":1,"buckets":4,"counts":[1],"estimate":[0.5]}]}`,
+			`{"version":1,"streams":[{"name":"x","epsilon":1,"buckets":4,"counts":[1]},{"name":"x","epsilon":1,"buckets":4,"counts":[1]}]}`,
+		}
+		for i, payload := range cases {
+			header := fmt.Sprintf("%s %08x %d\n", magic, crc32OfTest([]byte(payload)), len(payload))
+			p := filepath.Join(dir, fmt.Sprintf("invalid-%d.snap", i))
+			if err := os.WriteFile(p, append([]byte(header), payload...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(p); err == nil {
+				t.Errorf("invalid payload %d loaded successfully", i)
+			}
+		}
+	})
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := Load(filepath.Join(dir, "nope.snap")); !os.IsNotExist(underlying(err)) {
+			t.Errorf("missing file error = %v, want IsNotExist", err)
+		}
+	})
+}
+
+func crc32OfTest(b []byte) uint32 {
+	// Mirror of the production checksum, kept separate so a silent change
+	// of polynomial in the implementation breaks the test.
+	table := makeIEEE()
+	crc := ^uint32(0)
+	for _, x := range b {
+		crc = table[byte(crc)^x] ^ (crc >> 8)
+	}
+	return ^crc
+}
+
+func makeIEEE() *[256]uint32 {
+	var t [256]uint32
+	for i := range t {
+		crc := uint32(i)
+		for k := 0; k < 8; k++ {
+			if crc&1 == 1 {
+				crc = (crc >> 1) ^ 0xedb88320
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+func underlying(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	for err != nil {
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		err = u.Unwrap()
+	}
+	return err
+}
