@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/aggregate"
 	"repro/internal/boot"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/histogram"
 	"repro/internal/mathx"
 	"repro/internal/randx"
+	"repro/internal/window"
 )
 
 // Method selects the estimation algorithm. The default and recommended
@@ -68,6 +70,16 @@ type Options struct {
 	// Shards overrides the Aggregator's ingestion stripe count
 	// (0 = one per CPU, rounded up to a power of two).
 	Shards int
+	// Epoch, when positive, makes the Aggregator epoch-rotated: reports
+	// land in a live epoch that seals every Epoch (drive rotation with
+	// Advance or Rotate), the last Retain sealed epochs are kept, and
+	// EstimateWindow answers sliding-window selectors ("last:K",
+	// "epochs:i..j"). Zero (the default) collects one cumulative
+	// histogram, exactly as before.
+	Epoch time.Duration
+	// Retain bounds how many sealed epochs a windowed Aggregator keeps
+	// (0 = 8). Requires Epoch.
+	Retain int
 }
 
 // DefaultOptions returns the recommended configuration at the given budget.
@@ -90,6 +102,19 @@ func (o Options) validate() (Options, error) {
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x5157454d53 // arbitrary fixed default
+	}
+	if o.Epoch < 0 {
+		return o, fmt.Errorf("repro: epoch duration %v must not be negative", o.Epoch)
+	}
+	if o.Retain != 0 && o.Epoch == 0 {
+		return o, fmt.Errorf("repro: retain %d needs an epoch duration", o.Retain)
+	}
+	if o.Epoch > 0 {
+		wcfg, err := window.Config{Epoch: o.Epoch, Retain: o.Retain}.Validate()
+		if err != nil {
+			return o, fmt.Errorf("repro: %v", err)
+		}
+		o.Retain = wcfg.Retain
 	}
 	return o, nil
 }
@@ -237,13 +262,19 @@ func (c *Client) Bandwidth() float64 { return c.inner.Bandwidth() }
 // needed. All methods are safe for heavy concurrent use: reports land in a
 // striped histogram of atomic counters (no global lock), and Estimate works
 // from a non-blocking snapshot, so reconstruction never stalls ingestion.
+//
+// An Aggregator built with Options.Epoch set is windowed: reports land in a
+// live epoch, Advance/Rotate seal it on schedule, and EstimateWindow
+// reconstructs any retained epoch range — see Options.Epoch.
 type Aggregator struct {
-	inner  *core.Aggregator // immutable channel + mechanism parameters
-	counts *aggregate.Striped
+	inner  *core.Aggregator   // immutable channel + mechanism parameters
+	counts *aggregate.Striped // cumulative histogram; nil when windowed
+	ring   *window.Ring       // epoch-rotated histogram; nil when not windowed
 	opts   Options
 }
 
 // NewAggregator builds an aggregator with the same Options as the clients.
+// A windowed aggregator's epoch 0 starts at the wall clock's now.
 func NewAggregator(opts Options) (*Aggregator, error) {
 	opts, err := opts.validate()
 	if err != nil {
@@ -257,15 +288,22 @@ func NewAggregator(opts Options) (*Aggregator, error) {
 		EM:        em.Options{Workers: opts.Workers},
 	}
 	inner := core.NewAggregator(cfg)
-	return &Aggregator{
-		inner:  inner,
-		counts: aggregate.New(inner.OutputBuckets(), opts.Shards),
-		opts:   opts,
-	}, nil
+	a := &Aggregator{inner: inner, opts: opts}
+	if opts.Epoch > 0 {
+		a.ring = window.New(inner.OutputBuckets(), opts.Shards,
+			window.Config{Epoch: opts.Epoch, Retain: opts.Retain}, time.Now())
+	} else {
+		a.counts = aggregate.New(inner.OutputBuckets(), opts.Shards)
+	}
+	return a, nil
 }
 
 // Ingest adds one client report. Safe to call from many goroutines at once.
 func (a *Aggregator) Ingest(report float64) {
+	if a.ring != nil {
+		a.ring.Add(a.inner.Bucket(report))
+		return
+	}
 	a.counts.Add(a.inner.Bucket(report))
 }
 
@@ -280,17 +318,98 @@ func (a *Aggregator) IngestBatch(reports []float64) {
 	for i, r := range reports {
 		buckets[i] = a.inner.Bucket(r)
 	}
+	if a.ring != nil {
+		a.ring.AddBatch(buckets)
+		return
+	}
 	a.counts.AddBatch(buckets)
 }
 
-// N returns the number of reports ingested so far.
-func (a *Aggregator) N() int { return a.counts.N() }
+// N returns the number of reports visible to estimates: everything ingested
+// for a plain aggregator, the live plus retained epochs for a windowed one.
+func (a *Aggregator) N() int {
+	if a.ring != nil {
+		return a.ring.N()
+	}
+	return a.counts.N()
+}
+
+// snapshotCounts reads the aggregator's visible report histogram.
+func (a *Aggregator) snapshotCounts() ([]float64, int) {
+	if a.ring != nil {
+		return a.ring.MergeAll(nil)
+	}
+	return a.counts.Snapshot(nil)
+}
 
 // Estimate reconstructs the distribution from a snapshot of the reports so
 // far. Concurrent ingestion is never blocked; reports that finish arriving
-// before the call are always included.
+// before the call are always included. On a windowed aggregator this covers
+// every retained epoch plus the live one.
 func (a *Aggregator) Estimate() (*Result, error) {
-	counts, n := a.counts.Snapshot(nil)
+	counts, n := a.snapshotCounts()
+	if n == 0 {
+		return nil, ErrNoValues
+	}
+	res := a.inner.EstimateFrom(counts, nil)
+	return &Result{Distribution: res.Estimate, Method: SWEMS, Epsilon: a.opts.Epsilon}, nil
+}
+
+// ErrNotWindowed is returned by window methods of a plain aggregator.
+var ErrNotWindowed = errors.New("repro: aggregator is not windowed (set Options.Epoch)")
+
+// Advance rotates a windowed aggregator forward to now, sealing one epoch
+// per elapsed period (periods that passed unobserved seal empty). It
+// returns how many epochs were sealed. Production collectors call this
+// periodically with time.Now(); tests pass a mock clock's now.
+func (a *Aggregator) Advance(now time.Time) (int, error) {
+	if a.ring == nil {
+		return 0, ErrNotWindowed
+	}
+	return a.ring.Advance(now), nil
+}
+
+// Rotate forces exactly one epoch rotation regardless of the clock, for
+// callers who drive epochs on their own cadence.
+func (a *Aggregator) Rotate() error {
+	if a.ring == nil {
+		return ErrNotWindowed
+	}
+	a.ring.Rotate()
+	return nil
+}
+
+// CurrentEpoch returns the live epoch's index of a windowed aggregator, or
+// -1 for a plain one.
+func (a *Aggregator) CurrentEpoch() int {
+	if a.ring == nil {
+		return -1
+	}
+	cur, _ := a.ring.Current()
+	return cur
+}
+
+// EstimateWindow reconstructs the distribution of one sliding window of a
+// windowed aggregator. The selector uses the collector's wire syntax:
+// "last:K" (the most recent K epochs ending at the live one, clamped to
+// retention) or "epochs:i..j" (absolute inclusive bounds; aged-out or
+// future epochs are an error).
+func (a *Aggregator) EstimateWindow(selector string) (*Result, error) {
+	if a.ring == nil {
+		return nil, ErrNotWindowed
+	}
+	sel, err := window.ParseSelector(selector)
+	if err != nil {
+		return nil, err
+	}
+	g, err := a.ring.Resolve(sel)
+	if err != nil {
+		return nil, err
+	}
+	counts, n, err := a.ring.Merge(g, nil)
+	if err != nil {
+		return nil, err
+	}
 	if n == 0 {
 		return nil, ErrNoValues
 	}
@@ -332,7 +451,7 @@ type ConfidenceInterval struct {
 // percentile interval at the given level (e.g. 0.9). Replicas ≤ 0 selects
 // 100. This is expensive — one EMS reconstruction per replica.
 func (a *Aggregator) ConfidenceInterval(stat Statistic, level float64, replicas int) (ConfidenceInterval, error) {
-	counts, n := a.counts.Snapshot(nil)
+	counts, n := a.snapshotCounts()
 	if n == 0 {
 		return ConfidenceInterval{}, ErrNoValues
 	}

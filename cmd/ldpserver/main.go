@@ -9,20 +9,27 @@
 // CPU by default) and estimation runs on a shared background goroutine that
 // round-robins warm-started EMS refreshes across the streams, so GET
 // /estimate and GET /query serve cached reconstructions instead of blocking
-// on the EM loop. With -snapshot, every stream's histogram and cached
-// estimate are persisted atomically on an interval and at shutdown, and
-// restored at boot — a restarted collector resumes warm instead of losing
-// every report. SIGINT/SIGTERM drain in-flight requests, save a final
-// snapshot, and stop the estimator cleanly.
+// on the EM loop. Streams declared with an epoch duration are windowed: the
+// live histogram rotates into sealed epochs on that period and sliding
+// windows are addressable with window=last:K / window=epochs:i..j on
+// /estimate and /query. With -snapshot, every stream's histogram, cached
+// estimates, and (for windowed streams) rotation clock plus sealed epochs
+// are persisted atomically on an interval and at shutdown, and restored at
+// boot — a restarted collector resumes warm, mid-epoch, with bit-identical
+// window estimates. SIGINT/SIGTERM drain in-flight requests, stop the
+// estimator, and save a final snapshot, so a clean shutdown never loses the
+// last partial epoch.
 //
 // Usage:
 //
 //	ldpserver -addr :8080 -eps 1.0 -buckets 512 \
-//	    -stream age:1.0:256 -stream income:0.5:512 \
+//	    -stream age:1.0:256 -stream income:0.5:512:0.25 \
+//	    -stream latency:1.0:256:epoch=1m:retain=12 \
 //	    -snapshot /var/lib/ldp/state.snap -snapshot-interval 30s
 //
-// Endpoints: POST /streams, GET /streams, POST /report, POST /batch,
-// GET /estimate, GET /query, POST /query, GET /config.
+// Endpoints: POST /streams, GET /streams, DELETE /streams/{name},
+// POST /report, POST /batch, GET /estimate, GET /query, POST /query,
+// GET /config.
 package main
 
 import (
@@ -42,7 +49,8 @@ import (
 	"repro/internal/ldphttp"
 )
 
-// streamFlag is one -stream declaration: name:eps:buckets[:bandwidth].
+// streamFlag is one -stream declaration:
+// name:eps:buckets[:bandwidth][:epoch=DUR][:retain=N].
 type streamFlag struct {
 	name string
 	cfg  ldphttp.StreamConfig
@@ -50,80 +58,178 @@ type streamFlag struct {
 
 func parseStreamFlag(raw string) (streamFlag, error) {
 	parts := strings.Split(raw, ":")
-	if len(parts) < 3 || len(parts) > 4 {
-		return streamFlag{}, fmt.Errorf("want name:eps:buckets[:bandwidth], got %q", raw)
+	if len(parts) < 3 {
+		return streamFlag{}, fmt.Errorf("want name:eps:buckets[:bandwidth][:epoch=DUR][:retain=N], got %q", raw)
 	}
 	eps, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil {
 		return streamFlag{}, fmt.Errorf("bad epsilon in %q: %v", raw, err)
 	}
+	if eps <= 0 {
+		return streamFlag{}, fmt.Errorf("epsilon must be positive in %q, got %v", raw, eps)
+	}
 	buckets, err := strconv.Atoi(parts[2])
 	if err != nil {
 		return streamFlag{}, fmt.Errorf("bad bucket count in %q: %v", raw, err)
 	}
+	if buckets < 2 {
+		return streamFlag{}, fmt.Errorf("need at least 2 buckets in %q, got %d", raw, buckets)
+	}
 	sf := streamFlag{name: parts[0], cfg: ldphttp.StreamConfig{Epsilon: eps, Buckets: buckets}}
-	if len(parts) == 4 {
-		if sf.cfg.Bandwidth, err = strconv.ParseFloat(parts[3], 64); err != nil {
-			return streamFlag{}, fmt.Errorf("bad bandwidth in %q: %v", raw, err)
+	for i, tok := range parts[3:] {
+		key, value, isKV := strings.Cut(tok, "=")
+		if !isKV {
+			// Positional bandwidth, only valid directly after buckets.
+			if i != 0 {
+				return streamFlag{}, fmt.Errorf("unexpected token %q in %q (want key=value)", tok, raw)
+			}
+			if sf.cfg.Bandwidth, err = strconv.ParseFloat(tok, 64); err != nil {
+				return streamFlag{}, fmt.Errorf("bad bandwidth in %q: %v", raw, err)
+			}
+			continue
 		}
+		switch key {
+		case "bandwidth":
+			if sf.cfg.Bandwidth, err = strconv.ParseFloat(value, 64); err != nil {
+				return streamFlag{}, fmt.Errorf("bad bandwidth in %q: %v", raw, err)
+			}
+		case "epoch":
+			d, err := time.ParseDuration(value)
+			if err != nil {
+				return streamFlag{}, fmt.Errorf("bad epoch in %q: %v", raw, err)
+			}
+			if d <= 0 {
+				return streamFlag{}, fmt.Errorf("epoch must be positive in %q, got %v", raw, d)
+			}
+			sf.cfg.Epoch = ldphttp.Duration(d)
+		case "retain":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 1 {
+				return streamFlag{}, fmt.Errorf("bad retain in %q: want a positive integer, got %q", raw, value)
+			}
+			sf.cfg.Retain = n
+		default:
+			return streamFlag{}, fmt.Errorf("unknown option %q in %q (want bandwidth, epoch, or retain)", key, raw)
+		}
+	}
+	if sf.cfg.Retain != 0 && sf.cfg.Epoch == 0 {
+		return streamFlag{}, fmt.Errorf("retain without epoch in %q", raw)
 	}
 	return sf, nil
 }
 
-func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		eps     = flag.Float64("eps", 1.0, "default stream LDP privacy budget ε")
-		buckets = flag.Int("buckets", 512, "default stream reconstruction granularity")
-		band    = flag.Float64("bandwidth", 0, "wave half-width override (0 = optimal)")
-		shards  = flag.Int("shards", 0, "ingestion stripe count (0 = one per CPU)")
-		workers = flag.Int("em-workers", 0, "EM parallelism (0 = all CPUs, 1 = serial)")
-		refresh = flag.Duration("refresh", 500*time.Millisecond, "background re-estimation cadence")
+// serverConfig is everything main needs, parsed and validated from argv.
+type serverConfig struct {
+	addr         string
+	cfg          ldphttp.Config
+	streams      []streamFlag
+	snapPath     string
+	snapInterval time.Duration
+}
 
-		snapPath     = flag.String("snapshot", "", "snapshot file: restore at boot, persist on an interval and at shutdown")
-		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "cadence of periodic snapshots (with -snapshot)")
+// parseArgs builds the server configuration from command-line arguments
+// (without the program name). It is main's whole flag surface, extracted so
+// tests can drive it directly; errors come back instead of exiting.
+func parseArgs(args []string) (serverConfig, error) {
+	fs := flag.NewFlagSet("ldpserver", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
+		eps     = fs.Float64("eps", 1.0, "default stream LDP privacy budget ε")
+		buckets = fs.Int("buckets", 512, "default stream reconstruction granularity")
+		band    = fs.Float64("bandwidth", 0, "wave half-width override (0 = optimal)")
+		shards  = fs.Int("shards", 0, "ingestion stripe count (0 = one per CPU)")
+		workers = fs.Int("em-workers", 0, "EM parallelism (0 = all CPUs, 1 = serial)")
+		refresh = fs.Duration("refresh", 500*time.Millisecond, "background re-estimation cadence")
+		epoch   = fs.Duration("epoch", 0, "window the default stream: rotate its histogram every epoch (0 = no windowing)")
+		retain  = fs.Int("retain", 0, "sealed epochs kept on the default stream (0 = 8; needs -epoch)")
+
+		snapPath     = fs.String("snapshot", "", "snapshot file: restore at boot, persist on an interval and at shutdown")
+		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "cadence of periodic snapshots (with -snapshot)")
 	)
 	var streamFlags []streamFlag
-	flag.Func("stream", "declare a stream as name:eps:buckets[:bandwidth] (repeatable)", func(raw string) error {
+	fs.Func("stream", "declare a stream as name:eps:buckets[:bandwidth][:epoch=DUR][:retain=N] (repeatable)", func(raw string) error {
 		sf, err := parseStreamFlag(raw)
 		if err != nil {
 			return err
 		}
+		for _, prev := range streamFlags {
+			if prev.name == sf.name {
+				return fmt.Errorf("stream %q declared twice", sf.name)
+			}
+		}
 		streamFlags = append(streamFlags, sf)
 		return nil
 	})
-	flag.Parse()
-
-	srv := ldphttp.NewServer(ldphttp.Config{
-		Epsilon:         *eps,
-		Buckets:         *buckets,
-		Bandwidth:       *band,
-		Shards:          *shards,
-		EMWorkers:       *workers,
-		RefreshInterval: *refresh,
-	})
-
-	// Restore first, so -stream declarations that match restored streams
-	// are no-ops and mismatches fail loudly before serving.
-	if *snapPath != "" {
-		switch err := srv.LoadSnapshot(*snapPath); {
-		case err == nil:
-			fmt.Printf("restored %d reports across %d streams from %s\n",
-				srv.N(), len(srv.Streams()), *snapPath)
-		case errors.Is(err, os.ErrNotExist):
-			fmt.Printf("no snapshot at %s yet; starting cold\n", *snapPath)
-		default:
-			log.Fatalf("restore %s: %v", *snapPath, err)
-		}
+	if err := fs.Parse(args); err != nil {
+		return serverConfig{}, err
 	}
-	for _, sf := range streamFlags {
+	if *eps <= 0 {
+		return serverConfig{}, fmt.Errorf("-eps must be positive, got %v", *eps)
+	}
+	if *buckets < 2 {
+		return serverConfig{}, fmt.Errorf("-buckets must be at least 2, got %d", *buckets)
+	}
+	if *epoch < 0 {
+		return serverConfig{}, fmt.Errorf("-epoch must not be negative, got %v", *epoch)
+	}
+	if *retain != 0 && *epoch == 0 {
+		return serverConfig{}, fmt.Errorf("-retain needs -epoch")
+	}
+	if *snapInterval <= 0 {
+		return serverConfig{}, fmt.Errorf("-snapshot-interval must be positive, got %v", *snapInterval)
+	}
+	return serverConfig{
+		addr: *addr,
+		cfg: ldphttp.Config{
+			Epsilon:         *eps,
+			Buckets:         *buckets,
+			Bandwidth:       *band,
+			Shards:          *shards,
+			EMWorkers:       *workers,
+			RefreshInterval: *refresh,
+			Epoch:           *epoch,
+			Retain:          *retain,
+		},
+		streams:      streamFlags,
+		snapPath:     *snapPath,
+		snapInterval: *snapInterval,
+	}, nil
+}
+
+func main() {
+	conf, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	srv := ldphttp.NewServer(conf.cfg)
+
+	// Declare flags first so windowed -stream declarations exist before the
+	// restore, then restore: a snapshot record merges into its matching
+	// declaration (windowed state adopts onto the pristine ring) and any
+	// mismatch fails loudly before serving.
+	for _, sf := range conf.streams {
 		if err := srv.CreateStream(sf.name, sf.cfg); err != nil {
 			log.Fatalf("declare stream %s: %v", sf.name, err)
 		}
 	}
+	if conf.snapPath != "" {
+		switch err := srv.LoadSnapshot(conf.snapPath); {
+		case err == nil:
+			fmt.Printf("restored %d reports across %d streams from %s\n",
+				srv.N(), len(srv.Streams()), conf.snapPath)
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no snapshot at %s yet; starting cold\n", conf.snapPath)
+		default:
+			log.Fatalf("restore %s: %v", conf.snapPath, err)
+		}
+	}
 
 	httpSrv := &http.Server{
-		Addr:         *addr,
+		Addr:         conf.addr,
 		Handler:      srv.Handler(),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second, // /estimate and /query serve caches and never block on EM
@@ -135,17 +241,17 @@ func main() {
 	// Periodic durability: snapshots are atomic (temp file + rename), so a
 	// crash mid-save can never clobber the previous good state.
 	saverDone := make(chan struct{})
-	if *snapPath != "" {
+	if conf.snapPath != "" {
 		go func() {
 			defer close(saverDone)
-			ticker := time.NewTicker(*snapInterval)
+			ticker := time.NewTicker(conf.snapInterval)
 			defer ticker.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if err := srv.SaveSnapshot(*snapPath); err != nil {
+					if err := srv.SaveSnapshot(conf.snapPath); err != nil {
 						log.Printf("snapshot: %v", err)
 					}
 				}
@@ -155,15 +261,31 @@ func main() {
 		close(saverDone)
 	}
 
+	// finalSnapshot persists the last state on any exit path — a clean
+	// shutdown never loses the last partial epoch.
+	finalSnapshot := func() {
+		if conf.snapPath == "" {
+			return
+		}
+		if err := srv.SaveSnapshot(conf.snapPath); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else {
+			fmt.Printf("state saved to %s\n", conf.snapPath)
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ldpserver listening on %s (default stream: epsilon=%g, buckets=%d; %d streams)\n",
-		*addr, *eps, *buckets, len(srv.Streams()))
-	fmt.Println("endpoints: POST /streams, GET /streams, POST /report, POST /batch, GET /estimate, GET /query, POST /query, GET /config")
+		conf.addr, conf.cfg.Epsilon, conf.cfg.Buckets, len(srv.Streams()))
+	fmt.Println("endpoints: POST /streams, GET /streams, DELETE /streams/{name}, POST /report, POST /batch, GET /estimate, GET /query, POST /query, GET /config")
 
 	select {
 	case err := <-errc:
+		stop()
+		<-saverDone
 		srv.Close()
+		finalSnapshot() // whatever was collected before the server died
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second ^C kills immediately
@@ -174,14 +296,8 @@ func main() {
 			log.Printf("drain incomplete: %v", err)
 		}
 		<-saverDone
-		srv.Close() // background estimator exits before we do
-		if *snapPath != "" {
-			if err := srv.SaveSnapshot(*snapPath); err != nil {
-				log.Printf("final snapshot: %v", err)
-			} else {
-				fmt.Printf("state saved to %s\n", *snapPath)
-			}
-		}
+		srv.Close() // background estimator exits before the final save
+		finalSnapshot()
 		fmt.Printf("done; %d reports collected across %d streams\n", srv.N(), len(srv.Streams()))
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)

@@ -1,0 +1,123 @@
+package main
+
+// Flag-parsing coverage for the collector binary: the -stream spec syntax
+// (positional and key=value options), invalid mechanism parameters,
+// duplicate names, and the top-level flag validation — all through the
+// extracted parseArgs, so no test ever binds a socket.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ldphttp"
+)
+
+func TestParseStreamFlag(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want streamFlag
+	}{
+		{"age:1.0:256", streamFlag{name: "age", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 256}}},
+		{"income:0.5:512:0.25", streamFlag{name: "income", cfg: ldphttp.StreamConfig{Epsilon: 0.5, Buckets: 512, Bandwidth: 0.25}}},
+		{"income:0.5:512:bandwidth=0.25", streamFlag{name: "income", cfg: ldphttp.StreamConfig{Epsilon: 0.5, Buckets: 512, Bandwidth: 0.25}}},
+		{"lat:1:256:epoch=1m", streamFlag{name: "lat", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 256, Epoch: ldphttp.Duration(time.Minute)}}},
+		{"lat:1:256:epoch=90s:retain=12", streamFlag{name: "lat", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 256, Epoch: ldphttp.Duration(90 * time.Second), Retain: 12}}},
+		{"lat:1:256:0.3:epoch=1h:retain=24", streamFlag{name: "lat", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 256, Bandwidth: 0.3, Epoch: ldphttp.Duration(time.Hour), Retain: 24}}},
+	}
+	for _, tc := range cases {
+		got, err := parseStreamFlag(tc.raw)
+		if err != nil {
+			t.Errorf("parseStreamFlag(%q): %v", tc.raw, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseStreamFlag(%q) = %+v, want %+v", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestParseStreamFlagErrors(t *testing.T) {
+	cases := map[string]string{
+		"age":                          "want name:eps",
+		"age:1.0":                      "want name:eps",
+		"age:zero:256":                 "bad epsilon",
+		"age:-1:256":                   "epsilon must be positive",
+		"age:0:256":                    "epsilon must be positive",
+		"age:1:none":                   "bad bucket count",
+		"age:1:1":                      "at least 2 buckets",
+		"age:1:256:wide":               "bad bandwidth",
+		"age:1:256:0.2:0.3":            "unexpected token",
+		"age:1:256:epoch=tomorrow":     "bad epoch",
+		"age:1:256:epoch=-5s":          "epoch must be positive",
+		"age:1:256:retain=3":           "retain without epoch",
+		"age:1:256:epoch=1m:retain=0":  "bad retain",
+		"age:1:256:epoch=1m:retain=-4": "bad retain",
+		"age:1:256:epoch=1m:ttl=7":     "unknown option",
+	}
+	for raw, wantSub := range cases {
+		_, err := parseStreamFlag(raw)
+		if err == nil {
+			t.Errorf("parseStreamFlag(%q) accepted", raw)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("parseStreamFlag(%q) error %q, want it to mention %q", raw, err, wantSub)
+		}
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	conf, err := parseArgs([]string{
+		"-addr", ":9090", "-eps", "2", "-buckets", "128",
+		"-epoch", "5m", "-retain", "6",
+		"-stream", "age:1:256", "-stream", "lat:1:64:epoch=1m:retain=3",
+		"-snapshot", "/tmp/x.snap", "-snapshot-interval", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.addr != ":9090" || conf.cfg.Epsilon != 2 || conf.cfg.Buckets != 128 {
+		t.Errorf("parsed %+v", conf)
+	}
+	if conf.cfg.Epoch != 5*time.Minute || conf.cfg.Retain != 6 {
+		t.Errorf("default-stream windowing parsed as %v/%d", conf.cfg.Epoch, conf.cfg.Retain)
+	}
+	if len(conf.streams) != 2 || conf.streams[1].cfg.Epoch != ldphttp.Duration(time.Minute) {
+		t.Errorf("streams parsed as %+v", conf.streams)
+	}
+	if conf.snapPath != "/tmp/x.snap" || conf.snapInterval != 10*time.Second {
+		t.Errorf("snapshot flags parsed as %q/%v", conf.snapPath, conf.snapInterval)
+	}
+
+	// Defaults.
+	conf, err = parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.addr != "127.0.0.1:8080" || conf.cfg.Epsilon != 1 || conf.cfg.Buckets != 512 ||
+		conf.cfg.Epoch != 0 || conf.snapPath != "" {
+		t.Errorf("defaults parsed as %+v", conf)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := map[string][]string{
+		"non-positive eps":        {"-eps", "0"},
+		"negative eps":            {"-eps", "-1"},
+		"single bucket":           {"-buckets", "1"},
+		"negative epoch":          {"-epoch", "-1m"},
+		"retain without epoch":    {"-retain", "5"},
+		"bad snapshot interval":   {"-snapshot-interval", "0s"},
+		"bad stream spec":         {"-stream", "age:1"},
+		"duplicate stream names":  {"-stream", "age:1:256", "-stream", "age:1:256"},
+		"stream epsilon invalid":  {"-stream", "age:-2:256"},
+		"stream buckets invalid":  {"-stream", "age:1:0"},
+		"stream retain w/o epoch": {"-stream", "age:1:256:retain=2"},
+	}
+	for name, args := range cases {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("%s: parseArgs(%v) accepted", name, args)
+		}
+	}
+}

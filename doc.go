@@ -55,7 +55,28 @@
 // The same queries are available on any Result via Result.Query (plus the
 // Quantiles and TopK shorthands). Streams.Save and Streams.Load persist
 // every stream's report histogram to a checksummed snapshot file (written
-// atomically), interoperable with the HTTP collector's -snapshot files.
+// atomically), interoperable with the HTTP collector's -snapshot files;
+// Streams.Drop retires a stream without restarting anything.
+//
+// # Windowed collection
+//
+// An Aggregator built with Options.Epoch set is epoch-rotated: reports land
+// in a live epoch whose histogram seals every Epoch (drive rotation with
+// Advance(now) on your clock, or force it with Rotate), the last
+// Options.Retain sealed epochs are kept, and EstimateWindow reconstructs
+// any retained range with the collector's selector syntax:
+//
+//	agg, _ := repro.NewAggregator(repro.Options{Epsilon: 1, Epoch: time.Hour, Retain: 24})
+//	... ingest, and periodically: agg.Advance(time.Now()) ...
+//	lastDay, _ := agg.EstimateWindow("last:24") // sliding 24-hour window
+//	hour3, _ := agg.EstimateWindow("epochs:3..3")
+//
+// Old epochs age out of every estimate and of persistence, so a long-running
+// collection answers "what did the distribution look like recently" instead
+// of averaging over its whole history. Windowed streams persist through
+// Streams.Save with their rotation clock and sealed epochs (snapshot payload
+// version 2; version-1 files still load, their history landing in the live
+// epoch).
 //
 // # Collection at scale
 //
@@ -69,12 +90,15 @@
 // latency knob.
 //
 // The same substrate backs the HTTP collector (internal/ldphttp, run with
-// cmd/ldpserver), which serves named streams over POST /streams, POST
-// /report, POST /batch, GET /estimate, GET /query, POST /query and GET
-// /config: ingestion is lock-free per stream, and a shared background
-// goroutine round-robins warm-started EMS refreshes, so estimation cost
-// never lands on a request goroutine (a not-yet-computed estimate answers
-// 503 with pending_reports instead of blocking). The -snapshot flag makes
-// the collector durable across restarts. See README.md for the operational
-// details.
+// cmd/ldpserver), which serves named streams over POST /streams, GET
+// /streams, DELETE /streams/{name}, POST /report, POST /batch, GET
+// /estimate, GET /query, POST /query and GET /config: ingestion is
+// lock-free per stream, and a shared background goroutine round-robins
+// warm-started EMS refreshes — and rotates windowed streams' epochs — so
+// estimation cost never lands on a request goroutine (a not-yet-computed
+// estimate answers 503 with pending_reports instead of blocking; window
+// selectors ride the same contract via window=last:K and
+// window=epochs:i..j). The -snapshot flag makes the collector durable
+// across restarts, windowed streams resuming mid-epoch with bit-identical
+// window estimates. See README.md for the operational details.
 package repro

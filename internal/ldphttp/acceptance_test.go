@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/ldptest"
+	"repro/internal/metrics"
 	"repro/internal/randx"
 )
 
@@ -117,4 +118,58 @@ func TestServingAcceptanceMultiStream(t *testing.T) {
 	if n := s.StreamN(""); n != 0 {
 		t.Errorf("default stream N = %d, want 0", n)
 	}
+}
+
+// TestWindowServingAcceptanceDrift is the acceptance criterion of the
+// windowed-collection subsystem: three cohorts with distinctly different
+// distributions arrive in consecutive epochs of a mock-clock-driven stream,
+// and window=last:1 must track each shifted cohort within the same W1/KS
+// bounds the static serving check enforces — then every sealed epoch must
+// keep answering for the cohort that lived in it.
+func TestWindowServingAcceptanceDrift(t *testing.T) {
+	clock := newMockClock()
+	s := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 5 * time.Millisecond, Clock: clock.Now})
+	t.Cleanup(s.Close)
+	if err := s.CreateStream("lat", StreamConfig{
+		Epsilon: 1, Buckets: 64, Epoch: Duration(time.Minute), Retain: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	cohorts := []func(*randx.Rand) float64{
+		func(rng *randx.Rand) float64 { return rng.Beta(5, 2) }, // right-skewed
+		func(rng *randx.Rand) float64 { return rng.Beta(2, 6) }, // shifts left
+		func(rng *randx.Rand) float64 { return rng.Beta(8, 8) }, // tightens to the middle
+	}
+	reports, err := ldptest.CheckWindowServing(ts.URL, cohorts, ldptest.WindowServingOptions{
+		Stream: "lat", Epsilon: 1, Buckets: 64,
+		ClientsPerEpoch: 4000, Seed: 99,
+		MaxW1: acceptW1, MaxKS: acceptKS,
+		AdvanceEpoch: func() error { clock.Advance(time.Minute); return nil },
+	})
+	for _, rep := range reports {
+		t.Logf("epoch %d: live N=%d W1=%.4f KS=%.4f | sealed N=%d W1=%.4f KS=%.4f",
+			rep.Epoch, rep.Live.N, rep.Live.W1, rep.Live.KS,
+			rep.Sealed.N, rep.Sealed.W1, rep.Sealed.KS)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drift must be visible: cohort 0's truth is far from cohort 1's,
+	// so last:1 estimates from adjacent epochs must differ far more than
+	// the per-epoch error bound — i.e. the window really tracked the shift
+	// instead of averaging over history.
+	if len(reports) == 3 {
+		w1 := ldptestWasserstein(reports[0].Live.Estimate, reports[1].Live.Estimate)
+		if w1 < 2*acceptW1 {
+			t.Errorf("adjacent-epoch estimates only W1=%.4f apart; window did not track the cohort shift", w1)
+		}
+	}
+}
+
+// ldptestWasserstein mirrors metrics.Wasserstein for test-local comparisons.
+func ldptestWasserstein(p, q []float64) float64 {
+	return metrics.Wasserstein(p, q)
 }

@@ -7,14 +7,19 @@
 //
 // Endpoints:
 //
-//	POST /streams  {"name": "age", "epsilon": 1, "buckets": 256}  declare a stream
-//	GET  /streams                                list streams and their state
-//	POST /report   {"stream": "age", "report": 0.1234}           one report
-//	POST /batch    {"stream": "age", "reports": [0.1, 0.2]}      many reports
-//	GET  /estimate?stream=age                    reconstruction + statistics
-//	GET  /query?stream=age&type=quantile&q=0.5,0.9,0.99          analytics
-//	POST /query    {"stream": "age", "queries": [...]}           batched analytics
-//	GET  /config?stream=age                      mechanism parameters clients need
+//	POST   /streams  {"name": "age", "epsilon": 1, "buckets": 256}  declare a stream
+//	POST   /streams  {"name": "lat", "epsilon": 1, "buckets": 256,
+//	                  "epoch": "1m", "retain": 12}  declare an epoch-rotated stream
+//	GET    /streams                                list streams and their state
+//	DELETE /streams/{name}                         retire a stream
+//	POST   /report   {"stream": "age", "report": 0.1234}           one report
+//	POST   /batch    {"stream": "age", "reports": [0.1, 0.2]}      many reports
+//	GET    /estimate?stream=age                    reconstruction + statistics
+//	GET    /estimate?stream=lat&window=last:6      sliding-window reconstruction
+//	GET    /query?stream=age&type=quantile&q=0.5,0.9,0.99          analytics
+//	GET    /query?stream=lat&type=mean&window=epochs:3..7          windowed analytics
+//	POST   /query    {"stream": "age", "queries": [...]}           batched analytics
+//	GET    /config?stream=age                      mechanism parameters clients need
 //
 // The stream field/parameter is optional everywhere: omitting it addresses
 // the default stream every server is born with, so single-attribute
@@ -34,10 +39,25 @@
 // reconstruction (503 with pending_reports while the very first one is still
 // being computed) and report how many reports arrived after it.
 //
+// # Windowed collection
+//
+// A stream declared with an epoch duration becomes a time-series: the live
+// histogram rotates into a sealed epoch every period (package window, driven
+// by the engine's clock), the last Retain sealed epochs are kept, and any
+// contiguous retained range is addressable with window=last:K or
+// window=epochs:i..j on /estimate and /query. Window reconstructions are
+// also engine-computed and cached — the first request for a range answers
+// 503 and wakes the engine, which merges the range's epochs and runs EMS
+// warm-started from that window's previous estimate (or its one-epoch-back
+// neighbor after a rotation, or the stream's full-range estimate). A
+// fully-sealed range is immutable, so its cached estimate never recomputes.
+//
 // SaveSnapshot/LoadSnapshot persist every stream's histogram and cached
 // estimate through package snapshot (atomic temp-file rename, checksummed),
-// so a restarted collector resumes warm; cmd/ldpserver wires this to the
-// -snapshot flag.
+// so a restarted collector resumes warm; windowed streams additionally
+// persist rotation clock, sealed epochs and window estimates, so restarts
+// resume mid-epoch with bit-identical window answers; cmd/ldpserver wires
+// this to the -snapshot flag.
 package ldphttp
 
 import (
@@ -53,6 +73,7 @@ import (
 	"repro/internal/em"
 	"repro/internal/histogram"
 	"repro/internal/snapshot"
+	"repro/internal/window"
 )
 
 // DefaultStream is the name of the stream every server starts with; requests
@@ -81,32 +102,106 @@ type Config struct {
 	// re-checks every stream for new reports (0 = 500ms). Estimate and
 	// query requests that find a cache missing also wake it immediately.
 	RefreshInterval time.Duration `json:"-"`
+	// Epoch and Retain window the default stream (see StreamConfig). They
+	// apply to the default stream only; other streams opt into windowing
+	// per declaration.
+	Epoch  time.Duration `json:"-"`
+	Retain int           `json:"-"`
+	// Clock overrides the rotation clock (nil = time.Now). Tests drive a
+	// mock clock through it; rotation advances on the engine's cadence.
+	Clock func() time.Time `json:"-"`
 }
 
 // StreamConfig is the per-stream subset of Config. Zero fields inherit the
-// server defaults.
+// server defaults (Epoch/Retain excepted: windowing is opt-in per stream).
 type StreamConfig struct {
 	Epsilon   float64 `json:"epsilon"`
 	Buckets   int     `json:"buckets"`
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	Shards    int     `json:"shards,omitempty"`
+	// Epoch, when positive, makes the stream epoch-rotated: its live
+	// histogram seals every Epoch and sliding-window estimates become
+	// addressable with window=last:K / window=epochs:i..j selectors.
+	// Retain bounds how many sealed epochs are kept (0 = 8). Windowing is
+	// fixed at stream creation; redeclaring with different values is an
+	// error, redeclaring with zero values inherits the existing ones.
+	Epoch  Duration `json:"epoch,omitempty"`
+	Retain int      `json:"retain,omitempty"`
 }
 
+// windowed reports whether the configuration asks for epoch rotation.
+func (c StreamConfig) windowed() bool { return c.Epoch > 0 }
+
 // stream is one named attribute: immutable mechanism state, a striped
-// ingestion histogram, and the engine's cached reconstruction.
+// ingestion histogram (plain or epoch-rotated), and the engine's cached
+// reconstructions. Whether a stream is windowed is fixed at construction, so
+// request handlers read counts/ring without synchronization.
 type stream struct {
 	name   string
 	cfg    StreamConfig
-	agg    *core.Aggregator // immutable channel + EM config; counts unused
-	counts *aggregate.Striped
+	agg    *core.Aggregator   // immutable channel + EM config; counts unused
+	counts *aggregate.Striped // plain ingestion histogram; nil when windowed
+	ring   *window.Ring       // epoch-rotated state; nil when not windowed
 
 	est       atomic.Pointer[EstimateResponse]
 	published atomic.Int64 // reports covered by est
 
-	// Engine-owned scratch (single goroutine): warm-start vector and
-	// snapshot buffer.
-	init    []float64
-	scratch []float64
+	// Window estimate cache: requests register resolved epoch ranges, the
+	// engine reconstructs them (windowed streams only).
+	winMu sync.Mutex
+	wins  map[window.Range]*windowCache
+
+	// Engine-owned scratch (single goroutine): warm-start vector,
+	// snapshot/merge buffers, and a flag forcing the next re-estimate
+	// after a rotation (age-out can change the population without
+	// changing its size, so the count comparison alone is not enough).
+	init        []float64
+	scratch     []float64
+	winScratch  []float64
+	mustRefresh bool
+}
+
+// add, addBatch, addN and reports dispatch ingestion and counting to the
+// plain histogram or the live epoch of the ring.
+func (st *stream) add(bucket int) {
+	if st.ring != nil {
+		st.ring.Add(bucket)
+		return
+	}
+	st.counts.Add(bucket)
+}
+
+func (st *stream) addBatch(buckets []int) {
+	if st.ring != nil {
+		st.ring.AddBatch(buckets)
+		return
+	}
+	st.counts.AddBatch(buckets)
+}
+
+func (st *stream) addN(bucket int, n uint64) {
+	if st.ring != nil {
+		st.ring.AddN(bucket, n)
+		return
+	}
+	st.counts.AddN(bucket, n)
+}
+
+// reports is the population still visible to estimates: everything for a
+// plain stream, the live plus retained epochs for a windowed one.
+func (st *stream) reports() int {
+	if st.ring != nil {
+		return st.ring.N()
+	}
+	return st.counts.N()
+}
+
+// histBuckets is the report-histogram granularity.
+func (st *stream) histBuckets() int {
+	if st.ring != nil {
+		return st.ring.Buckets()
+	}
+	return st.counts.Buckets()
 }
 
 // Server hosts named streams behind an http.Handler, with one shared
@@ -114,7 +209,8 @@ type stream struct {
 type Server struct {
 	cfg     Config
 	refresh time.Duration
-	workers int // resolved EM parallelism
+	workers int              // resolved EM parallelism
+	now     func() time.Time // rotation clock (time.Now unless overridden)
 
 	mu      sync.RWMutex
 	streams map[string]*stream
@@ -141,10 +237,15 @@ func NewServer(cfg Config) *Server {
 	if refresh <= 0 {
 		refresh = 500 * time.Millisecond
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	s := &Server{
 		cfg:     cfg,
 		refresh: refresh,
 		workers: workers,
+		now:     clock,
 		streams: make(map[string]*stream),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
@@ -154,15 +255,23 @@ func NewServer(cfg Config) *Server {
 		Buckets:   cfg.Buckets,
 		Bandwidth: cfg.Bandwidth,
 		Shards:    cfg.Shards,
+		Epoch:     Duration(cfg.Epoch),
+		Retain:    cfg.Retain,
 	}); err != nil {
-		panic(err) // unreachable: the registry is empty and the name valid
+		// The registry is empty and the name valid, so this only fires on
+		// an unusable Config (non-positive epsilon, retain without epoch) —
+		// the same contract core.Config has always had.
+		panic(err)
 	}
 	s.wg.Add(1)
 	go s.estimator()
 	return s
 }
 
-// newStream builds the immutable per-stream machinery.
+// newStream builds the immutable per-stream machinery. For windowed
+// configurations the ingestion histogram is an epoch ring born in epoch 0
+// at the server clock's now; Retain is filled to its default here so the
+// stored cfg always carries the effective retention.
 func (s *Server) newStream(name string, cfg StreamConfig) *stream {
 	agg := core.NewAggregator(core.Config{
 		Epsilon:   cfg.Epsilon,
@@ -171,12 +280,20 @@ func (s *Server) newStream(name string, cfg StreamConfig) *stream {
 		Smoothing: true,
 		EM:        em.Options{Workers: s.workers},
 	})
-	return &stream{
-		name:   name,
-		cfg:    cfg,
-		agg:    agg,
-		counts: aggregate.New(agg.OutputBuckets(), cfg.Shards),
+	st := &stream{name: name, agg: agg}
+	if cfg.windowed() {
+		wcfg, err := window.Config{Epoch: time.Duration(cfg.Epoch), Retain: cfg.Retain}.Validate()
+		if err != nil {
+			panic(err) // unreachable: fillStreamDefaults validated the window options
+		}
+		cfg.Retain = wcfg.Retain
+		st.ring = window.New(agg.OutputBuckets(), cfg.Shards, wcfg, s.now())
+		st.wins = make(map[window.Range]*windowCache)
+	} else {
+		st.counts = aggregate.New(agg.OutputBuckets(), cfg.Shards)
 	}
+	st.cfg = cfg
+	return st
 }
 
 // fillStreamDefaults resolves zero fields against the server defaults and
@@ -202,6 +319,17 @@ func (s *Server) fillStreamDefaults(cfg StreamConfig) (StreamConfig, error) {
 	}
 	if cfg.Bandwidth < 0 || cfg.Bandwidth > 2 {
 		return cfg, fmt.Errorf("ldphttp: stream bandwidth %v out of range [0, 2]", cfg.Bandwidth)
+	}
+	if cfg.Epoch < 0 {
+		return cfg, fmt.Errorf("ldphttp: stream epoch %v must not be negative", time.Duration(cfg.Epoch))
+	}
+	if cfg.Retain != 0 && !cfg.windowed() {
+		return cfg, fmt.Errorf("ldphttp: stream retain %d needs an epoch duration", cfg.Retain)
+	}
+	if cfg.windowed() {
+		if _, err := (window.Config{Epoch: time.Duration(cfg.Epoch), Retain: cfg.Retain}).Validate(); err != nil {
+			return cfg, fmt.Errorf("ldphttp: %v", err)
+		}
 	}
 	return cfg, nil
 }
@@ -233,11 +361,47 @@ func (s *Server) CreateStream(name string, cfg StreamConfig) error {
 			return fmt.Errorf("ldphttp: %w: %q has %+v, requested %+v",
 				ErrStreamConfigMismatch, name, existing.cfg, cfg)
 		}
+		// Windowing is fixed at stream creation: zero Epoch/Retain inherit
+		// whatever the stream has, non-zero values must match it exactly.
+		if cfg.windowed() {
+			if existing.ring == nil {
+				return fmt.Errorf("ldphttp: %w: %q is not windowed; drop and redeclare it to enable epochs",
+					ErrStreamConfigMismatch, name)
+			}
+			if existing.cfg.Epoch != cfg.Epoch ||
+				(cfg.Retain != 0 && existing.cfg.Retain != cfg.Retain) {
+				return fmt.Errorf("ldphttp: %w: %q rotates every %v retaining %d, requested %v/%d",
+					ErrStreamConfigMismatch, name, time.Duration(existing.cfg.Epoch),
+					existing.cfg.Retain, time.Duration(cfg.Epoch), cfg.Retain)
+			}
+		}
 		return nil
 	}
 	st := s.newStream(name, cfg)
 	s.streams[name] = st
 	s.order = append(s.order, st)
+	return nil
+}
+
+// DropStream retires a named stream: it disappears from the registry, the
+// engine's rotation and future snapshots, and its reports are discarded.
+// Dropping the default stream is allowed (requests without a stream then
+// 404) — an operator who never uses it can reclaim it. In-flight requests
+// that already resolved the stream finish against its final state.
+func (s *Server) DropStream(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[name]
+	if !ok {
+		return fmt.Errorf("ldphttp: unknown stream %q", name)
+	}
+	delete(s.streams, name)
+	for i, o := range s.order {
+		if o == st {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
 	return nil
 }
 
@@ -265,10 +429,14 @@ type StreamInfo struct {
 	Buckets   int     `json:"buckets"`
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	Shards    int     `json:"shards,omitempty"`
-	// N is the number of reports ingested; EstimateN the number covered by
-	// the cached reconstruction (0 = none yet).
+	// N is the number of reports still visible to estimates (for a
+	// windowed stream, reports in aged-out epochs no longer count);
+	// EstimateN the number covered by the cached reconstruction (0 = none
+	// yet).
 	N         int `json:"n"`
 	EstimateN int `json:"estimate_n"`
+	// Window carries the epoch-rotation state of a windowed stream.
+	Window *WindowInfo `json:"window,omitempty"`
 }
 
 // Streams lists every stream in declaration order.
@@ -282,18 +450,29 @@ func (s *Server) Streams() []StreamInfo {
 			Buckets:   st.cfg.Buckets,
 			Bandwidth: st.cfg.Bandwidth,
 			Shards:    st.cfg.Shards,
-			N:         st.counts.N(),
+			N:         st.reports(),
 			EstimateN: int(st.published.Load()),
+		}
+		if st.ring != nil {
+			cur, _ := st.ring.Current()
+			infos[i].Window = &WindowInfo{
+				Epoch:        st.cfg.Epoch,
+				Retain:       st.cfg.Retain,
+				CurrentEpoch: cur,
+				OldestEpoch:  st.ring.Oldest(),
+				SealedEpochs: st.ring.SealedLen(),
+				LiveN:        st.ring.LiveN(),
+			}
 		}
 	}
 	return infos
 }
 
-// N returns the total number of reports ingested across every stream.
+// N returns the total number of reports visible across every stream.
 func (s *Server) N() int {
 	var n int
 	for _, st := range s.streamList() {
-		n += st.counts.N()
+		n += st.reports()
 	}
 	return n
 }
@@ -305,7 +484,7 @@ func (s *Server) StreamN(name string) int {
 	if st == nil {
 		return -1
 	}
-	return st.counts.N()
+	return st.reports()
 }
 
 // Close stops the background estimator and waits for it to exit. The
@@ -356,14 +535,34 @@ func (s *Server) estimator() {
 	}
 }
 
-// refreshStream re-estimates one stream if its histogram grew since the last
-// published estimate. Engine goroutine only.
+// refreshStream advances a windowed stream's rotation clock, re-estimates
+// the stream if its visible histogram changed since the last published
+// estimate (growth, or epochs aging out), and refreshes any requested
+// window estimates. Engine goroutine only.
 func (s *Server) refreshStream(st *stream) {
+	if st.ring != nil {
+		// Rotation holds the registry read-lock: LoadSnapshot (exclusive
+		// lock) can therefore never observe a ring rotating between its
+		// validation and its adopt, which keeps restores all-or-nothing.
+		s.mu.RLock()
+		rotated := st.ring.Advance(s.now())
+		s.mu.RUnlock()
+		if rotated > 0 {
+			st.evictAgedWindows()
+			st.mustRefresh = true
+		}
+		defer s.refreshWindows(st)
+	}
 	var n int
-	st.scratch, n = st.counts.Snapshot(st.scratch)
-	if n == 0 || int64(n) == st.published.Load() {
+	if st.ring != nil {
+		st.scratch, n = st.ring.MergeAll(st.scratch)
+	} else {
+		st.scratch, n = st.counts.Snapshot(st.scratch)
+	}
+	if n == 0 || (int64(n) == st.published.Load() && !st.mustRefresh) {
 		return
 	}
+	st.mustRefresh = false
 	init := st.init
 	if init == nil {
 		// Warm-start from a snapshot-restored estimate when there is one.
@@ -392,6 +591,7 @@ func (s *Server) refreshStream(st *stream) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/streams", s.handleStreams)
+	mux.HandleFunc("/streams/", s.handleStreamItem)
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/estimate", s.handleEstimate)
@@ -431,6 +631,11 @@ type EstimateResponse struct {
 	// estimate was computed — the staleness of a cached response. The
 	// background engine is already re-estimating when this is non-zero.
 	PendingReports int `json:"pending_reports,omitempty"`
+	// Window and Epochs identify a sliding-window answer: the canonical
+	// selector ("epochs:3..7") and the resolved inclusive epoch range. Both
+	// are absent on whole-stream estimates.
+	Window string      `json:"window,omitempty"`
+	Epochs *EpochRange `json:"epochs,omitempty"`
 }
 
 // errorJSON writes a JSON error body with the given status.
@@ -463,8 +668,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	st.counts.Add(st.agg.Bucket(req.Report))
-	writeJSON(w, map[string]any{"accepted": true, "stream": st.name, "n": st.counts.N()})
+	st.add(st.agg.Bucket(req.Report))
+	writeJSON(w, map[string]any{"accepted": true, "stream": st.name, "n": st.reports()})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -489,8 +694,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, rep := range req.Reports {
 		buckets[i] = st.agg.Bucket(rep)
 	}
-	st.counts.AddBatch(buckets)
-	writeJSON(w, map[string]any{"accepted": len(req.Reports), "stream": st.name, "n": st.counts.N()})
+	st.addBatch(buckets)
+	writeJSON(w, map[string]any{"accepted": len(req.Reports), "stream": st.name, "n": st.reports()})
 }
 
 // loadEstimate fetches a stream's cached reconstruction for serving,
@@ -501,7 +706,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // after the cached estimate, clamped at zero — the engine can publish an
 // estimate covering more reports than the count read here.
 func (s *Server) loadEstimate(w http.ResponseWriter, st *stream) (cached *EstimateResponse, pending int, ok bool) {
-	n := st.counts.N()
+	n := st.reports()
 	if n == 0 {
 		errorJSON(w, http.StatusConflict, "no reports yet on stream %q", st.name)
 		return nil, 0, false
@@ -539,7 +744,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	cached, pending, ok := s.loadEstimate(w, st)
+	cached, pending, ok := s.loadEstimateOrWindow(w, st, r.URL.Query().Get("window"))
 	if !ok {
 		return
 	}

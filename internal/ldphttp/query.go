@@ -23,6 +23,10 @@ type QueryResponse struct {
 	// computed from; PendingReports how many arrived after it.
 	N              int `json:"n"`
 	PendingReports int `json:"pending_reports,omitempty"`
+	// Window and Epochs echo the sliding-window the answer was computed
+	// over (absent on whole-stream queries).
+	Window string      `json:"window,omitempty"`
+	Epochs *EpochRange `json:"epochs,omitempty"`
 	query.Response
 }
 
@@ -31,6 +35,8 @@ type BatchQueryResponse struct {
 	Stream         string           `json:"stream"`
 	N              int              `json:"n"`
 	PendingReports int              `json:"pending_reports,omitempty"`
+	Window         string           `json:"window,omitempty"`
+	Epochs         *EpochRange      `json:"epochs,omitempty"`
 	Results        []query.Response `json:"results"`
 }
 
@@ -56,7 +62,7 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	cached, pending, ok := s.loadEstimate(w, st)
+	cached, pending, ok := s.loadEstimateOrWindow(w, st, params.Get("window"))
 	if !ok {
 		return
 	}
@@ -69,12 +75,18 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 		Stream:         st.name,
 		N:              cached.N,
 		PendingReports: pending,
+		Window:         cached.Window,
+		Epochs:         cached.Epochs,
 		Response:       resp,
 	})
 }
 
 type batchQueryRequest struct {
-	Stream  string          `json:"stream"`
+	Stream string `json:"stream"`
+	// Window optionally scopes the whole batch to one sliding window
+	// ("last:K" or "epochs:i..j"), so every answer reads the same epoch
+	// range.
+	Window  string          `json:"window,omitempty"`
 	Queries []query.Request `json:"queries"`
 }
 
@@ -100,7 +112,7 @@ func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	cached, pending, ok := s.loadEstimate(w, st)
+	cached, pending, ok := s.loadEstimateOrWindow(w, st, req.Window)
 	if !ok {
 		return
 	}
@@ -119,6 +131,8 @@ func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
 		Stream:         st.name,
 		N:              cached.N,
 		PendingReports: pending,
+		Window:         cached.Window,
+		Epochs:         cached.Epochs,
 		Results:        results,
 	})
 }

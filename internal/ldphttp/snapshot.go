@@ -5,13 +5,21 @@ package ldphttp
 // restarted collector resumes exactly where the previous process stopped —
 // the restored estimate is served immediately (bit-identical: JSON float64
 // encoding round-trips exactly) and the engine warm-starts from it when new
-// reports arrive.
+// reports arrive. Windowed streams additionally persist their rotation
+// clock, sealed epochs and cached window estimates (payload version 2), so
+// a restart resumes mid-epoch and serves bit-identical window estimates.
+// Version-1 snapshots still load: their streams simply carry no window
+// state, and a v1 record restoring into a stream that was declared windowed
+// lands in the live epoch — the old history behaves as a single epoch that
+// seals whole at the next rotation.
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/histogram"
 	"repro/internal/snapshot"
+	"repro/internal/window"
 )
 
 // SaveSnapshot atomically writes the state of every stream to path. Safe to
@@ -24,17 +32,26 @@ func (s *Server) SaveSnapshot(path string) error {
 	list := s.streamList()
 	records := make([]snapshot.Stream, 0, len(list))
 	for _, st := range list {
-		counts, _ := st.counts.Snapshot(nil)
 		rec := snapshot.Stream{
 			Name:      st.name,
 			Epsilon:   st.cfg.Epsilon,
 			Buckets:   st.cfg.Buckets,
 			Bandwidth: st.cfg.Bandwidth,
 			Shards:    st.cfg.Shards,
-			Counts:    make([]uint64, len(counts)),
 		}
-		for i, c := range counts {
-			rec.Counts[i] = uint64(c)
+		if st.ring != nil {
+			state := st.ring.State()
+			rec.Counts = state.Live
+			if rec.Counts == nil {
+				rec.Counts = make([]uint64, st.ring.Buckets())
+			}
+			rec.Window = windowRecord(st, state)
+		} else {
+			counts, _ := st.counts.Snapshot(nil)
+			rec.Counts = make([]uint64, len(counts))
+			for i, c := range counts {
+				rec.Counts[i] = uint64(c)
+			}
 		}
 		if est := st.est.Load(); est != nil {
 			rec.Estimate = est.Distribution
@@ -45,17 +62,57 @@ func (s *Server) SaveSnapshot(path string) error {
 	return snapshot.Save(path, records)
 }
 
+// windowRecord converts a ring state plus the stream's cached window
+// estimates into the persisted window block.
+func windowRecord(st *stream, state window.State) *snapshot.Window {
+	win := snapshot.NewWindow(state)
+	for _, wc := range st.windowCaches() {
+		est := wc.est.Load()
+		// Only persist estimates whose range is still resolvable against
+		// the captured state — a cache can briefly outlive its epochs
+		// between a rotation and the next eviction.
+		if est == nil || wc.rng.Hi > state.Current {
+			continue
+		}
+		if oldest := oldestOf(state); wc.rng.Lo < oldest {
+			continue
+		}
+		win.Estimates = append(win.Estimates, snapshot.WindowEstimate{
+			Lo: wc.rng.Lo, Hi: wc.rng.Hi, N: est.N, Estimate: est.Distribution,
+		})
+	}
+	return win
+}
+
+func oldestOf(state window.State) int {
+	if len(state.Sealed) == 0 {
+		return state.Current
+	}
+	return state.Sealed[0].Index
+}
+
+// windowState converts a persisted window block back into a ring state.
+func windowState(rec snapshot.Stream) window.State {
+	return rec.Window.State(rec.Counts)
+}
+
 // LoadSnapshot restores streams from a snapshot file. Streams that do not
-// exist are created with their persisted configuration; the persisted
-// histogram of a stream that already exists (e.g. the default stream on a
-// fresh boot) is merged into it, provided the mechanism parameters match. A
-// persisted cached estimate is installed when the live stream had no reports
-// before the merge, so GET /estimate serves instantly after a restart.
-// Corrupt, truncated, or incompatible files return an error and change
-// nothing: the whole restore — validation of every record, construction of
-// every missing stream, then the merge — happens atomically under the
-// registry lock, so no concurrent stream declaration can slip between
-// validation and apply, and no error path leaves a partial merge behind.
+// exist are created with their persisted configuration (including epoch
+// rotation state); the persisted histogram of a stream that already exists
+// (e.g. the default stream on a fresh boot) is merged into it, provided the
+// mechanism parameters match. A windowed record restoring into a live
+// windowed stream requires matching epoch/retain and a stream that has not
+// rotated yet (the boot-time shape: declare flags, then restore); a v1
+// record restoring into a windowed stream merges into the live epoch. A
+// persisted cached estimate is installed when the live stream had no
+// reports before the merge, so GET /estimate — and any persisted window
+// estimate — serves instantly and bit-identically after a restart. Corrupt,
+// truncated, or incompatible files return an error and change nothing: the
+// whole restore — validation of every record, construction of every missing
+// stream, then the merge — happens atomically under the registry lock, so
+// neither a concurrent stream declaration nor an engine rotation (which
+// takes the registry read-lock) can slip between validation and apply, and
+// no error path leaves a partial merge behind.
 func (s *Server) LoadSnapshot(path string) error {
 	records, err := snapshot.Load(path)
 	if err != nil {
@@ -64,8 +121,8 @@ func (s *Server) LoadSnapshot(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Phase 1 — validate every record and build (but do not register) the
-	// streams that are missing. Nothing is mutated until every record has
-	// a proven-compatible destination.
+	// streams that are missing. Nothing live is mutated until every record
+	// has a proven-compatible destination.
 	targets := make([]*stream, len(records))
 	fresh := make([]bool, len(records))
 	for i, rec := range records {
@@ -77,36 +134,76 @@ func (s *Server) LoadSnapshot(path string) error {
 					rec.Name, rec.Epsilon, rec.Buckets, rec.Bandwidth,
 					st.cfg.Epsilon, st.cfg.Buckets, st.cfg.Bandwidth)
 			}
+			if rec.Window != nil {
+				if st.ring == nil {
+					return fmt.Errorf("ldphttp: snapshot stream %q is windowed (epoch %v) but the live stream is not; declare it with an epoch before restoring",
+						rec.Name, time.Duration(rec.Window.EpochNanos))
+				}
+				if int64(time.Duration(st.cfg.Epoch)) != rec.Window.EpochNanos ||
+					st.cfg.Retain != rec.Window.Retain {
+					return fmt.Errorf("ldphttp: snapshot stream %q rotates every %v retaining %d but the live stream rotates every %v retaining %d",
+						rec.Name, time.Duration(rec.Window.EpochNanos), rec.Window.Retain,
+						time.Duration(st.cfg.Epoch), st.cfg.Retain)
+				}
+				if err := st.ring.CanAdopt(windowState(rec)); err != nil {
+					return fmt.Errorf("ldphttp: restore stream %q: %w", rec.Name, err)
+				}
+			}
 		} else {
-			cfg, err := s.fillStreamDefaults(StreamConfig{
+			cfg := StreamConfig{
 				Epsilon:   rec.Epsilon,
 				Buckets:   rec.Buckets,
 				Bandwidth: rec.Bandwidth,
 				Shards:    rec.Shards,
-			})
+			}
+			if rec.Window != nil {
+				cfg.Epoch = Duration(rec.Window.EpochNanos)
+				cfg.Retain = rec.Window.Retain
+			}
+			cfg, err := s.fillStreamDefaults(cfg)
 			if err != nil {
 				return fmt.Errorf("ldphttp: restore stream %q: %w", rec.Name, err)
 			}
 			st = s.newStream(rec.Name, cfg)
+			if rec.Window != nil {
+				// The fresh ring is pristine and unregistered; adopting the
+				// persisted clock and sealed history cannot race anything.
+				if err := st.ring.Adopt(windowState(rec)); err != nil {
+					return fmt.Errorf("ldphttp: restore stream %q: %w", rec.Name, err)
+				}
+			}
 			fresh[i] = true
 		}
-		if st.counts.Buckets() != len(rec.Counts) {
+		if st.histBuckets() != len(rec.Counts) {
 			return fmt.Errorf("ldphttp: snapshot stream %q has %d histogram buckets, the %s stream has %d",
 				rec.Name, len(rec.Counts), map[bool]string{true: "restored", false: "live"}[fresh[i]],
-				st.counts.Buckets())
+				st.histBuckets())
 		}
 		targets[i] = st
 	}
-	// Phase 2 — register and merge; no failure paths remain.
+	// Phase 2 — register and merge; no failure paths remain: the engine
+	// rotates rings only under the registry read-lock, which this restore
+	// holds exclusively, so a ring validated as adoptable in phase 1 is
+	// still adoptable here.
 	for i, rec := range records {
 		st := targets[i]
+		// fresh streams were empty by construction (the phase-1 adopt of a
+		// fresh windowed ring already carried the persisted reports in).
+		wasEmpty := fresh[i] || st.reports() == 0
 		if fresh[i] {
 			s.streams[st.name] = st
 			s.order = append(s.order, st)
 		}
-		wasEmpty := st.counts.N() == 0
-		for bucket, c := range rec.Counts {
-			st.counts.AddN(bucket, c)
+		if rec.Window != nil {
+			if !fresh[i] {
+				if err := st.ring.Adopt(windowState(rec)); err != nil {
+					return fmt.Errorf("ldphttp: restore stream %q: %w", rec.Name, err)
+				}
+			}
+		} else {
+			for bucket, c := range rec.Counts {
+				st.addN(bucket, c)
+			}
 		}
 		if wasEmpty && len(rec.Estimate) > 0 {
 			dist := append([]float64(nil), rec.Estimate...)
@@ -124,7 +221,28 @@ func (s *Server) LoadSnapshot(path string) error {
 			})
 			st.published.Store(int64(rec.EstimateN))
 		}
+		if rec.Window != nil && wasEmpty {
+			st.restoreWindowEstimates(s, rec.Window.Estimates)
+		}
 	}
 	s.wake() // re-estimate any stream whose counts moved past its estimate
 	return nil
+}
+
+// restoreWindowEstimates installs persisted window reconstructions into the
+// stream's cache, so window queries after a restart serve bit-identically
+// without recomputation (fully-sealed ranges never recompute at all).
+func (st *stream) restoreWindowEstimates(s *Server, ests []snapshot.WindowEstimate) {
+	st.winMu.Lock()
+	defer st.winMu.Unlock()
+	for _, we := range ests {
+		g := window.Range{Lo: we.Lo, Hi: we.Hi}
+		wc := &windowCache{rng: g}
+		dist := append([]float64(nil), we.Estimate...)
+		wc.init = append([]float64(nil), dist...)
+		resp := s.windowEstimateResponse(st, g, we.N, dist, 0, true, true, true)
+		wc.est.Store(resp)
+		wc.published.Store(int64(we.N))
+		st.wins[g] = wc
+	}
 }

@@ -347,3 +347,142 @@ func TestStressMultiStreamSnapshotQuery(t *testing.T) {
 		t.Errorf("restored server has %d streams, want %d", got, want)
 	}
 }
+
+// TestStressWindowRotation races epoch rotation against everything at once
+// on a windowed stream: concurrent batch ingestion, window-query pollers
+// cycling through selectors, live SaveSnapshot, and a mock clock advancing
+// every few milliseconds so the engine rotates continuously. Run with
+// -race. Retention exceeds the rotation count, so at the end not a single
+// report may have been lost across all the epoch seals.
+func TestStressWindowRotation(t *testing.T) {
+	clock := newMockClock()
+	s := NewServer(Config{Epsilon: 1, Buckets: 32, RefreshInterval: time.Millisecond, Clock: clock.Now})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const (
+		rotations        = 12
+		writers          = 4
+		batchesPerWriter = 10
+		batchSize        = 50
+		pollers          = 2
+	)
+	if err := s.CreateStream("win", StreamConfig{
+		Epsilon: 1, Buckets: 32, Epoch: Duration(time.Minute), Retain: rotations + 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantN := writers * batchesPerWriter * batchSize
+	snapPath := filepath.Join(t.TempDir(), "winstress.snap")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+pollers+2)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := core.NewClient(core.Config{Epsilon: 1, Buckets: 32, Smoothing: true})
+			rng := randx.New(uint64(id + 1))
+			for b := 0; b < batchesPerWriter; b++ {
+				reports := make([]float64, batchSize)
+				for i := range reports {
+					reports[i] = client.Report(rng.Beta(5, 2), rng)
+				}
+				blob, _ := json.Marshal(map[string]any{"stream": "win", "reports": reports})
+				resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(blob))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("batch status %d", resp.StatusCode)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var bgWG sync.WaitGroup
+	for w := 0; w < pollers; w++ {
+		bgWG.Add(1)
+		go func(id int) {
+			defer bgWG.Done()
+			selectors := []string{"last:1", "last:3", "last:100", "epochs:0..0"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/estimate?stream=win&window=" + selectors[i%len(selectors)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusConflict, http.StatusServiceUnavailable, http.StatusGone:
+					// All legal while rotation races the poll.
+				default:
+					errs <- fmt.Errorf("window poll status %d", resp.StatusCode)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Snapshotter: persist the rotating server while it ingests.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := s.SaveSnapshot(snapPath); err != nil {
+				errs <- fmt.Errorf("snapshot %d: %w", i, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// The clock: one rotation every few milliseconds of real time.
+	for r := 0; r < rotations; r++ {
+		clock.Advance(time.Minute)
+		s.wake()
+		time.Sleep(4 * time.Millisecond)
+	}
+
+	wg.Wait()
+	close(stop)
+	bgWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := s.StreamN("win"); got != wantN {
+		t.Fatalf("reports lost across rotations: N = %d, want %d", got, wantN)
+	}
+	// The final full-window estimate covers the whole population.
+	est := getFreshStreamEstimate(t, ts.URL, "win", wantN)
+	if len(est.Distribution) != 32 {
+		t.Fatalf("estimate has %d buckets", len(est.Distribution))
+	}
+	// And a final snapshot restores with every retained epoch intact.
+	if err := s.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer(Config{Epsilon: 1, Buckets: 32, RefreshInterval: time.Hour, Clock: clock.Now})
+	t.Cleanup(s2.Close)
+	if err := s2.LoadSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.StreamN("win"); got != wantN {
+		t.Fatalf("restored windowed stream N = %d, want %d", got, wantN)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/window"
 )
 
 // magic is the first token of every snapshot file. The trailing 1 is the
@@ -49,8 +51,92 @@ func ValidName(name string) bool {
 	return true
 }
 
-// Version is the current payload version. Load rejects anything newer.
-const Version = 1
+// Version is the current payload version. Load rejects anything newer and
+// accepts anything older.
+//
+// Version history:
+//
+//	1 — streams with report histograms and cached estimates.
+//	2 — adds the optional per-stream Window block (epoch-rotated
+//	    collection): rotation clock, sealed epochs and cached window
+//	    estimates. A v1 file loads into a v2 build unchanged — its streams
+//	    simply have no window state, i.e. their whole history behaves as a
+//	    single (live) epoch.
+const Version = 2
+
+// SealedEpoch is one rotated-out epoch of a windowed stream: a frozen dense
+// report histogram. Empty epochs carry nil Counts.
+type SealedEpoch struct {
+	// Index is the global epoch number (epochs count up from 0 and are
+	// never reused).
+	Index int `json:"index"`
+	// Counts is the epoch's report histogram; nil/omitted means empty.
+	Counts []uint64 `json:"counts,omitempty"`
+	// N is the report total of Counts.
+	N uint64 `json:"n,omitempty"`
+}
+
+// WindowEstimate is one cached sliding-window reconstruction, persisted so a
+// restarted collector serves bit-identical window estimates.
+type WindowEstimate struct {
+	// Lo, Hi are the inclusive epoch bounds the estimate covers.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// N is the report count the estimate covers.
+	N int `json:"n"`
+	// Estimate is the reconstruction (length = stream Buckets).
+	Estimate []float64 `json:"estimate"`
+}
+
+// Window is the persisted windowing state of an epoch-rotated stream.
+type Window struct {
+	// EpochNanos is the rotation period in nanoseconds.
+	EpochNanos int64 `json:"epoch_nanos"`
+	// Retain is the sealed-epoch retention.
+	Retain int `json:"retain"`
+	// Current is the live epoch's index; StartUnixNanos its start time —
+	// together the rotation clock, so a restore resumes mid-epoch.
+	Current        int   `json:"current"`
+	StartUnixNanos int64 `json:"start_unix_nanos"`
+	// Sealed holds the retained sealed epochs, ascending by Index. The
+	// live epoch's histogram lives in the enclosing Stream.Counts.
+	Sealed []SealedEpoch `json:"sealed,omitempty"`
+	// Estimates carries the cached window reconstructions.
+	Estimates []WindowEstimate `json:"estimates,omitempty"`
+}
+
+// NewWindow converts a ring state (the live epoch's histogram travels in
+// the enclosing Stream.Counts) into the persisted window block. Cached
+// window estimates, which live outside the ring, are appended by the
+// caller.
+func NewWindow(st window.State) *Window {
+	w := &Window{
+		EpochNanos:     int64(st.Epoch),
+		Retain:         st.Retain,
+		Current:        st.Current,
+		StartUnixNanos: st.Start.UnixNano(),
+	}
+	for _, ep := range st.Sealed {
+		w.Sealed = append(w.Sealed, SealedEpoch{Index: ep.Index, Counts: ep.Counts, N: uint64(ep.N)})
+	}
+	return w
+}
+
+// State converts the persisted block back into a ring state. live is the
+// enclosing Stream.Counts — the live epoch's histogram.
+func (w *Window) State(live []uint64) window.State {
+	st := window.State{
+		Epoch:   time.Duration(w.EpochNanos),
+		Retain:  w.Retain,
+		Current: w.Current,
+		Start:   time.Unix(0, w.StartUnixNanos),
+		Live:    live,
+	}
+	for _, ep := range w.Sealed {
+		st.Sealed = append(st.Sealed, window.Epoch{Index: ep.Index, Counts: ep.Counts, N: int(ep.N)})
+	}
+	return st
+}
 
 // Stream is the persisted state of one named attribute stream.
 type Stream struct {
@@ -64,8 +150,13 @@ type Stream struct {
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	Shards    int     `json:"shards,omitempty"`
 	// Counts is the report histogram (length = the mechanism's output
-	// granularity, which may differ from Buckets).
+	// granularity, which may differ from Buckets). For a windowed stream
+	// this is the live epoch's histogram; sealed epochs live in Window.
 	Counts []uint64 `json:"counts"`
+	// Window, when present, marks the stream as epoch-rotated and carries
+	// its rotation clock, sealed epochs and cached window estimates
+	// (payload version ≥ 2).
+	Window *Window `json:"window,omitempty"`
 	// Estimate optionally carries the cached reconstruction so a restart
 	// serves estimates immediately; EstimateN is the report count it
 	// covers.
@@ -206,6 +297,57 @@ func Load(path string) ([]Stream, error) {
 			return nil, fmt.Errorf("snapshot: %s: stream %q cached estimate has %d buckets, want %d",
 				path, st.Name, len(st.Estimate), st.Buckets)
 		}
+		if st.Window != nil {
+			if err := validateWindow(st.Window, st.Buckets, len(st.Counts)); err != nil {
+				return nil, fmt.Errorf("snapshot: %s: stream %q: %v", path, st.Name, err)
+			}
+		}
 	}
 	return file.Streams, nil
+}
+
+// validateWindow checks a persisted window block before any field is
+// trusted. histBuckets is the report-histogram granularity (sealed epochs
+// must match it); estBuckets the reconstruction granularity (cached window
+// estimates must match it).
+func validateWindow(w *Window, estBuckets, histBuckets int) error {
+	if w.EpochNanos <= 0 {
+		return fmt.Errorf("window epoch %d ns is not positive", w.EpochNanos)
+	}
+	if w.Retain < 1 {
+		return fmt.Errorf("window retains %d epochs", w.Retain)
+	}
+	if w.Current < 0 {
+		return fmt.Errorf("window current epoch %d is negative", w.Current)
+	}
+	prev := -1
+	for _, ep := range w.Sealed {
+		if ep.Index < 0 || ep.Index >= w.Current {
+			return fmt.Errorf("sealed epoch %d outside [0, %d)", ep.Index, w.Current)
+		}
+		if ep.Index <= prev {
+			return fmt.Errorf("sealed epochs out of order at %d", ep.Index)
+		}
+		prev = ep.Index
+		if ep.Counts != nil && len(ep.Counts) != histBuckets {
+			return fmt.Errorf("sealed epoch %d has %d histogram buckets, want %d",
+				ep.Index, len(ep.Counts), histBuckets)
+		}
+		if ep.Counts == nil && ep.N != 0 {
+			return fmt.Errorf("sealed epoch %d claims %d reports with no histogram", ep.Index, ep.N)
+		}
+	}
+	for _, we := range w.Estimates {
+		if we.Lo < 0 || we.Hi < we.Lo || we.Hi > w.Current {
+			return fmt.Errorf("window estimate range %d..%d outside [0, %d]", we.Lo, we.Hi, w.Current)
+		}
+		if len(we.Estimate) != estBuckets {
+			return fmt.Errorf("window estimate %d..%d has %d buckets, want %d",
+				we.Lo, we.Hi, len(we.Estimate), estBuckets)
+		}
+		if we.N < 0 {
+			return fmt.Errorf("window estimate %d..%d has negative N", we.Lo, we.Hi)
+		}
+	}
+	return nil
 }

@@ -22,6 +22,28 @@ func sampleStreams() []Stream {
 	}
 }
 
+func sampleWindowedStream() Stream {
+	return Stream{
+		Name: "sessions", Epsilon: 1, Buckets: 4,
+		Counts: []uint64{1, 0, 0, 2}, // live epoch
+		Window: &Window{
+			EpochNanos:     int64(60e9),
+			Retain:         3,
+			Current:        5,
+			StartUnixNanos: 1_700_000_000_000_000_000,
+			Sealed: []SealedEpoch{
+				{Index: 2, Counts: []uint64{4, 0, 1, 0}, N: 5},
+				{Index: 3}, // empty epoch
+				{Index: 4, Counts: []uint64{0, 9, 0, 0}, N: 9},
+			},
+			Estimates: []WindowEstimate{
+				{Lo: 2, Hi: 4, N: 14, Estimate: []float64{0.25, 0.5, 0.125, 0.125}},
+				{Lo: 4, Hi: 5, N: 12, Estimate: []float64{0.1, 0.6, 0.2, 0.1}},
+			},
+		},
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "state.snap")
 	want := sampleStreams()
@@ -56,6 +78,129 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if n := got[0].N(); n != 22 {
 		t.Errorf("restored N = %d, want 22", n)
+	}
+}
+
+// TestWindowRoundTrip persists a windowed stream alongside plain ones and
+// verifies every window field — rotation clock, sealed epochs (including an
+// empty gap epoch) and cached window estimates — survives bit-identically.
+func TestWindowRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "win.snap")
+	want := append(sampleStreams(), sampleWindowedStream())
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d streams, want 3", len(got))
+	}
+	if got[0].Window != nil || got[1].Window != nil {
+		t.Error("plain streams grew window state through the round trip")
+	}
+	w, g := want[2].Window, got[2].Window
+	if g == nil {
+		t.Fatal("windowed stream lost its window block")
+	}
+	if g.EpochNanos != w.EpochNanos || g.Retain != w.Retain ||
+		g.Current != w.Current || g.StartUnixNanos != w.StartUnixNanos {
+		t.Errorf("window clock mismatch: got %+v want %+v", g, w)
+	}
+	if len(g.Sealed) != len(w.Sealed) {
+		t.Fatalf("sealed epochs: got %d, want %d", len(g.Sealed), len(w.Sealed))
+	}
+	for i := range w.Sealed {
+		if g.Sealed[i].Index != w.Sealed[i].Index || g.Sealed[i].N != w.Sealed[i].N ||
+			len(g.Sealed[i].Counts) != len(w.Sealed[i].Counts) {
+			t.Errorf("sealed epoch %d mismatch: got %+v want %+v", i, g.Sealed[i], w.Sealed[i])
+		}
+	}
+	if len(g.Estimates) != len(w.Estimates) {
+		t.Fatalf("window estimates: got %d, want %d", len(g.Estimates), len(w.Estimates))
+	}
+	for i := range w.Estimates {
+		if g.Estimates[i].Lo != w.Estimates[i].Lo || g.Estimates[i].Hi != w.Estimates[i].Hi ||
+			g.Estimates[i].N != w.Estimates[i].N {
+			t.Errorf("window estimate %d metadata mismatch", i)
+		}
+		for j := range w.Estimates[i].Estimate {
+			if g.Estimates[i].Estimate[j] != w.Estimates[i].Estimate[j] {
+				t.Errorf("window estimate %d[%d] = %v, want %v", i, j,
+					g.Estimates[i].Estimate[j], w.Estimates[i].Estimate[j])
+			}
+		}
+	}
+}
+
+// TestV1PayloadStillLoads pins backward compatibility: a version-1 payload
+// (no window blocks) must load into this build unchanged.
+func TestV1PayloadStillLoads(t *testing.T) {
+	payload := `{"version":1,"streams":[{"name":"age","epsilon":1,"buckets":4,"counts":[3,0,7,12],"estimate":[0.1,0.2,0.3,0.4],"estimate_n":22}]}`
+	header := fmt.Sprintf("%s %08x %d\n", magic, crc32OfTest([]byte(payload)), len(payload))
+	p := filepath.Join(t.TempDir(), "v1.snap")
+	if err := os.WriteFile(p, append([]byte(header), payload...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "age" || got[0].Window != nil || got[0].EstimateN != 22 {
+		t.Fatalf("v1 payload loaded as %+v", got)
+	}
+}
+
+// TestInvalidWindowFields asserts each malformed window block is rejected.
+func TestInvalidWindowFields(t *testing.T) {
+	base := sampleWindowedStream()
+	mutations := map[string]func(*Window){
+		"zero epoch":       func(w *Window) { w.EpochNanos = 0 },
+		"zero retain":      func(w *Window) { w.Retain = 0 },
+		"negative current": func(w *Window) { w.Current = -1 },
+		"sealed past current": func(w *Window) {
+			w.Sealed = []SealedEpoch{{Index: 5, Counts: []uint64{1, 0, 0, 0}, N: 1}}
+		},
+		"sealed out of order": func(w *Window) {
+			w.Sealed = []SealedEpoch{{Index: 3}, {Index: 2}}
+		},
+		"sealed bucket mismatch": func(w *Window) {
+			w.Sealed = []SealedEpoch{{Index: 0, Counts: []uint64{1}, N: 1}}
+		},
+		"empty sealed with reports": func(w *Window) {
+			w.Sealed = []SealedEpoch{{Index: 0, N: 7}}
+		},
+		"estimate range past current": func(w *Window) {
+			w.Estimates = []WindowEstimate{{Lo: 4, Hi: 9, N: 1, Estimate: []float64{1, 0, 0, 0}}}
+		},
+		"estimate inverted range": func(w *Window) {
+			w.Estimates = []WindowEstimate{{Lo: 3, Hi: 2, N: 1, Estimate: []float64{1, 0, 0, 0}}}
+		},
+		"estimate bucket mismatch": func(w *Window) {
+			w.Estimates = []WindowEstimate{{Lo: 0, Hi: 1, N: 1, Estimate: []float64{1}}}
+		},
+		"estimate negative n": func(w *Window) {
+			w.Estimates = []WindowEstimate{{Lo: 0, Hi: 1, N: -1, Estimate: []float64{1, 0, 0, 0}}}
+		},
+	}
+	dir := t.TempDir()
+	i := 0
+	for name, mutate := range mutations {
+		st := base
+		cp := *base.Window
+		cp.Sealed = append([]SealedEpoch(nil), base.Window.Sealed...)
+		cp.Estimates = append([]WindowEstimate(nil), base.Window.Estimates...)
+		st.Window = &cp
+		mutate(st.Window)
+		p := filepath.Join(dir, fmt.Sprintf("badwin-%d.snap", i))
+		i++
+		if err := Save(p, []Stream{st}); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: malformed window block loaded successfully", name)
+		}
 	}
 }
 

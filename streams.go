@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/query"
 	"repro/internal/snapshot"
+	"repro/internal/window"
 )
 
 // QueryType selects an analytics query kind. The values match the HTTP
@@ -174,6 +176,20 @@ func (s *Streams) Get(name string) (*Aggregator, bool) {
 	return e.agg, true
 }
 
+// Drop retires a declared stream: it disappears from the registry and from
+// future Save calls, and its reports are discarded. Dropping an unknown
+// stream is an error. Callers still holding the stream's Aggregator can
+// keep using it; the registry just no longer knows it.
+func (s *Streams) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[name]; !ok {
+		return fmt.Errorf("repro: unknown stream %q", name)
+	}
+	delete(s.m, name)
+	return nil
+}
+
 // Names lists the declared streams, sorted.
 func (s *Streams) Names() []string {
 	s.mu.RLock()
@@ -229,17 +245,29 @@ func (s *Streams) Save(path string) error {
 	records := make([]snapshot.Stream, 0, len(names))
 	for _, name := range names {
 		e := s.m[name]
-		counts, _ := e.agg.counts.Snapshot(nil)
 		rec := snapshot.Stream{
 			Name:      name,
 			Epsilon:   e.opts.Epsilon,
 			Buckets:   e.opts.Buckets,
 			Bandwidth: e.opts.Bandwidth,
 			Shards:    e.opts.Shards,
-			Counts:    make([]uint64, len(counts)),
 		}
-		for i, c := range counts {
-			rec.Counts[i] = uint64(c)
+		if e.agg.ring != nil {
+			// Windowed stream: the live epoch's histogram goes in Counts,
+			// the rotation clock and sealed epochs in the window block —
+			// the same version-2 shape the HTTP collector writes.
+			state := e.agg.ring.State()
+			rec.Counts = state.Live
+			if rec.Counts == nil {
+				rec.Counts = make([]uint64, e.agg.ring.Buckets())
+			}
+			rec.Window = snapshot.NewWindow(state)
+		} else {
+			counts, _ := e.agg.counts.Snapshot(nil)
+			rec.Counts = make([]uint64, len(counts))
+			for i, c := range counts {
+				rec.Counts[i] = uint64(c)
+			}
 		}
 		records = append(records, rec)
 	}
@@ -248,13 +276,18 @@ func (s *Streams) Save(path string) error {
 }
 
 // Load restores streams from a snapshot file, creating missing streams with
-// their persisted options and merging histograms into streams that already
-// exist (options must match). Corrupt, truncated, or incompatible files
-// return an error and change nothing: validation of every record and
-// construction of every missing aggregator happen before the first merge,
-// all under the registry lock, so no error path or concurrent Declare can
-// leave a partial restore behind. Snapshots written by the HTTP collector
-// load here and vice versa.
+// their persisted options (including epoch-rotation state) and merging
+// histograms into streams that already exist (options must match). A
+// windowed record restoring into a declared windowed stream requires
+// matching epoch/retain and a stream that has not rotated yet (and no
+// concurrent Advance/Rotate on that aggregator during the Load — the
+// registry cannot serialize rotations of aggregators the caller holds); a
+// record without window state restoring into a windowed stream merges into
+// the live epoch. Corrupt, truncated, or incompatible files return an error and
+// change nothing: validation of every record and construction of every
+// missing aggregator happen before the first merge, all under the registry
+// lock, so no error path or concurrent Declare can leave a partial restore
+// behind. Snapshots written by the HTTP collector load here and vice versa.
 func (s *Streams) Load(path string) error {
 	records, err := snapshot.Load(path)
 	if err != nil {
@@ -274,16 +307,35 @@ func (s *Streams) Load(path string) error {
 				return fmt.Errorf("repro: snapshot stream %q has (ε=%v, buckets=%d, b=%v) but the declared stream differs",
 					rec.Name, rec.Epsilon, rec.Buckets, rec.Bandwidth)
 			}
+			if rec.Window != nil {
+				if e.agg.ring == nil {
+					return fmt.Errorf("repro: snapshot stream %q is windowed but the declared stream is not; declare it with Options.Epoch",
+						rec.Name)
+				}
+				if int64(e.opts.Epoch) != rec.Window.EpochNanos || e.opts.Retain != rec.Window.Retain {
+					return fmt.Errorf("repro: snapshot stream %q rotates every %v retaining %d but the declared stream rotates every %v retaining %d",
+						rec.Name, time.Duration(rec.Window.EpochNanos), rec.Window.Retain,
+						e.opts.Epoch, e.opts.Retain)
+				}
+				if err := e.agg.ring.CanAdopt(streamWindowState(rec)); err != nil {
+					return fmt.Errorf("repro: restore stream %q: %w", rec.Name, err)
+				}
+			}
 		} else {
 			if !snapshot.ValidName(rec.Name) {
 				return fmt.Errorf("repro: restore stream: invalid name %q", rec.Name)
 			}
-			opts, err := Options{
+			opts := Options{
 				Epsilon:   rec.Epsilon,
 				Buckets:   rec.Buckets,
 				Bandwidth: rec.Bandwidth,
 				Shards:    rec.Shards,
-			}.validate()
+			}
+			if rec.Window != nil {
+				opts.Epoch = time.Duration(rec.Window.EpochNanos)
+				opts.Retain = rec.Window.Retain
+			}
+			opts, err := opts.validate()
 			if err != nil {
 				return fmt.Errorf("repro: restore stream %q: %w", rec.Name, err)
 			}
@@ -291,23 +343,57 @@ func (s *Streams) Load(path string) error {
 			if err != nil {
 				return fmt.Errorf("repro: restore stream %q: %w", rec.Name, err)
 			}
+			if rec.Window != nil {
+				// The fresh ring is pristine and unregistered; adopting the
+				// persisted clock and history cannot race anything.
+				if err := agg.ring.Adopt(streamWindowState(rec)); err != nil {
+					return fmt.Errorf("repro: restore stream %q: %w", rec.Name, err)
+				}
+			}
 			e = &streamEntry{agg: agg, opts: opts}
 			fresh[i] = true
 		}
-		if e.agg.counts.Buckets() != len(rec.Counts) {
+		if got := e.agg.histBuckets(); got != len(rec.Counts) {
 			return fmt.Errorf("repro: snapshot stream %q has %d histogram buckets, the stream has %d",
-				rec.Name, len(rec.Counts), e.agg.counts.Buckets())
+				rec.Name, len(rec.Counts), got)
 		}
 		entries[i] = e
 	}
-	// Phase 2 — register and merge; no failure paths remain.
+	// Phase 2 — register and merge; no failure paths remain short of a
+	// windowed adopt racing a concurrent rotation of a pristine ring.
 	for i, rec := range records {
+		e := entries[i]
 		if fresh[i] {
-			s.m[rec.Name] = entries[i]
+			s.m[rec.Name] = e
+			if rec.Window != nil {
+				continue // counts arrived via the phase-1 Adopt
+			}
+		} else if rec.Window != nil {
+			if err := e.agg.ring.Adopt(streamWindowState(rec)); err != nil {
+				return fmt.Errorf("repro: restore stream %q: %w", rec.Name, err)
+			}
+			continue
 		}
 		for bucket, c := range rec.Counts {
-			entries[i].agg.counts.AddN(bucket, c)
+			if e.agg.ring != nil {
+				e.agg.ring.AddN(bucket, c)
+			} else {
+				e.agg.counts.AddN(bucket, c)
+			}
 		}
 	}
 	return nil
+}
+
+// streamWindowState converts a persisted window block into a ring state.
+func streamWindowState(rec snapshot.Stream) window.State {
+	return rec.Window.State(rec.Counts)
+}
+
+// histBuckets is the report-histogram granularity of the aggregator.
+func (a *Aggregator) histBuckets() int {
+	if a.ring != nil {
+		return a.ring.Buckets()
+	}
+	return a.counts.Buckets()
 }

@@ -1,0 +1,223 @@
+package repro
+
+// Tests of the windowed public API: epoch-rotated Aggregators
+// (Options.Epoch/Retain, Advance/Rotate/EstimateWindow), Streams.Drop, and
+// windowed snapshot interchange with the registry.
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/randx"
+)
+
+func ingestCohort(t *testing.T, agg *Aggregator, seed uint64, n int, alpha, beta float64) {
+	t.Helper()
+	client, err := NewClient(Options{Epsilon: 1, Buckets: 64, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(seed)
+	for i := 0; i < n; i++ {
+		agg.Ingest(client.Report(rng.Beta(alpha, beta)))
+	}
+}
+
+func TestOptionsWindowValidation(t *testing.T) {
+	if _, err := NewAggregator(Options{Epsilon: 1, Retain: 3}); err == nil {
+		t.Error("retain without epoch accepted")
+	}
+	if _, err := NewAggregator(Options{Epsilon: 1, Epoch: -time.Second}); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	if _, err := NewAggregator(Options{Epsilon: 1, Epoch: time.Minute, Retain: -2}); err == nil {
+		t.Error("negative retain accepted")
+	}
+}
+
+func TestPlainAggregatorWindowMethodsFail(t *testing.T) {
+	agg, err := NewAggregator(Options{Epsilon: 1, Buckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Advance(time.Now()); err != ErrNotWindowed {
+		t.Errorf("Advance on plain aggregator: %v", err)
+	}
+	if err := agg.Rotate(); err != ErrNotWindowed {
+		t.Errorf("Rotate on plain aggregator: %v", err)
+	}
+	if _, err := agg.EstimateWindow("last:1"); err != ErrNotWindowed {
+		t.Errorf("EstimateWindow on plain aggregator: %v", err)
+	}
+	if agg.CurrentEpoch() != -1 {
+		t.Errorf("CurrentEpoch on plain aggregator = %d", agg.CurrentEpoch())
+	}
+}
+
+func TestWindowedAggregatorTracksCohorts(t *testing.T) {
+	agg, err := NewAggregator(Options{Epsilon: 1, Buckets: 64, Epoch: time.Minute, Retain: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.CurrentEpoch() != 0 {
+		t.Fatalf("born in epoch %d", agg.CurrentEpoch())
+	}
+
+	// Epoch 0: right-skewed cohort. Epoch 1: left-skewed cohort.
+	ingestCohort(t, agg, 1, 3000, 5, 2)
+	if err := agg.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	ingestCohort(t, agg, 2, 3000, 2, 5)
+
+	res0, err := agg.EstimateWindow("epochs:0..0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := agg.EstimateWindow("last:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beta(5,2) has mean ~0.714, Beta(2,5) ~0.286: the windows must land on
+	// opposite sides of 0.5 — windowing separated the cohorts.
+	if m := res0.Mean(); m < 0.6 {
+		t.Errorf("epoch 0 mean %v, want right-skewed (> 0.6)", m)
+	}
+	if m := res1.Mean(); m > 0.4 {
+		t.Errorf("live epoch mean %v, want left-skewed (< 0.4)", m)
+	}
+	// The all-retained estimate blends both cohorts.
+	all, err := agg.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := all.Mean(); math.Abs(m-0.5) > 0.1 {
+		t.Errorf("blended mean %v, want ≈ 0.5", m)
+	}
+	if agg.N() != 6000 {
+		t.Errorf("N = %d, want 6000", agg.N())
+	}
+
+	// Selector errors surface.
+	if _, err := agg.EstimateWindow("yesterday"); err == nil {
+		t.Error("bad selector accepted")
+	}
+	if _, err := agg.EstimateWindow("epochs:5..9"); err == nil {
+		t.Error("future range accepted")
+	}
+}
+
+func TestWindowedAggregatorAdvanceAndAging(t *testing.T) {
+	agg, err := NewAggregator(Options{Epsilon: 1, Buckets: 32, Epoch: time.Minute, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.Ingest(0.4)
+	// Jump three periods at once: epoch 0 seals with the report, 1 and 2
+	// seal empty, 3 is live.
+	rot, err := agg.Advance(time.Now().Add(3*time.Minute + time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rot != 3 {
+		t.Fatalf("Advance sealed %d epochs, want 3", rot)
+	}
+	if agg.CurrentEpoch() != 3 {
+		t.Fatalf("current epoch %d, want 3", agg.CurrentEpoch())
+	}
+	// Retain 2 keeps epochs 2 and 1 — the report in epoch 0 aged out.
+	if agg.N() != 0 {
+		t.Errorf("aged-out report still visible: N = %d", agg.N())
+	}
+	if _, err := agg.EstimateWindow("epochs:0..0"); err == nil {
+		t.Error("aged-out epoch still addressable")
+	}
+}
+
+func TestStreamsDrop(t *testing.T) {
+	reg := NewStreams()
+	if _, err := reg.Declare("tmp", Options{Epsilon: 1, Buckets: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Drop("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get("tmp"); ok {
+		t.Error("dropped stream still resolvable")
+	}
+	if err := reg.Drop("tmp"); err == nil {
+		t.Error("double drop succeeded")
+	}
+	// The name is reusable — with different options, even.
+	if _, err := reg.Declare("tmp", Options{Epsilon: 2, Buckets: 16, Epoch: time.Minute}); err != nil {
+		t.Fatalf("redeclare after drop: %v", err)
+	}
+}
+
+func TestStreamsWindowedSaveLoad(t *testing.T) {
+	reg := NewStreams()
+	agg, err := reg.Declare("lat", Options{Epsilon: 1, Buckets: 64, Epoch: time.Minute, Retain: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestCohort(t, agg, 7, 2000, 5, 2)
+	if err := agg.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	ingestCohort(t, agg, 8, 1000, 2, 5)
+
+	path := filepath.Join(t.TempDir(), "reg.snap")
+	if err := reg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into an empty registry: the stream comes back windowed, with
+	// the same epoch index, population, and per-epoch separation.
+	reg2 := NewStreams()
+	if err := reg2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	agg2, ok := reg2.Get("lat")
+	if !ok {
+		t.Fatal("windowed stream not restored")
+	}
+	if agg2.CurrentEpoch() != 1 || agg2.N() != 3000 {
+		t.Fatalf("restored epoch %d N %d, want 1/3000", agg2.CurrentEpoch(), agg2.N())
+	}
+	a, err := agg.EstimateWindow("epochs:0..0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := agg2.EstimateWindow("epochs:0..0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Distribution {
+		if a.Distribution[i] != b.Distribution[i] {
+			t.Fatalf("sealed epoch estimate differs at bucket %d after restore", i)
+		}
+	}
+
+	// Restoring into a declared-but-mismatched registry fails loudly.
+	reg3 := NewStreams()
+	if _, err := reg3.Declare("lat", Options{Epsilon: 1, Buckets: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg3.Load(path); err == nil {
+		t.Fatal("windowed snapshot restored into a plain declaration")
+	}
+	// And into a matching windowed declaration, it adopts cleanly.
+	reg4 := NewStreams()
+	if _, err := reg4.Declare("lat", Options{Epsilon: 1, Buckets: 64, Epoch: time.Minute, Retain: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg4.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	agg4, _ := reg4.Get("lat")
+	if agg4.CurrentEpoch() != 1 || agg4.N() != 3000 {
+		t.Fatalf("adopted epoch %d N %d, want 1/3000", agg4.CurrentEpoch(), agg4.N())
+	}
+}
