@@ -12,6 +12,7 @@ import (
 	"repro/internal/em"
 	"repro/internal/histogram"
 	"repro/internal/mathx"
+	"repro/internal/mechanism"
 	"repro/internal/randx"
 	"repro/internal/window"
 )
@@ -80,6 +81,16 @@ type Options struct {
 	// Retain bounds how many sealed epochs a windowed Aggregator keeps
 	// (0 = 8). Requires Epoch.
 	Retain int
+	// Mechanism selects the streaming pipeline's reporting mechanism by
+	// wire name: "sw" (the default continuous Square Wave), "sw-discrete",
+	// "grr", "oue", "sue", "olh", "hrr", or "auto" (pick the
+	// lower-variance categorical oracle for this (ε, Buckets) per the
+	// paper's Section 4.1 rule; resolved at construction). Scalar-report
+	// mechanisms (sw, sw-discrete, grr) work with Client.Report and
+	// Aggregator.Ingest; the rest use Client.Perturb and
+	// Aggregator.IngestReport. Batch estimation (Estimate,
+	// EstimateDistribution) selects its method independently via Method.
+	Mechanism string
 }
 
 // DefaultOptions returns the recommended configuration at the given budget.
@@ -115,6 +126,16 @@ func (o Options) validate() (Options, error) {
 			return o, fmt.Errorf("repro: %v", err)
 		}
 		o.Retain = wcfg.Retain
+	}
+	// "" and "auto" resolve here so declared streams, snapshots and
+	// redeclarations all carry the concrete mechanism name.
+	mech, err := mechanism.Resolve(o.Mechanism, o.Epsilon, o.Buckets)
+	if err != nil {
+		return o, fmt.Errorf("repro: %v", err)
+	}
+	o.Mechanism = mech
+	if o.Bandwidth != 0 && mech != mechanism.SW && mech != mechanism.SWDiscrete {
+		return o, fmt.Errorf("repro: bandwidth only applies to the sw family, not %q", mech)
 	}
 	return o, nil
 }
@@ -235,21 +256,37 @@ type Client struct {
 	rng   *randx.Rand
 }
 
-// NewClient builds a client. Bandwidth and Buckets behave as in Estimate.
+// NewClient builds a client. Bandwidth, Buckets and Mechanism behave as in
+// Options.
 func NewClient(opts Options) (*Client, error) {
 	opts, err := opts.validate()
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{Epsilon: opts.Epsilon, Buckets: opts.Buckets, Bandwidth: opts.Bandwidth, Smoothing: true}
+	cfg := core.Config{Epsilon: opts.Epsilon, Buckets: opts.Buckets, Mechanism: opts.Mechanism,
+		Bandwidth: opts.Bandwidth, Smoothing: true}
 	return &Client{inner: core.NewClient(cfg), rng: randx.New(opts.Seed)}, nil
 }
 
-// Report randomizes one private value v ∈ [0,1] (clamped) into a report in
-// [−b, 1+b] suitable for sending to the aggregator.
+// Report randomizes one private value v ∈ [0,1] (clamped) into a scalar
+// report suitable for sending to the aggregator (for SW: a value in
+// [−b, 1+b]). Report only works for scalar-report mechanisms (sw,
+// sw-discrete, grr); use Perturb for the general wire form.
 func (c *Client) Report(v float64) float64 {
 	return c.inner.Report(mathx.Clamp(v, 0, 1), c.rng)
 }
+
+// Perturb randomizes one private value v ∈ [0,1] (clamped) into a wire
+// report of the configured mechanism — the vector form every mechanism
+// supports (olh: [seed, y]; hrr: [row, ±1]; oue/sue: set-bit indices; the
+// scalar mechanisms: one component). Feed it to Aggregator.IngestReport or
+// the collector's POST /report.
+func (c *Client) Perturb(v float64) []float64 {
+	return c.inner.Perturb(mathx.Clamp(v, 0, 1), c.rng)
+}
+
+// Mechanism returns the wire name of the client's reporting mechanism.
+func (c *Client) Mechanism() string { return c.inner.Mechanism().Name() }
 
 // Epsilon returns the privacy budget.
 func (c *Client) Epsilon() float64 { return c.inner.Epsilon() }
@@ -283,6 +320,7 @@ func NewAggregator(opts Options) (*Aggregator, error) {
 	cfg := core.Config{
 		Epsilon:   opts.Epsilon,
 		Buckets:   opts.Buckets,
+		Mechanism: opts.Mechanism,
 		Bandwidth: opts.Bandwidth,
 		Smoothing: true,
 		EM:        em.Options{Workers: opts.Workers},
@@ -298,7 +336,10 @@ func NewAggregator(opts Options) (*Aggregator, error) {
 	return a, nil
 }
 
-// Ingest adds one client report. Safe to call from many goroutines at once.
+// Ingest adds one scalar client report (sw, sw-discrete, grr). Safe to call
+// from many goroutines at once. It panics on reports no client of the
+// mechanism can produce; collectors ingesting untrusted wire reports use
+// IngestReport, which returns an error instead.
 func (a *Aggregator) Ingest(report float64) {
 	if a.ring != nil {
 		a.ring.Add(a.inner.Bucket(report))
@@ -306,6 +347,25 @@ func (a *Aggregator) Ingest(report float64) {
 	}
 	a.counts.Add(a.inner.Bucket(report))
 }
+
+// IngestReport adds one wire report of any mechanism (the vector form
+// Client.Perturb emits), validating it first. Safe to call from many
+// goroutines at once.
+func (a *Aggregator) IngestReport(report []float64) error {
+	cells, err := a.inner.Bucketize(nil, report)
+	if err != nil {
+		return err
+	}
+	if a.ring != nil {
+		a.ring.AddBatch(cells)
+		return nil
+	}
+	a.counts.AddBatch(cells)
+	return nil
+}
+
+// Mechanism returns the wire name of the aggregator's reporting mechanism.
+func (a *Aggregator) Mechanism() string { return a.inner.Mechanism().Name() }
 
 // IngestBatch adds many client reports, resolving the counter stripe once
 // for the whole batch — the cheapest way to drain a transport that delivers
@@ -327,11 +387,23 @@ func (a *Aggregator) IngestBatch(reports []float64) {
 
 // N returns the number of reports visible to estimates: everything ingested
 // for a plain aggregator, the live plus retained epochs for a windowed one.
+// Fan-out mechanisms (oue/sue, olh) track the report count in their marker
+// cell (the last output cell), read directly; every path is O(shards).
 func (a *Aggregator) N() int {
+	var raw int
 	if a.ring != nil {
-		return a.ring.N()
+		raw = a.ring.N()
+	} else {
+		raw = a.counts.N()
 	}
-	return a.counts.N()
+	if raw == 0 || !a.inner.Mechanism().FanOut() {
+		return raw
+	}
+	marker := a.inner.OutputBuckets() - 1
+	if a.ring != nil {
+		return a.ring.Cell(marker)
+	}
+	return a.counts.Cell(marker)
 }
 
 // snapshotCounts reads the aggregator's visible report histogram.
@@ -340,6 +412,16 @@ func (a *Aggregator) snapshotCounts() ([]float64, int) {
 		return a.ring.MergeAll(nil)
 	}
 	return a.counts.Snapshot(nil)
+}
+
+// method is the Result.Method label of streaming reconstructions: the
+// historical SWEMS for the default mechanism, the mechanism's wire name for
+// the rest.
+func (a *Aggregator) method() Method {
+	if a.opts.Mechanism == mechanism.SW {
+		return SWEMS
+	}
+	return Method(a.opts.Mechanism)
 }
 
 // Estimate reconstructs the distribution from a snapshot of the reports so
@@ -352,7 +434,7 @@ func (a *Aggregator) Estimate() (*Result, error) {
 		return nil, ErrNoValues
 	}
 	res := a.inner.EstimateFrom(counts, nil)
-	return &Result{Distribution: res.Estimate, Method: SWEMS, Epsilon: a.opts.Epsilon}, nil
+	return &Result{Distribution: res.Estimate, Method: a.method(), Epsilon: a.opts.Epsilon}, nil
 }
 
 // ErrNotWindowed is returned by window methods of a plain aggregator.
@@ -414,7 +496,7 @@ func (a *Aggregator) EstimateWindow(selector string) (*Result, error) {
 		return nil, ErrNoValues
 	}
 	res := a.inner.EstimateFrom(counts, nil)
-	return &Result{Distribution: res.Estimate, Method: SWEMS, Epsilon: a.opts.Epsilon}, nil
+	return &Result{Distribution: res.Estimate, Method: a.method(), Epsilon: a.opts.Epsilon}, nil
 }
 
 // Statistic maps a reconstructed distribution (over d buckets of [0,1]) to
@@ -457,6 +539,10 @@ func (a *Aggregator) ConfidenceInterval(stat Statistic, level float64, replicas 
 	}
 	if level <= 0 || level >= 1 {
 		return ConfidenceInterval{}, fmt.Errorf("repro: confidence level %v outside (0,1)", level)
+	}
+	if a.inner.Channel() == nil {
+		return ConfidenceInterval{}, fmt.Errorf("repro: ConfidenceInterval needs a transition channel; mechanism %q is matrix-free",
+			a.opts.Mechanism)
 	}
 	ci := boot.Estimate(a.inner.Channel(), counts, stat,
 		boot.Options{Replicas: replicas, Level: level}, randx.New(a.opts.Seed^0xb007))

@@ -24,8 +24,13 @@
 //
 //	ldpserver -addr :8080 -eps 1.0 -buckets 512 \
 //	    -stream age:1.0:256 -stream income:0.5:512:0.25 \
+//	    -stream os:1.0:64:mech=oue -stream city:1.0:1024:mech=auto \
 //	    -stream latency:1.0:256:epoch=1m:retain=12 \
 //	    -snapshot /var/lib/ldp/state.snap -snapshot-interval 30s
+//
+// Each stream runs one reporting mechanism (mech=sw, sw-discrete, grr, oue,
+// sue, olh, hrr; mech=auto picks the lower-variance categorical oracle for
+// the stream's ε and bucket count).
 //
 // Endpoints: POST /streams, GET /streams, DELETE /streams/{name},
 // POST /report, POST /batch, GET /estimate, GET /query, POST /query,
@@ -47,10 +52,11 @@ import (
 	"time"
 
 	"repro/internal/ldphttp"
+	"repro/internal/mechanism"
 )
 
 // streamFlag is one -stream declaration:
-// name:eps:buckets[:bandwidth][:epoch=DUR][:retain=N].
+// name:eps:buckets[:bandwidth][:mech=NAME][:epoch=DUR][:retain=N].
 type streamFlag struct {
 	name string
 	cfg  ldphttp.StreamConfig
@@ -59,7 +65,7 @@ type streamFlag struct {
 func parseStreamFlag(raw string) (streamFlag, error) {
 	parts := strings.Split(raw, ":")
 	if len(parts) < 3 {
-		return streamFlag{}, fmt.Errorf("want name:eps:buckets[:bandwidth][:epoch=DUR][:retain=N], got %q", raw)
+		return streamFlag{}, fmt.Errorf("want name:eps:buckets[:bandwidth][:mech=NAME][:epoch=DUR][:retain=N], got %q", raw)
 	}
 	eps, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil {
@@ -93,6 +99,12 @@ func parseStreamFlag(raw string) (streamFlag, error) {
 			if sf.cfg.Bandwidth, err = strconv.ParseFloat(value, 64); err != nil {
 				return streamFlag{}, fmt.Errorf("bad bandwidth in %q: %v", raw, err)
 			}
+		case "mech", "mechanism":
+			if !mechanism.Valid(value) || value == "" {
+				return streamFlag{}, fmt.Errorf("unknown mechanism %q in %q (want one of %v, or auto)",
+					value, raw, mechanism.Names())
+			}
+			sf.cfg.Mechanism = value
 		case "epoch":
 			d, err := time.ParseDuration(value)
 			if err != nil {
@@ -109,7 +121,7 @@ func parseStreamFlag(raw string) (streamFlag, error) {
 			}
 			sf.cfg.Retain = n
 		default:
-			return streamFlag{}, fmt.Errorf("unknown option %q in %q (want bandwidth, epoch, or retain)", key, raw)
+			return streamFlag{}, fmt.Errorf("unknown option %q in %q (want bandwidth, mech, epoch, or retain)", key, raw)
 		}
 	}
 	if sf.cfg.Retain != 0 && sf.cfg.Epoch == 0 {
@@ -136,6 +148,7 @@ func parseArgs(args []string) (serverConfig, error) {
 		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
 		eps     = fs.Float64("eps", 1.0, "default stream LDP privacy budget ε")
 		buckets = fs.Int("buckets", 512, "default stream reconstruction granularity")
+		mech    = fs.String("mechanism", "", "default stream reporting mechanism (sw, sw-discrete, grr, oue, sue, olh, hrr, or auto; \"\" = sw)")
 		band    = fs.Float64("bandwidth", 0, "wave half-width override (0 = optimal)")
 		shards  = fs.Int("shards", 0, "ingestion stripe count (0 = one per CPU)")
 		workers = fs.Int("em-workers", 0, "EM parallelism (0 = all CPUs, 1 = serial)")
@@ -147,7 +160,7 @@ func parseArgs(args []string) (serverConfig, error) {
 		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "cadence of periodic snapshots (with -snapshot)")
 	)
 	var streamFlags []streamFlag
-	fs.Func("stream", "declare a stream as name:eps:buckets[:bandwidth][:epoch=DUR][:retain=N] (repeatable)", func(raw string) error {
+	fs.Func("stream", "declare a stream as name:eps:buckets[:bandwidth][:mech=NAME][:epoch=DUR][:retain=N] (repeatable)", func(raw string) error {
 		sf, err := parseStreamFlag(raw)
 		if err != nil {
 			return err
@@ -166,6 +179,9 @@ func parseArgs(args []string) (serverConfig, error) {
 	if *eps <= 0 {
 		return serverConfig{}, fmt.Errorf("-eps must be positive, got %v", *eps)
 	}
+	if !mechanism.Valid(*mech) {
+		return serverConfig{}, fmt.Errorf("-mechanism %q unknown (want one of %v, or auto)", *mech, mechanism.Names())
+	}
 	if *buckets < 2 {
 		return serverConfig{}, fmt.Errorf("-buckets must be at least 2, got %d", *buckets)
 	}
@@ -183,6 +199,7 @@ func parseArgs(args []string) (serverConfig, error) {
 		cfg: ldphttp.Config{
 			Epsilon:         *eps,
 			Buckets:         *buckets,
+			Mechanism:       *mech,
 			Bandwidth:       *band,
 			Shards:          *shards,
 			EMWorkers:       *workers,

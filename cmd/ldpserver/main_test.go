@@ -24,6 +24,9 @@ func TestParseStreamFlag(t *testing.T) {
 		{"lat:1:256:epoch=1m", streamFlag{name: "lat", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 256, Epoch: ldphttp.Duration(time.Minute)}}},
 		{"lat:1:256:epoch=90s:retain=12", streamFlag{name: "lat", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 256, Epoch: ldphttp.Duration(90 * time.Second), Retain: 12}}},
 		{"lat:1:256:0.3:epoch=1h:retain=24", streamFlag{name: "lat", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 256, Bandwidth: 0.3, Epoch: ldphttp.Duration(time.Hour), Retain: 24}}},
+		{"os:1:64:mech=oue", streamFlag{name: "os", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 64, Mechanism: "oue"}}},
+		{"os:1:64:mechanism=grr", streamFlag{name: "os", cfg: ldphttp.StreamConfig{Epsilon: 1, Buckets: 64, Mechanism: "grr"}}},
+		{"city:2:1024:mech=auto:epoch=1m", streamFlag{name: "city", cfg: ldphttp.StreamConfig{Epsilon: 2, Buckets: 1024, Mechanism: "auto", Epoch: ldphttp.Duration(time.Minute)}}},
 	}
 	for _, tc := range cases {
 		got, err := parseStreamFlag(tc.raw)
@@ -54,6 +57,8 @@ func TestParseStreamFlagErrors(t *testing.T) {
 		"age:1:256:epoch=1m:retain=0":  "bad retain",
 		"age:1:256:epoch=1m:retain=-4": "bad retain",
 		"age:1:256:epoch=1m:ttl=7":     "unknown option",
+		"age:1:256:mech=rappor":        "unknown mechanism",
+		"age:1:256:mech=":              "unknown mechanism",
 	}
 	for raw, wantSub := range cases {
 		_, err := parseStreamFlag(raw)
@@ -69,7 +74,7 @@ func TestParseStreamFlagErrors(t *testing.T) {
 
 func TestParseArgs(t *testing.T) {
 	conf, err := parseArgs([]string{
-		"-addr", ":9090", "-eps", "2", "-buckets", "128",
+		"-addr", ":9090", "-eps", "2", "-buckets", "128", "-mechanism", "grr",
 		"-epoch", "5m", "-retain", "6",
 		"-stream", "age:1:256", "-stream", "lat:1:64:epoch=1m:retain=3",
 		"-snapshot", "/tmp/x.snap", "-snapshot-interval", "10s",
@@ -79,6 +84,9 @@ func TestParseArgs(t *testing.T) {
 	}
 	if conf.addr != ":9090" || conf.cfg.Epsilon != 2 || conf.cfg.Buckets != 128 {
 		t.Errorf("parsed %+v", conf)
+	}
+	if conf.cfg.Mechanism != "grr" {
+		t.Errorf("default-stream mechanism parsed as %q", conf.cfg.Mechanism)
 	}
 	if conf.cfg.Epoch != 5*time.Minute || conf.cfg.Retain != 6 {
 		t.Errorf("default-stream windowing parsed as %v/%d", conf.cfg.Epoch, conf.cfg.Retain)
@@ -114,6 +122,8 @@ func TestParseArgsErrors(t *testing.T) {
 		"stream epsilon invalid":  {"-stream", "age:-2:256"},
 		"stream buckets invalid":  {"-stream", "age:1:0"},
 		"stream retain w/o epoch": {"-stream", "age:1:256:retain=2"},
+		"unknown mechanism":       {"-mechanism", "rappor"},
+		"bad stream mechanism":    {"-stream", "age:1:256:mech=nope"},
 	}
 	for name, args := range cases {
 		if _, err := parseArgs(args); err == nil {

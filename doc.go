@@ -39,6 +39,28 @@
 // histograms, HaarHRR, CFO-with-binning) are available through Estimate with
 // an explicit Method, for comparisons and research use.
 //
+// # Mechanisms
+//
+// The streaming pipeline's reporting mechanism is pluggable
+// (Options.Mechanism): alongside the default continuous Square Wave ("sw")
+// the same Client/Aggregator pair runs the discrete Square Wave
+// ("sw-discrete") and the categorical frequency oracles of the paper's
+// comparison section — "grr", "oue", "sue", "olh" and "hrr". Scalar-report
+// mechanisms keep the Report/Ingest surface; every mechanism works through
+// the vector form:
+//
+//	opts := repro.Options{Epsilon: 1, Buckets: 64, Mechanism: "oue"}
+//	client, _ := repro.NewClient(opts)
+//	agg, _ := repro.NewAggregator(opts)
+//	_ = agg.IngestReport(client.Perturb(v)) // Perturb runs on the user's device
+//
+// Mechanism "auto" picks the lower-variance oracle for the stream's (ε, d)
+// at construction, using the paper's Section 4.1 rule: GRR while
+// d−2 < 3e^ε, OLH beyond. Mechanism selection guidance (variance formulas,
+// report sizes, reconstruction paths) is tabulated in README.md; the
+// ε-LDP conformance of every mechanism is property-tested in
+// internal/mechanism.
+//
 // # Streams and queries
 //
 // A Streams registry hosts any number of named attributes (ages, incomes,
@@ -75,8 +97,9 @@
 // collection answers "what did the distribution look like recently" instead
 // of averaging over its whole history. Windowed streams persist through
 // Streams.Save with their rotation clock and sealed epochs (snapshot payload
-// version 2; version-1 files still load, their history landing in the live
-// epoch).
+// version 3, which also records each stream's mechanism; version ≤ 2 files
+// still load — their streams default to "sw", and v1 history lands in the
+// live epoch).
 //
 // # Collection at scale
 //
@@ -92,9 +115,12 @@
 // The same substrate backs the HTTP collector (internal/ldphttp, run with
 // cmd/ldpserver), which serves named streams over POST /streams, GET
 // /streams, DELETE /streams/{name}, POST /report, POST /batch, GET
-// /estimate, GET /query, POST /query and GET /config: ingestion is
-// lock-free per stream, and a shared background goroutine round-robins
-// warm-started EMS refreshes — and rotates windowed streams' epochs — so
+// /estimate, GET /query, POST /query and GET /config: each stream runs its
+// declared mechanism ({"mechanism": "oue"} on POST /streams, mech=oue in
+// the -stream flag), ingestion is lock-free per stream, and a shared
+// background goroutine round-robins warm-started refreshes (EM/EMS for
+// channel mechanisms, direct debiased estimates for the oracles) — and
+// rotates windowed streams' epochs — so
 // estimation cost never lands on a request goroutine (a not-yet-computed
 // estimate answers 503 with pending_reports instead of blocking; window
 // selectors ride the same contract via window=last:K and

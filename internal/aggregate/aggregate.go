@@ -124,6 +124,20 @@ func (s *Striped) N() int {
 	return int(n)
 }
 
+// Cell returns the count of one bucket. It costs one atomic load per
+// shard — the cheap path for callers that need a single cell (e.g. the
+// user-marker cell of fan-out LDP mechanisms) without a full Snapshot.
+func (s *Striped) Cell(bucket int) int {
+	if bucket < 0 || bucket >= s.buckets {
+		panic(fmt.Sprintf("aggregate: bucket %d outside [0, %d)", bucket, s.buckets))
+	}
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].counts[bucket].Load()
+	}
+	return int(n)
+}
+
 // Snapshot sums the stripes into a dense float64 histogram — the shape the
 // EM reconstruction consumes — and returns it with its total count. dst is
 // reused when it has the right length (its contents are overwritten);

@@ -1,9 +1,10 @@
 // Package core wires the substrates into end-to-end distribution-estimation
-// pipelines: a client/aggregator pair implementing the paper's primary
-// contribution (Square Wave reporting + EMS reconstruction) for streaming
-// use, plus an Estimator registry covering every method the evaluation
-// section compares (SW+EMS, SW+EM, discrete SW, general-wave ablations,
-// HH-ADMM, HH, HaarHRR, CFO-with-binning).
+// pipelines: a client/aggregator pair built on the pluggable mechanism layer
+// (package mechanism) with the paper's primary contribution — Square Wave
+// reporting + EMS reconstruction — as the default, plus an Estimator
+// registry covering every method the evaluation section compares (SW+EMS,
+// SW+EM, discrete SW, general-wave ablations, HH-ADMM, HH, HaarHRR,
+// CFO-with-binning).
 package core
 
 import (
@@ -16,20 +17,26 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/mathx"
 	"repro/internal/matrixx"
+	"repro/internal/mechanism"
+	"repro/internal/postprocess"
 	"repro/internal/randx"
 	"repro/internal/sw"
 )
 
-// Config parameterizes a Square Wave collection round.
+// Config parameterizes a collection round. The zero Mechanism is the
+// continuous Square Wave, for which the SW-specific fields (OutputBuckets,
+// Bandwidth, PlateauRatio, ExplicitShape) keep their historical meaning.
 type Config struct {
 	// Epsilon is the LDP privacy budget. Required.
 	Epsilon float64
 	// Buckets is the reconstruction granularity d. Defaults to 1024.
 	Buckets int
-	// OutputBuckets is the report-histogram granularity d̃. Defaults to
-	// Buckets (the paper sets d̃ = d).
+	// OutputBuckets is the report-histogram granularity d̃ of the sw
+	// mechanism. Defaults to Buckets (the paper sets d̃ = d); other
+	// mechanisms derive their output granularity.
 	OutputBuckets int
-	// Bandwidth overrides the wave half-width b; 0 means the
+	// Bandwidth overrides the wave half-width b for the sw family (a
+	// domain fraction; sw-discrete uses ⌊b·d⌋ buckets); 0 means the
 	// mutual-information optimum sw.BOpt(Epsilon).
 	Bandwidth float64
 	// PlateauRatio is the general-wave plateau ratio ρ; SW is ρ = 1
@@ -44,6 +51,10 @@ type Config struct {
 	// EM carries fine-grained reconstruction options; zero values take
 	// the paper's defaults for the chosen Smoothing mode.
 	EM em.Options
+	// Mechanism selects the reporting mechanism by wire name: "sw" (the
+	// default), "sw-discrete", "grr", "oue", "sue", "olh", "hrr", or
+	// "auto" (the Section 4.1 variance rule, resolved at construction).
+	Mechanism string
 }
 
 // NewConfig returns the paper's recommended configuration: SW with the
@@ -59,14 +70,23 @@ func (c *Config) fillDefaults() {
 	if c.Buckets <= 0 {
 		c.Buckets = 1024
 	}
-	if c.OutputBuckets <= 0 {
-		c.OutputBuckets = c.Buckets
+	name, err := mechanism.Resolve(c.Mechanism, c.Epsilon, c.Buckets)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
 	}
-	if c.Bandwidth == 0 {
-		c.Bandwidth = sw.BOpt(c.Epsilon)
-	}
-	if !c.ExplicitShape {
-		c.PlateauRatio = 1
+	c.Mechanism = name
+	if name == mechanism.SW {
+		// SW-family defaults, resolved here so the Config fingerprint
+		// (merge.go) and accessors carry the effective values.
+		if c.OutputBuckets <= 0 {
+			c.OutputBuckets = c.Buckets
+		}
+		if c.Bandwidth == 0 {
+			c.Bandwidth = sw.BOpt(c.Epsilon)
+		}
+		if !c.ExplicitShape {
+			c.PlateauRatio = 1
+		}
 	}
 	if c.EM.Tau == 0 {
 		workers := c.EM.Workers
@@ -81,92 +101,154 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-func (c Config) wave() sw.Wave {
-	return sw.NewWave(c.Epsilon, c.Bandwidth, c.PlateauRatio)
+// mechParams maps the (default-filled) Config onto the mechanism codec.
+func (c Config) mechParams() mechanism.Params {
+	p := mechanism.Params{
+		Name:    c.Mechanism,
+		Epsilon: c.Epsilon,
+		Buckets: c.Buckets,
+	}
+	switch c.Mechanism {
+	case mechanism.SW:
+		p.OutputBuckets = c.OutputBuckets
+		p.Bandwidth = c.Bandwidth
+		p.PlateauRatio = c.PlateauRatio
+		p.ExplicitShape = c.ExplicitShape
+	case mechanism.SWDiscrete:
+		p.Bandwidth = c.Bandwidth
+	}
+	return p
 }
 
-// Client is the user-side half of the SW pipeline: it holds no state beyond
+// Client is the user-side half of the pipeline: it holds no state beyond
 // the mechanism parameters and maps one private value to one report.
 type Client struct {
 	cfg  Config
-	wave sw.Wave
+	mech mechanism.Mechanism
 }
 
 // NewClient builds a client from cfg.
 func NewClient(cfg Config) *Client {
 	cfg.fillDefaults()
-	return &Client{cfg: cfg, wave: cfg.wave()}
+	return &Client{cfg: cfg, mech: mechanism.MustNew(cfg.mechParams())}
 }
 
-// Report randomizes one private value v ∈ [0,1] into a report in
-// [−b, 1+b]. Values outside [0,1] are clamped (the usual contract for
-// bounded-domain LDP mechanisms: the clamping happens on the user's device
-// before randomization, so privacy is unaffected).
+// Report randomizes one private value v ∈ [0,1] into a scalar report (for
+// SW: a value in [−b, 1+b]). Values outside [0,1] are clamped (the usual
+// contract for bounded-domain LDP mechanisms: the clamping happens on the
+// user's device before randomization, so privacy is unaffected). Report is
+// only available for scalar-report mechanisms (sw, sw-discrete, grr); use
+// Perturb for the general wire form.
 func (c *Client) Report(v float64, rng *randx.Rand) float64 {
-	return c.wave.Sample(mathx.Clamp(v, 0, 1), rng)
+	if !c.mech.Scalar() {
+		panic(fmt.Sprintf("core: %s reports are not scalar; use Perturb", c.mech.Name()))
+	}
+	return c.mech.Perturb(mathx.Clamp(v, 0, 1), rng)[0]
+}
+
+// Perturb randomizes one private value v ∈ [0,1] (clamped) into a wire
+// report of the configured mechanism.
+func (c *Client) Perturb(v float64, rng *randx.Rand) mechanism.Report {
+	return c.mech.Perturb(mathx.Clamp(v, 0, 1), rng)
 }
 
 // Epsilon returns the client's privacy budget.
 func (c *Client) Epsilon() float64 { return c.cfg.Epsilon }
 
-// Bandwidth returns the wave half-width in use.
+// Bandwidth returns the wave half-width in use (0 for non-SW mechanisms).
 func (c *Client) Bandwidth() float64 { return c.cfg.Bandwidth }
+
+// Mechanism returns the client's reporting mechanism.
+func (c *Client) Mechanism() mechanism.Mechanism { return c.mech }
 
 // Aggregator is the collector-side half: it buckets incoming reports into
 // the report histogram and reconstructs the input distribution on demand.
 type Aggregator struct {
 	cfg    Config
-	wave   sw.Wave
-	m      matrixx.Channel
+	mech   mechanism.Mechanism
 	counts []float64
 	n      int
 }
 
 // NewAggregator builds an aggregator from cfg (must match the clients').
-// The transition matrix is precomputed once and, for the square wave (whose
-// channel is a constant floor plus a contiguous band), compressed to banded
-// form so each EM iteration costs O(d·band) instead of O(d·d̃).
+// For channel-based mechanisms the transition matrix is precomputed once
+// and, where its structure allows (the square wave's constant floor plus
+// contiguous band, GRR's flat-plus-diagonal), stored compressed so each EM
+// iteration costs far less than O(d·d̃).
 func NewAggregator(cfg Config) *Aggregator {
 	cfg.fillDefaults()
-	w := cfg.wave()
-	var m matrixx.Channel = w.TransitionMatrix(cfg.Buckets, cfg.OutputBuckets)
-	if cfg.PlateauRatio >= 1 {
-		m = matrixx.CompressBanded(m.(*matrixx.Matrix), 1e-15)
-	}
+	mech := mechanism.MustNew(cfg.mechParams())
+	mech.Channel() // build (and cache) the channel eagerly, as before
 	return &Aggregator{
 		cfg:    cfg,
-		wave:   w,
-		m:      m,
-		counts: make([]float64, cfg.OutputBuckets),
+		mech:   mech,
+		counts: make([]float64, mech.OutputBuckets()),
 	}
 }
 
-// Bucket maps one report (a value in [−b, 1+b]) to its report-histogram
-// bucket. It reads only immutable mechanism state and is safe for concurrent
-// use — it is the ingestion kernel concurrent accumulators (package
-// aggregate, the HTTP collector) build on.
+// Bucket maps one scalar report to its report-histogram bucket. It reads
+// only immutable mechanism state and is safe for concurrent use — it is the
+// ingestion kernel concurrent accumulators (package aggregate, the HTTP
+// collector) build on. It panics on reports no client of this mechanism can
+// produce (impossible for SW, whose out-of-range reports clamp) and on
+// non-scalar mechanisms; servers ingesting untrusted wire reports use
+// Bucketize, which returns errors instead.
 func (a *Aggregator) Bucket(report float64) int {
-	span := a.wave.OutHi() - a.wave.OutLo()
-	j := int((report - a.wave.OutLo()) / span * float64(a.cfg.OutputBuckets))
-	return mathx.ClampInt(j, 0, a.cfg.OutputBuckets-1)
+	j, err := a.mech.BucketOf(report)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return j
 }
 
-// Ingest adds one report (a value in [−b, 1+b]) to the aggregate.
+// Bucketize validates one wire report and appends the histogram cells it
+// increments to dst. Safe for concurrent use.
+func (a *Aggregator) Bucketize(dst []int, rep mechanism.Report) ([]int, error) {
+	return a.mech.Bucketize(dst, rep)
+}
+
+// Ingest adds one scalar report to the aggregate.
 func (a *Aggregator) Ingest(report float64) {
 	a.counts[a.Bucket(report)]++
 	a.n++
 }
 
+// IngestReport adds one wire report (any mechanism) to the aggregate.
+func (a *Aggregator) IngestReport(rep mechanism.Report) error {
+	cells, err := a.mech.Bucketize(nil, rep)
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		a.counts[c]++
+	}
+	a.n++
+	return nil
+}
+
 // N returns the number of reports ingested.
 func (a *Aggregator) N() int { return a.n }
 
-// OutputBuckets returns the report-histogram granularity d̃ after defaulting
-// — the length external accumulators must use.
-func (a *Aggregator) OutputBuckets() int { return a.cfg.OutputBuckets }
+// OutputBuckets returns the report-histogram granularity d̃ — the length
+// external accumulators must use.
+func (a *Aggregator) OutputBuckets() int { return a.mech.OutputBuckets() }
+
+// Mechanism returns the aggregator's reporting mechanism.
+func (a *Aggregator) Mechanism() mechanism.Mechanism { return a.mech }
+
+// Users converts an externally-accumulated histogram plus its increment
+// total into the report (user) count it represents. For one-cell-per-report
+// mechanisms this is the increment total; fan-out oracles (OUE/SUE, OLH)
+// read their marker cell.
+func (a *Aggregator) Users(counts []float64, increments int) int {
+	return a.mech.Users(counts, increments)
+}
 
 // Channel returns the transition channel the aggregator reconstructs with
-// (shared, not copied — callers must treat it as read-only).
-func (a *Aggregator) Channel() matrixx.Channel { return a.m }
+// (shared, not copied — callers must treat it as read-only). It is nil for
+// matrix-free oracle mechanisms (oue, sue, olh, hrr), which reconstruct via
+// the direct debiased estimate instead of EM.
+func (a *Aggregator) Channel() matrixx.Channel { return a.mech.Channel() }
 
 // Counts returns a copy of the report histogram.
 func (a *Aggregator) Counts() []float64 {
@@ -192,23 +274,34 @@ func (a *Aggregator) Decay(factor float64) {
 }
 
 // Estimate reconstructs the input distribution from the reports ingested so
-// far with EM/EMS per the configuration.
+// far (EM/EMS for channel mechanisms, direct debiased estimation for
+// oracles).
 func (a *Aggregator) Estimate() em.Result {
-	return em.Reconstruct(a.m, a.counts, a.cfg.EM)
+	return a.EstimateFrom(a.counts, nil)
 }
 
 // EstimateFrom reconstructs from an externally-accumulated report histogram
 // (e.g. an aggregate.Striped snapshot) instead of the aggregator's own
-// counts. A non-nil init warm-starts EM from a previous estimate, which
-// typically converges in a fraction of the iterations — the backbone of the
-// background re-estimation engine. EstimateFrom does not touch mutable
-// aggregator state and is safe to call concurrently with Bucket.
+// counts. Channel-based mechanisms run EM/EMS; a non-nil init warm-starts
+// EM from a previous estimate, which typically converges in a fraction of
+// the iterations — the backbone of the background re-estimation engine.
+// Matrix-free oracles compute the direct debiased estimate and project it
+// onto the simplex with Norm-Sub (Section 4.1); being closed-form, they
+// ignore init and always report convergence. EstimateFrom does not touch
+// mutable aggregator state and is safe to call concurrently with Bucket.
 func (a *Aggregator) EstimateFrom(counts, init []float64) em.Result {
-	opts := a.cfg.EM
-	if init != nil {
-		opts.Init = init
+	if ch := a.mech.Channel(); ch != nil {
+		opts := a.cfg.EM
+		if init != nil {
+			opts.Init = init
+		}
+		return em.Reconstruct(ch, counts, opts)
 	}
-	return em.Reconstruct(a.m, counts, opts)
+	return em.Result{
+		Estimate:   postprocess.NormSub(a.mech.Estimate(counts)),
+		Iterations: 1,
+		Converged:  true,
+	}
 }
 
 // Run executes a complete round over a slice of private values and returns
@@ -217,8 +310,17 @@ func (a *Aggregator) EstimateFrom(counts, init []float64) em.Result {
 func Run(cfg Config, values []float64, rng *randx.Rand) []float64 {
 	client := NewClient(cfg)
 	agg := NewAggregator(cfg)
+	var cells []int
+	var err error
 	for _, v := range values {
-		agg.Ingest(client.Report(v, rng))
+		cells, err = agg.Bucketize(cells[:0], client.Perturb(v, rng))
+		if err != nil {
+			panic(fmt.Sprintf("core: own client produced an invalid report: %v", err))
+		}
+		for _, c := range cells {
+			agg.counts[c]++
+		}
+		agg.n++
 	}
 	return agg.Estimate().Estimate
 }

@@ -17,6 +17,7 @@ type aggregatorState struct {
 	OutputBuckets int
 	Bandwidth     float64
 	PlateauRatio  float64
+	Mechanism     string
 	N             int
 	Counts        []float64
 }
@@ -28,6 +29,7 @@ func (a *Aggregator) state() aggregatorState {
 		OutputBuckets: a.cfg.OutputBuckets,
 		Bandwidth:     a.cfg.Bandwidth,
 		PlateauRatio:  a.cfg.PlateauRatio,
+		Mechanism:     a.cfg.Mechanism,
 		N:             a.n,
 		Counts:        a.counts,
 	}
@@ -35,6 +37,8 @@ func (a *Aggregator) state() aggregatorState {
 
 func (a *Aggregator) compatible(s aggregatorState) error {
 	switch {
+	case s.Mechanism != a.cfg.Mechanism:
+		return fmt.Errorf("core: mechanism mismatch (%q vs %q)", s.Mechanism, a.cfg.Mechanism)
 	case s.Epsilon != a.cfg.Epsilon:
 		return fmt.Errorf("core: epsilon mismatch (%v vs %v)", s.Epsilon, a.cfg.Epsilon)
 	case s.Buckets != a.cfg.Buckets || s.OutputBuckets != a.cfg.OutputBuckets:

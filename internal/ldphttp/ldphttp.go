@@ -1,6 +1,6 @@
-// Package ldphttp exposes Square Wave collection rounds over HTTP: clients
-// POST their randomized reports to a collector endpoint and anyone may GET
-// the current reconstructed distribution and the analytics computed from it.
+// Package ldphttp exposes LDP collection rounds over HTTP: clients POST
+// their randomized reports to a collector endpoint and anyone may GET the
+// current reconstructed distribution and the analytics computed from it.
 // This is the deployment shape of the real-world LDP systems the paper cites
 // (RAPPOR in Chrome, Apple's and Microsoft's telemetry): randomization
 // happens strictly on the client; the server only ever sees ε-LDP reports.
@@ -8,18 +8,36 @@
 // Endpoints:
 //
 //	POST   /streams  {"name": "age", "epsilon": 1, "buckets": 256}  declare a stream
+//	POST   /streams  {"name": "os", "epsilon": 1, "buckets": 64,
+//	                  "mechanism": "oue"}           declare a non-SW stream
 //	POST   /streams  {"name": "lat", "epsilon": 1, "buckets": 256,
 //	                  "epoch": "1m", "retain": 12}  declare an epoch-rotated stream
 //	GET    /streams                                list streams and their state
 //	DELETE /streams/{name}                         retire a stream
 //	POST   /report   {"stream": "age", "report": 0.1234}           one report
+//	POST   /report   {"stream": "os", "report": [3, 17, 40]}       one vector report
 //	POST   /batch    {"stream": "age", "reports": [0.1, 0.2]}      many reports
 //	GET    /estimate?stream=age                    reconstruction + statistics
 //	GET    /estimate?stream=lat&window=last:6      sliding-window reconstruction
 //	GET    /query?stream=age&type=quantile&q=0.5,0.9,0.99          analytics
 //	GET    /query?stream=lat&type=mean&window=epochs:3..7          windowed analytics
 //	POST   /query    {"stream": "age", "queries": [...]}           batched analytics
-//	GET    /config?stream=age                      mechanism parameters clients need
+//	GET    /config?stream=age                      effective stream configuration
+//
+// # Mechanisms
+//
+// Every stream runs one reporting mechanism from package mechanism,
+// declared as "mechanism" on POST /streams (or mech= in the ldpserver
+// -stream flag): the continuous Square Wave "sw" (the paper's contribution
+// and the default), the discrete "sw-discrete", and the categorical
+// frequency oracles "grr", "oue", "sue", "olh" and "hrr". "auto" picks the
+// lower-variance oracle for the stream's (ε, d) by the Section 4.1 rule —
+// GRR when d−2 < 3e^ε, OLH otherwise — at declaration. Wire reports are
+// bare numbers for scalar mechanisms and small arrays for the rest (see
+// WireReport); each stream's histogram accumulates the mechanism's exact
+// sufficient statistic, and the engine reconstructs through EM/EMS when the
+// mechanism has a transition channel or through the direct debiased
+// estimate plus Norm-Sub projection when it does not.
 //
 // The stream field/parameter is optional everywhere: omitting it addresses
 // the default stream every server is born with, so single-attribute
@@ -72,6 +90,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/em"
 	"repro/internal/histogram"
+	"repro/internal/mechanism"
 	"repro/internal/snapshot"
 	"repro/internal/window"
 )
@@ -87,7 +106,11 @@ type Config struct {
 	Epsilon float64 `json:"epsilon"`
 	// Buckets is the reconstruction granularity.
 	Buckets int `json:"buckets"`
-	// Bandwidth is the wave half-width (0 = optimal).
+	// Mechanism selects the default stream's reporting mechanism ("" =
+	// "sw"; "auto" resolves to the lower-variance categorical oracle for
+	// the stream's (ε, d) at creation).
+	Mechanism string `json:"mechanism,omitempty"`
+	// Bandwidth is the wave half-width (0 = optimal; sw family only).
 	Bandwidth float64 `json:"bandwidth"`
 	// Shards overrides the ingestion stripe count (0 = one per CPU,
 	// rounded up to a power of two).
@@ -115,8 +138,14 @@ type Config struct {
 // StreamConfig is the per-stream subset of Config. Zero fields inherit the
 // server defaults (Epoch/Retain excepted: windowing is opt-in per stream).
 type StreamConfig struct {
-	Epsilon   float64 `json:"epsilon"`
-	Buckets   int     `json:"buckets"`
+	Epsilon float64 `json:"epsilon"`
+	Buckets int     `json:"buckets"`
+	// Mechanism selects the stream's reporting mechanism: "sw" (default),
+	// "sw-discrete", "grr", "oue", "sue", "olh", "hrr", or "auto" (pick
+	// the lower-variance categorical oracle for this (ε, d)). "auto"
+	// resolves at creation; the stream always reports its concrete
+	// mechanism afterwards.
+	Mechanism string  `json:"mechanism,omitempty"`
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	Shards    int     `json:"shards,omitempty"`
 	// Epoch, when positive, makes the stream epoch-rotated: its live
@@ -204,6 +233,14 @@ func (st *stream) histBuckets() int {
 	return st.counts.Buckets()
 }
 
+// histShards is the effective ingestion stripe count.
+func (st *stream) histShards() int {
+	if st.cfg.Shards > 0 {
+		return st.cfg.Shards
+	}
+	return aggregate.DefaultShards()
+}
+
 // Server hosts named streams behind an http.Handler, with one shared
 // background estimation engine.
 type Server struct {
@@ -253,6 +290,7 @@ func NewServer(cfg Config) *Server {
 	if err := s.CreateStream(DefaultStream, StreamConfig{
 		Epsilon:   cfg.Epsilon,
 		Buckets:   cfg.Buckets,
+		Mechanism: cfg.Mechanism,
 		Bandwidth: cfg.Bandwidth,
 		Shards:    cfg.Shards,
 		Epoch:     Duration(cfg.Epoch),
@@ -276,6 +314,7 @@ func (s *Server) newStream(name string, cfg StreamConfig) *stream {
 	agg := core.NewAggregator(core.Config{
 		Epsilon:   cfg.Epsilon,
 		Buckets:   cfg.Buckets,
+		Mechanism: cfg.Mechanism,
 		Bandwidth: cfg.Bandwidth,
 		Smoothing: true,
 		EM:        em.Options{Workers: s.workers},
@@ -311,14 +350,31 @@ func (s *Server) fillStreamDefaults(cfg StreamConfig) (StreamConfig, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = s.cfg.Shards
 	}
+	if cfg.Mechanism == "" {
+		cfg.Mechanism = s.cfg.Mechanism
+	}
 	if cfg.Epsilon <= 0 {
 		return cfg, fmt.Errorf("ldphttp: stream epsilon must be positive, got %v", cfg.Epsilon)
 	}
 	if cfg.Buckets < 2 {
 		return cfg, fmt.Errorf("ldphttp: stream needs at least 2 buckets, got %d", cfg.Buckets)
 	}
+	if !mechanism.Valid(cfg.Mechanism) {
+		return cfg, fmt.Errorf("ldphttp: unknown stream mechanism %q (want one of %v, or auto)",
+			cfg.Mechanism, mechanism.Names())
+	}
+	// "auto" (and "") resolve at declaration, so the stream's configuration,
+	// /config echo, and snapshots always carry the concrete mechanism.
+	mech, err := mechanism.Resolve(cfg.Mechanism, cfg.Epsilon, cfg.Buckets)
+	if err != nil {
+		return cfg, fmt.Errorf("ldphttp: %v", err)
+	}
+	cfg.Mechanism = mech
 	if cfg.Bandwidth < 0 || cfg.Bandwidth > 2 {
 		return cfg, fmt.Errorf("ldphttp: stream bandwidth %v out of range [0, 2]", cfg.Bandwidth)
+	}
+	if cfg.Bandwidth != 0 && mech != mechanism.SW && mech != mechanism.SWDiscrete {
+		return cfg, fmt.Errorf("ldphttp: bandwidth only applies to the sw family, not %q", mech)
 	}
 	if cfg.Epoch < 0 {
 		return cfg, fmt.Errorf("ldphttp: stream epoch %v must not be negative", time.Duration(cfg.Epoch))
@@ -339,7 +395,8 @@ func (s *Server) fillStreamDefaults(cfg StreamConfig) (StreamConfig, error) {
 var ErrStreamConfigMismatch = fmt.Errorf("stream exists with different configuration")
 
 // CreateStream declares a named stream. Declaring an existing stream with
-// the same mechanism parameters (ε, buckets, bandwidth) is a no-op — Shards
+// the same mechanism parameters (mechanism, ε, buckets, bandwidth) is a
+// no-op — Shards
 // is a pure ingestion-performance knob and is deliberately ignored, so a
 // restart with a different -shards value still accepts matching -stream
 // flags against snapshot-restored streams. Different mechanism parameters
@@ -357,7 +414,7 @@ func (s *Server) CreateStream(name string, cfg StreamConfig) error {
 	defer s.mu.Unlock()
 	if existing, ok := s.streams[name]; ok {
 		if existing.cfg.Epsilon != cfg.Epsilon || existing.cfg.Buckets != cfg.Buckets ||
-			existing.cfg.Bandwidth != cfg.Bandwidth {
+			existing.cfg.Bandwidth != cfg.Bandwidth || existing.cfg.Mechanism != cfg.Mechanism {
 			return fmt.Errorf("ldphttp: %w: %q has %+v, requested %+v",
 				ErrStreamConfigMismatch, name, existing.cfg, cfg)
 		}
@@ -427,6 +484,7 @@ type StreamInfo struct {
 	Name      string  `json:"name"`
 	Epsilon   float64 `json:"epsilon"`
 	Buckets   int     `json:"buckets"`
+	Mechanism string  `json:"mechanism"`
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	Shards    int     `json:"shards,omitempty"`
 	// N is the number of reports still visible to estimates (for a
@@ -439,19 +497,41 @@ type StreamInfo struct {
 	Window *WindowInfo `json:"window,omitempty"`
 }
 
+// users reads the report (user) count visible to estimates. Fan-out
+// mechanisms (oue/sue, olh) track it in their marker cell — by convention
+// the last output cell — read directly in O(shards) without merging the
+// histogram, so this is safe on the ingest-acknowledgement hot path;
+// everything else counts increments, also O(shards).
+func (st *stream) users() int {
+	n := st.reports()
+	if n == 0 || !st.agg.Mechanism().FanOut() {
+		return n
+	}
+	marker := st.histBuckets() - 1
+	if st.ring != nil {
+		return st.ring.Cell(marker)
+	}
+	return st.counts.Cell(marker)
+}
+
 // Streams lists every stream in declaration order.
 func (s *Server) Streams() []StreamInfo {
 	list := s.streamList()
 	infos := make([]StreamInfo, len(list))
 	for i, st := range list {
+		estN := 0
+		if est := st.est.Load(); est != nil {
+			estN = est.N
+		}
 		infos[i] = StreamInfo{
 			Name:      st.name,
 			Epsilon:   st.cfg.Epsilon,
 			Buckets:   st.cfg.Buckets,
+			Mechanism: st.cfg.Mechanism,
 			Bandwidth: st.cfg.Bandwidth,
 			Shards:    st.cfg.Shards,
-			N:         st.reports(),
-			EstimateN: int(st.published.Load()),
+			N:         st.users(),
+			EstimateN: estN,
 		}
 		if st.ring != nil {
 			cur, _ := st.ring.Current()
@@ -468,23 +548,24 @@ func (s *Server) Streams() []StreamInfo {
 	return infos
 }
 
-// N returns the total number of reports visible across every stream.
+// N returns the total number of reports (users) visible across every
+// stream.
 func (s *Server) N() int {
 	var n int
 	for _, st := range s.streamList() {
-		n += st.reports()
+		n += st.users()
 	}
 	return n
 }
 
-// StreamN returns the report count of one stream ("" = default), or -1 if
-// the stream does not exist.
+// StreamN returns the report (user) count of one stream ("" = default), or
+// -1 if the stream does not exist.
 func (s *Server) StreamN(name string) int {
 	st := s.lookup(name)
 	if st == nil {
 		return -1
 	}
-	return st.reports()
+	return st.users()
 }
 
 // Close stops the background estimator and waits for it to exit. The
@@ -574,15 +655,17 @@ func (s *Server) refreshStream(st *stream) {
 	st.init = append(st.init[:0], res.Estimate...)
 	st.est.Store(&EstimateResponse{
 		Stream:       st.name,
-		N:            n,
+		N:            st.agg.Users(st.scratch, n),
 		Epsilon:      st.cfg.Epsilon,
+		Mechanism:    st.cfg.Mechanism,
 		Distribution: res.Estimate,
 		Mean:         histogram.Mean(res.Estimate),
 		Variance:     histogram.Variance(res.Estimate),
 		Median:       histogram.Quantile(res.Estimate, 0.5),
 		Iterations:   res.Iterations,
 		Converged:    res.Converged,
-		WarmStart:    init != nil,
+		WarmStart:    init != nil && st.agg.Channel() != nil,
+		raw:          n,
 	})
 	st.published.Store(int64(n))
 }
@@ -600,21 +683,53 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// WireReport is one randomized report as it travels in JSON: either a bare
+// number (scalar mechanisms — sw, sw-discrete, grr — and backward-compatible
+// with every pre-mechanism client) or an array of numbers (olh: [seed, y];
+// hrr: [row, ±1]; oue/sue: the set-bit indices, possibly empty).
+type WireReport mechanism.Report
+
+// UnmarshalJSON accepts a JSON number or an array of numbers.
+func (r *WireReport) UnmarshalJSON(b []byte) error {
+	var f float64
+	if err := json.Unmarshal(b, &f); err == nil {
+		*r = WireReport{f}
+		return nil
+	}
+	var v []float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*r = v
+		return nil
+	}
+	return fmt.Errorf("ldphttp: bad report %s (want a number or an array of numbers)", b)
+}
+
+// MarshalJSON renders scalar reports as bare numbers.
+func (r WireReport) MarshalJSON() ([]byte, error) {
+	if len(r) == 1 {
+		return json.Marshal(r[0])
+	}
+	return json.Marshal([]float64(r))
+}
+
 type reportRequest struct {
-	Stream string  `json:"stream"`
-	Report float64 `json:"report"`
+	Stream string     `json:"stream"`
+	Report WireReport `json:"report"`
 }
 
 type batchRequest struct {
-	Stream  string    `json:"stream"`
-	Reports []float64 `json:"reports"`
+	Stream  string       `json:"stream"`
+	Reports []WireReport `json:"reports"`
 }
 
 // EstimateResponse is the JSON shape of GET /estimate.
 type EstimateResponse struct {
-	Stream       string    `json:"stream"`
-	N            int       `json:"n"`
-	Epsilon      float64   `json:"epsilon"`
+	Stream string `json:"stream"`
+	// N is the number of reports (users) the estimate covers.
+	N         int     `json:"n"`
+	Epsilon   float64 `json:"epsilon"`
+	Mechanism string  `json:"mechanism,omitempty"`
+	// Distribution is the reconstruction over the stream's Buckets.
 	Distribution []float64 `json:"distribution"`
 	Mean         float64   `json:"mean"`
 	Variance     float64   `json:"variance"`
@@ -627,15 +742,24 @@ type EstimateResponse struct {
 	// Restored reports that the estimate was loaded from a snapshot rather
 	// than computed by this process.
 	Restored bool `json:"restored,omitempty"`
-	// PendingReports is the number of reports ingested after the served
-	// estimate was computed — the staleness of a cached response. The
-	// background engine is already re-estimating when this is non-zero.
+	// PendingReports is the number of histogram increments ingested after
+	// the served estimate was computed — the staleness of a cached
+	// response. For one-cell-per-report mechanisms this equals the number
+	// of pending reports; fan-out oracles (oue/sue, olh) count support-cell
+	// increments, so it overstates the pending report count by the fan-out
+	// factor. The background engine is already re-estimating when this is
+	// non-zero.
 	PendingReports int `json:"pending_reports,omitempty"`
 	// Window and Epochs identify a sliding-window answer: the canonical
 	// selector ("epochs:3..7") and the resolved inclusive epoch range. Both
 	// are absent on whole-stream estimates.
 	Window string      `json:"window,omitempty"`
 	Epochs *EpochRange `json:"epochs,omitempty"`
+
+	// raw is the histogram increment total the estimate covers — internal
+	// staleness bookkeeping (published mirrors it), persisted to snapshots
+	// as EstimateRaw. Equal to N except for fan-out mechanisms.
+	raw int
 }
 
 // errorJSON writes a JSON error body with the given status.
@@ -668,8 +792,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	st.add(st.agg.Bucket(req.Report))
-	writeJSON(w, map[string]any{"accepted": true, "stream": st.name, "n": st.reports()})
+	cells, err := st.agg.Bucketize(nil, mechanism.Report(req.Report))
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(cells) == 1 {
+		st.add(cells[0])
+	} else {
+		st.addBatch(cells)
+	}
+	writeJSON(w, map[string]any{"accepted": true, "stream": st.name, "n": st.users()})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -690,12 +823,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	buckets := make([]int, len(req.Reports))
+	// Validate the whole batch before ingesting anything, so a bad report
+	// in the middle cannot leave a half-applied batch behind.
+	buckets := make([]int, 0, len(req.Reports))
+	var err error
 	for i, rep := range req.Reports {
-		buckets[i] = st.agg.Bucket(rep)
+		if buckets, err = st.agg.Bucketize(buckets, mechanism.Report(rep)); err != nil {
+			errorJSON(w, http.StatusBadRequest, "report %d: %v", i, err)
+			return
+		}
 	}
 	st.addBatch(buckets)
-	writeJSON(w, map[string]any{"accepted": len(req.Reports), "stream": st.name, "n": st.reports()})
+	writeJSON(w, map[string]any{"accepted": len(req.Reports), "stream": st.name, "n": st.users()})
 }
 
 // loadEstimate fetches a stream's cached reconstruction for serving,
@@ -726,11 +865,15 @@ func (s *Server) loadEstimate(w http.ResponseWriter, st *stream) (cached *Estima
 		})
 		return nil, 0, false
 	}
-	if cached.N != n {
+	// Staleness is tracked in raw histogram increments (published), not the
+	// user count the response carries — for fan-out mechanisms the two
+	// differ.
+	pub := int(st.published.Load())
+	if pub != n {
 		s.wake() // refresh in the background; serve the cache now
 	}
-	if n > cached.N {
-		pending = n - cached.N
+	if n > pub {
+		pending = n - pub
 	}
 	return cached, pending, true
 }
@@ -783,10 +926,35 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusCreated)
 		}
 		writeJSON(w, map[string]any{"stream": st.name, "epsilon": st.cfg.Epsilon,
-			"buckets": st.cfg.Buckets, "created": !existed})
+			"buckets": st.cfg.Buckets, "mechanism": st.cfg.Mechanism, "created": !existed})
 	default:
 		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
 	}
+}
+
+// ConfigResponse is the JSON shape of GET /config: the full effective
+// configuration of one stream — every value resolved, not as declared — so
+// a client can reproduce the stream's setup (or build a matching client
+// mechanism) from this response alone.
+type ConfigResponse struct {
+	Stream    string  `json:"stream"`
+	Mechanism string  `json:"mechanism"`
+	Epsilon   float64 `json:"epsilon"`
+	Buckets   int     `json:"buckets"`
+	// OutputBuckets is the report-histogram granularity the mechanism
+	// derived (equals Buckets for sw unless overridden).
+	OutputBuckets int `json:"output_buckets"`
+	// Bandwidth is the effective wave half-width as a domain fraction (sw
+	// family only; the declared 0 = "optimal" comes back resolved).
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Shards is the effective ingestion stripe count.
+	Shards int `json:"shards"`
+	// Epoch and Retain carry the windowing of an epoch-rotated stream.
+	Epoch  Duration `json:"epoch,omitempty"`
+	Retain int      `json:"retain,omitempty"`
+	// EMWorkers is the resolved server-wide EM parallelism (em.Options
+	// semantics: negative = every CPU, 1 = serial, n > 1 = n partitions).
+	EMWorkers int `json:"em_workers"`
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
@@ -798,11 +966,20 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	writeJSON(w, struct {
-		Stream string `json:"stream"`
-		StreamConfig
-		EMWorkers int `json:"em_workers,omitempty"`
-	}{Stream: st.name, StreamConfig: st.cfg, EMWorkers: s.cfg.EMWorkers})
+	params := st.agg.Mechanism().Params()
+	resp := ConfigResponse{
+		Stream:        st.name,
+		Mechanism:     st.cfg.Mechanism,
+		Epsilon:       st.cfg.Epsilon,
+		Buckets:       st.cfg.Buckets,
+		OutputBuckets: st.agg.OutputBuckets(),
+		Bandwidth:     params.Bandwidth,
+		Shards:        st.histShards(),
+		Epoch:         st.cfg.Epoch,
+		Retain:        st.cfg.Retain,
+		EMWorkers:     s.workers,
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

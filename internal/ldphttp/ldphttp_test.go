@@ -140,12 +140,52 @@ func TestConfigEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var cfg Config
+	var cfg ConfigResponse
 	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Epsilon != 1 || cfg.Buckets != 64 {
 		t.Errorf("config = %+v", cfg)
+	}
+	// The response carries the FULL effective configuration: the concrete
+	// mechanism, the resolved (not declared-zero) bandwidth, the derived
+	// output granularity and the effective stripe count.
+	if cfg.Mechanism != "sw" {
+		t.Errorf("config mechanism = %q, want sw", cfg.Mechanism)
+	}
+	if cfg.Bandwidth <= 0 || cfg.Bandwidth > 2 {
+		t.Errorf("config bandwidth not resolved: %v", cfg.Bandwidth)
+	}
+	if cfg.OutputBuckets != 64 {
+		t.Errorf("config output_buckets = %d, want 64", cfg.OutputBuckets)
+	}
+	if cfg.Shards <= 0 {
+		t.Errorf("config shards not resolved: %d", cfg.Shards)
+	}
+}
+
+// TestConfigEndpointWindowed: epoch/retain — the fields PR 2/3 added — come
+// back on /config, so clients can reproduce a windowed stream's setup.
+func TestConfigEndpointWindowed(t *testing.T) {
+	s := NewServer(Config{Epsilon: 1, Buckets: 32, RefreshInterval: time.Hour})
+	t.Cleanup(s.Close)
+	if err := s.CreateStream("lat", StreamConfig{Epsilon: 1, Buckets: 32,
+		Epoch: Duration(time.Minute), Retain: 6}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/config?stream=lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cfg ConfigResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Epoch != Duration(time.Minute) || cfg.Retain != 6 {
+		t.Errorf("windowed config = %+v, want epoch 1m retain 6", cfg)
 	}
 }
 

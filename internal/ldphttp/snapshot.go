@@ -6,12 +6,15 @@ package ldphttp
 // the restored estimate is served immediately (bit-identical: JSON float64
 // encoding round-trips exactly) and the engine warm-starts from it when new
 // reports arrive. Windowed streams additionally persist their rotation
-// clock, sealed epochs and cached window estimates (payload version 2), so
-// a restart resumes mid-epoch and serves bit-identical window estimates.
-// Version-1 snapshots still load: their streams simply carry no window
-// state, and a v1 record restoring into a stream that was declared windowed
-// lands in the live epoch — the old history behaves as a single epoch that
-// seals whole at the next rotation.
+// clock, sealed epochs and cached window estimates, so a restart resumes
+// mid-epoch and serves bit-identical window estimates. Payload version 3
+// carries each stream's mechanism identifier and the raw increment totals
+// its cached estimates cover; version ≤ 2 files still load, their streams
+// defaulting to the "sw" mechanism (the only one those versions could have
+// written). Version-1 snapshots additionally carry no window state, and a
+// v1 record restoring into a stream that was declared windowed lands in the
+// live epoch — the old history behaves as a single epoch that seals whole
+// at the next rotation.
 
 import (
 	"fmt"
@@ -36,6 +39,7 @@ func (s *Server) SaveSnapshot(path string) error {
 			Name:      st.name,
 			Epsilon:   st.cfg.Epsilon,
 			Buckets:   st.cfg.Buckets,
+			Mechanism: st.cfg.Mechanism,
 			Bandwidth: st.cfg.Bandwidth,
 			Shards:    st.cfg.Shards,
 		}
@@ -56,6 +60,7 @@ func (s *Server) SaveSnapshot(path string) error {
 		if est := st.est.Load(); est != nil {
 			rec.Estimate = est.Distribution
 			rec.EstimateN = est.N
+			rec.EstimateRaw = est.raw
 		}
 		records = append(records, rec)
 	}
@@ -78,7 +83,7 @@ func windowRecord(st *stream, state window.State) *snapshot.Window {
 			continue
 		}
 		win.Estimates = append(win.Estimates, snapshot.WindowEstimate{
-			Lo: wc.rng.Lo, Hi: wc.rng.Hi, N: est.N, Estimate: est.Distribution,
+			Lo: wc.rng.Lo, Hi: wc.rng.Hi, N: est.N, Raw: est.raw, Estimate: est.Distribution,
 		})
 	}
 	return win
@@ -134,6 +139,10 @@ func (s *Server) LoadSnapshot(path string) error {
 					rec.Name, rec.Epsilon, rec.Buckets, rec.Bandwidth,
 					st.cfg.Epsilon, st.cfg.Buckets, st.cfg.Bandwidth)
 			}
+			if st.cfg.Mechanism != rec.MechanismName() {
+				return fmt.Errorf("ldphttp: snapshot stream %q uses mechanism %q but the live stream uses %q",
+					rec.Name, rec.MechanismName(), st.cfg.Mechanism)
+			}
 			if rec.Window != nil {
 				if st.ring == nil {
 					return fmt.Errorf("ldphttp: snapshot stream %q is windowed (epoch %v) but the live stream is not; declare it with an epoch before restoring",
@@ -153,6 +162,7 @@ func (s *Server) LoadSnapshot(path string) error {
 			cfg := StreamConfig{
 				Epsilon:   rec.Epsilon,
 				Buckets:   rec.Buckets,
+				Mechanism: rec.MechanismName(),
 				Bandwidth: rec.Bandwidth,
 				Shards:    rec.Shards,
 			}
@@ -207,10 +217,15 @@ func (s *Server) LoadSnapshot(path string) error {
 		}
 		if wasEmpty && len(rec.Estimate) > 0 {
 			dist := append([]float64(nil), rec.Estimate...)
+			raw := rec.EstimateRaw
+			if raw == 0 {
+				raw = rec.EstimateN // version ≤ 2, or a non-fan-out stream
+			}
 			st.est.Store(&EstimateResponse{
 				Stream:       st.name,
 				N:            rec.EstimateN,
 				Epsilon:      st.cfg.Epsilon,
+				Mechanism:    st.cfg.Mechanism,
 				Distribution: dist,
 				Mean:         histogram.Mean(dist),
 				Variance:     histogram.Variance(dist),
@@ -218,8 +233,9 @@ func (s *Server) LoadSnapshot(path string) error {
 				Converged:    true,
 				WarmStart:    true,
 				Restored:     true,
+				raw:          raw,
 			})
-			st.published.Store(int64(rec.EstimateN))
+			st.published.Store(int64(raw))
 		}
 		if rec.Window != nil && wasEmpty {
 			st.restoreWindowEstimates(s, rec.Window.Estimates)
@@ -240,9 +256,14 @@ func (st *stream) restoreWindowEstimates(s *Server, ests []snapshot.WindowEstima
 		wc := &windowCache{rng: g}
 		dist := append([]float64(nil), we.Estimate...)
 		wc.init = append([]float64(nil), dist...)
+		raw := we.Raw
+		if raw == 0 {
+			raw = we.N
+		}
 		resp := s.windowEstimateResponse(st, g, we.N, dist, 0, true, true, true)
+		resp.raw = raw
 		wc.est.Store(resp)
-		wc.published.Store(int64(we.N))
+		wc.published.Store(int64(raw))
 		st.wins[g] = wc
 	}
 }

@@ -1,0 +1,226 @@
+package ldphttp
+
+// Snapshot migration matrix (payload v1/v2 → v3): fixtures derived from a
+// real v3 save by stripping exactly the fields the older versions lacked
+// must load into a v3 build, default every stream to the "sw" mechanism,
+// and serve bit-identical cached estimates after the engine's next pass
+// (which must conclude there is nothing to recompute).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ldptest"
+	"repro/internal/randx"
+)
+
+// downgradeSnapshot rewrites a v3 snapshot file as an older payload
+// version, stripping the v3-only fields (mechanism, estimate_raw, window
+// estimate raw) and, for v1, the window blocks. Numbers pass through
+// json.Number, so float64 payloads survive byte-for-byte.
+func downgradeSnapshot(t *testing.T, src, dst string, version int) {
+	t.Helper()
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.IndexByte(raw, '\n')
+	if idx < 0 {
+		t.Fatalf("snapshot %s has no header line", src)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw[idx+1:]))
+	dec.UseNumber()
+	var payload map[string]any
+	if err := dec.Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	payload["version"] = version
+	streams, ok := payload["streams"].([]any)
+	if !ok {
+		t.Fatalf("snapshot %s has no streams", src)
+	}
+	for _, raw := range streams {
+		stream := raw.(map[string]any)
+		delete(stream, "mechanism")
+		delete(stream, "estimate_raw")
+		if version < 2 {
+			delete(stream, "window")
+		} else if win, ok := stream["window"].(map[string]any); ok {
+			if ests, ok := win["estimates"].([]any); ok {
+				for _, e := range ests {
+					delete(e.(map[string]any), "raw")
+				}
+			}
+		}
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := fmt.Sprintf("LDPSNAP1 %08x %d\n", crc32.ChecksumIEEE(blob), len(blob))
+	if err := os.WriteFile(dst, append([]byte(header), blob...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the first line of the derived file still parses as a header.
+	if _, err := bufio.NewReader(strings.NewReader(header)).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotMigrationMatrix(t *testing.T) {
+	dir := t.TempDir()
+	v3Path := filepath.Join(dir, "v3.snap")
+
+	// A real workload: the default sw stream plus a second plain stream,
+	// both with cached estimates.
+	s1 := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 10 * time.Millisecond})
+	ts1 := httptest.NewServer(s1.Handler())
+	if err := s1.CreateStream("age", StreamConfig{Epsilon: 2, Buckets: 32}); err != nil {
+		t.Fatal(err)
+	}
+	repDefault, err := ldptest.CheckServing(ts1.URL,
+		func(rng *randx.Rand) float64 { return rng.Beta(5, 2) },
+		ldptest.ServingOptions{Epsilon: 1, Buckets: 64, Clients: 1500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repAge, err := ldptest.CheckServing(ts1.URL,
+		func(rng *randx.Rand) float64 { return rng.Beta(2, 6) },
+		ldptest.ServingOptions{Stream: "age", Epsilon: 2, Buckets: 32, Clients: 1500, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SaveSnapshot(v3Path); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	s1.Close()
+
+	want := map[string][]float64{
+		DefaultStream: repDefault.Estimate,
+		"age":         repAge.Estimate,
+	}
+
+	for _, version := range []int{1, 2} {
+		version := version
+		t.Run(fmt.Sprintf("v%d", version), func(t *testing.T) {
+			path := filepath.Join(dir, fmt.Sprintf("v%d.snap", version))
+			downgradeSnapshot(t, v3Path, path, version)
+
+			s := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 5 * time.Millisecond})
+			t.Cleanup(s.Close)
+			if err := s.LoadSnapshot(path); err != nil {
+				t.Fatalf("load v%d: %v", version, err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			t.Cleanup(ts.Close)
+
+			// Every restored stream defaults to the sw mechanism.
+			for _, info := range s.Streams() {
+				if info.Mechanism != "sw" {
+					t.Errorf("v%d: stream %s restored with mechanism %q, want sw",
+						version, info.Name, info.Mechanism)
+				}
+			}
+
+			// Give the engine several passes: with published == raw counts it
+			// must decide there is nothing to recompute, leaving the restored
+			// estimates untouched — bit-identical to the v3 originals.
+			s.wake()
+			time.Sleep(50 * time.Millisecond)
+			for stream, wantDist := range want {
+				est := getFreshStreamEstimate(t, ts.URL, stream, 1500)
+				if !est.Restored {
+					t.Errorf("v%d: stream %q estimate recomputed (not served from the restore)", version, stream)
+				}
+				if len(est.Distribution) != len(wantDist) {
+					t.Fatalf("v%d: stream %q has %d buckets, want %d",
+						version, stream, len(est.Distribution), len(wantDist))
+				}
+				for i := range wantDist {
+					if est.Distribution[i] != wantDist[i] {
+						t.Fatalf("v%d: stream %q bucket %d: %v != %v (not bit-identical)",
+							version, stream, i, est.Distribution[i], wantDist[i])
+					}
+				}
+			}
+
+			// Saving again writes a v3 file with the defaulted mechanism.
+			again := filepath.Join(t.TempDir(), "again.snap")
+			if err := s.SaveSnapshot(again); err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range loadRecords(t, again) {
+				if rec.Mechanism != "sw" {
+					t.Errorf("v%d: resaved stream %q carries mechanism %q, want sw",
+						version, rec.Name, rec.Mechanism)
+				}
+				if rec.EstimateRaw != rec.EstimateN {
+					t.Errorf("v%d: resaved stream %q raw %d != n %d for an sw stream",
+						version, rec.Name, rec.EstimateRaw, rec.EstimateN)
+				}
+			}
+		})
+	}
+
+	// A v2 windowed fixture keeps its window state through the migration:
+	// reuse the windowed determinism scenario at version 2.
+	t.Run("v2-windowed", func(t *testing.T) {
+		clock := newMockClock()
+		sw := NewServer(Config{Epsilon: 1, Buckets: 32, RefreshInterval: 5 * time.Millisecond, Clock: clock.Now})
+		tsw := httptest.NewServer(sw.Handler())
+		if err := sw.CreateStream("lat", StreamConfig{Epsilon: 1, Buckets: 32,
+			Epoch: Duration(time.Minute), Retain: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ldptest.CheckServing(tsw.URL,
+			func(rng *randx.Rand) float64 { return rng.Beta(5, 2) },
+			ldptest.ServingOptions{Stream: "lat", Epsilon: 1, Buckets: 32, Clients: 800, Seed: 5}); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(time.Minute) // seal epoch 0
+		winEst := getWindowEstimate(t, tsw.URL, "lat", "epochs:0..0", 800)
+
+		v3win := filepath.Join(t.TempDir(), "win3.snap")
+		if err := sw.SaveSnapshot(v3win); err != nil {
+			t.Fatal(err)
+		}
+		tsw.Close()
+		sw.Close()
+
+		v2win := filepath.Join(t.TempDir(), "win2.snap")
+		downgradeSnapshot(t, v3win, v2win, 2)
+
+		clock2 := newMockClock()
+		s2 := NewServer(Config{Epsilon: 1, Buckets: 32, RefreshInterval: time.Hour, Clock: clock2.Now})
+		t.Cleanup(s2.Close)
+		if err := s2.CreateStream("lat", StreamConfig{Epsilon: 1, Buckets: 32,
+			Epoch: Duration(time.Minute), Retain: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.LoadSnapshot(v2win); err != nil {
+			t.Fatal(err)
+		}
+		ts2 := httptest.NewServer(s2.Handler())
+		t.Cleanup(ts2.Close)
+		got := getWindowEstimate(t, ts2.URL, "lat", "epochs:0..0", 800)
+		if len(got.Distribution) != len(winEst.Distribution) {
+			t.Fatalf("window restored %d buckets, want %d", len(got.Distribution), len(winEst.Distribution))
+		}
+		for i := range winEst.Distribution {
+			if got.Distribution[i] != winEst.Distribution[i] {
+				t.Fatalf("window bucket %d: %v != %v (not bit-identical)",
+					i, got.Distribution[i], winEst.Distribution[i])
+			}
+		}
+	})
+}

@@ -172,7 +172,11 @@ func (s *Server) refreshWindows(st *stream) {
 		}
 		res := st.agg.EstimateFrom(st.winScratch, init)
 		wc.init = append(wc.init[:0], res.Estimate...)
-		wc.est.Store(s.windowEstimateResponse(st, wc.rng, n, res.Estimate, res.Iterations, res.Converged, init != nil, false))
+		users := st.agg.Users(st.winScratch, n)
+		warm := init != nil && st.agg.Channel() != nil
+		resp := s.windowEstimateResponse(st, wc.rng, users, res.Estimate, res.Iterations, res.Converged, warm, false)
+		resp.raw = n
+		wc.est.Store(resp)
 		wc.published.Store(int64(n))
 	}
 }
@@ -183,6 +187,7 @@ func (s *Server) windowEstimateResponse(st *stream, g window.Range, n int, dist 
 		Stream:       st.name,
 		N:            n,
 		Epsilon:      st.cfg.Epsilon,
+		Mechanism:    st.cfg.Mechanism,
 		Distribution: dist,
 		Mean:         histogram.Mean(dist),
 		Variance:     histogram.Variance(dist),
@@ -246,10 +251,13 @@ func (s *Server) loadWindowEstimate(w http.ResponseWriter, st *stream, rawSel st
 		})
 		return nil, 0, false
 	}
-	if int64(n) != wc.published.Load() {
+	// Staleness is tracked in raw histogram increments, not the user count
+	// the cached response carries.
+	pub := int(wc.published.Load())
+	if n != pub {
 		s.wake() // refresh in the background; serve the cache now
 	}
-	pending := n - cached.N
+	pending := n - pub
 	if pending < 0 {
 		pending = 0
 	}

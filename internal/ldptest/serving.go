@@ -35,6 +35,11 @@ type ServingOptions struct {
 	Epsilon   float64
 	Buckets   int
 	Bandwidth float64
+	// Mechanism selects the client-side reporting mechanism ("" = "sw").
+	// It must match the stream's declaration. Scalar mechanisms ship their
+	// reports as bare JSON numbers (the pre-mechanism wire format); the
+	// rest ship vectors.
+	Mechanism string
 	// Clients is the synthetic population size. Defaults to 3000.
 	Clients int
 	// BatchSize chunks the reports into POST /batch requests. Defaults
@@ -95,27 +100,35 @@ func (v ServingViolation) Error() string {
 }
 
 // CheckServing samples Clients private values from sample, randomizes each
-// with the Square Wave client, ships them to the collector at baseURL over
-// POST /batch, polls GET /estimate until the served reconstruction covers
-// the whole population (tolerating 503 "first estimate pending" responses —
-// the collector must never block the poll), and compares it against the
-// bucketized truth. The returned report always carries the measured
-// distances; the error is non-nil on transport failures or bound violations.
+// with the configured mechanism's client (the Square Wave by default),
+// ships them to the collector at baseURL over POST /batch, polls GET
+// /estimate until the served reconstruction covers the whole population
+// (tolerating 503 "first estimate pending" responses — the collector must
+// never block the poll), and compares it against the bucketized truth. The
+// returned report always carries the measured distances; the error is
+// non-nil on transport failures or bound violations.
 func CheckServing(baseURL string, sample func(*randx.Rand) float64, opts ServingOptions) (ServingReport, error) {
 	opts = opts.filled()
 	rng := randx.New(opts.Seed)
 	client := core.NewClient(core.Config{
 		Epsilon:   opts.Epsilon,
 		Buckets:   opts.Buckets,
+		Mechanism: opts.Mechanism,
 		Bandwidth: opts.Bandwidth,
 		Smoothing: true,
 	})
+	scalar := client.Mechanism().Scalar()
 
 	values := make([]float64, opts.Clients)
-	reports := make([]float64, opts.Clients)
+	reports := make([]any, opts.Clients) // bare numbers or vectors, per mechanism
 	for i := range values {
 		values[i] = sample(rng)
-		reports[i] = client.Report(values[i], rng) // randomized on the "device"
+		rep := client.Perturb(values[i], rng) // randomized on the "device"
+		if scalar {
+			reports[i] = rep[0] // the pre-mechanism scalar wire format
+		} else {
+			reports[i] = []float64(rep)
+		}
 	}
 
 	for start := 0; start < len(reports); start += opts.BatchSize {
@@ -150,7 +163,7 @@ func CheckServing(baseURL string, sample func(*randx.Rand) float64, opts Serving
 	return rep, nil
 }
 
-func postBatch(hc *http.Client, baseURL, stream string, reports []float64) error {
+func postBatch(hc *http.Client, baseURL, stream string, reports []any) error {
 	blob, err := json.Marshal(map[string]any{"stream": stream, "reports": reports})
 	if err != nil {
 		return err

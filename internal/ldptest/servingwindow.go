@@ -116,7 +116,7 @@ func CheckWindowServing(baseURL string, cohorts []func(*randx.Rand) float64, opt
 	for e, sample := range cohorts {
 		rng := randx.New(opts.Seed + uint64(e)*7919)
 		values := make([]float64, opts.ClientsPerEpoch)
-		randomized := make([]float64, opts.ClientsPerEpoch)
+		randomized := make([]any, opts.ClientsPerEpoch)
 		for i := range values {
 			values[i] = sample(rng)
 			randomized[i] = client.Report(values[i], rng)

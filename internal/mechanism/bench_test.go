@@ -1,0 +1,89 @@
+package mechanism
+
+// Serving-path throughput of the mechanism layer: BenchmarkPerturb is the
+// client-side randomization cost per report, BenchmarkBucketize the
+// server-side ingestion cost per wire report (validation + cell fan-out),
+// and BenchmarkEstimate one direct reconstruction of the matrix-free
+// oracles from an accumulated histogram (channel mechanisms reconstruct
+// through EM — benchmarked in internal/em). Results are recorded in
+// BENCH_mech.json and smoke-run by CI on every PR.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+var benchDomains = []int{256, 1024, 4096}
+
+const benchEps = 1.0
+
+func benchMech(b *testing.B, name string, d int) Mechanism {
+	b.Helper()
+	return MustNew(Params{Name: name, Epsilon: benchEps, Buckets: d})
+}
+
+func BenchmarkPerturb(b *testing.B) {
+	for _, name := range Names() {
+		for _, d := range benchDomains {
+			b.Run(fmt.Sprintf("%s/d=%d", name, d), func(b *testing.B) {
+				m := benchMech(b, name, d)
+				rng := randx.New(1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Perturb(0.37, rng)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBucketize(b *testing.B) {
+	for _, name := range Names() {
+		for _, d := range benchDomains {
+			b.Run(fmt.Sprintf("%s/d=%d", name, d), func(b *testing.B) {
+				m := benchMech(b, name, d)
+				rng := randx.New(2)
+				// A small rotation of pre-perturbed reports, so the
+				// benchmark measures ingestion, not randomization.
+				reports := make([]Report, 64)
+				for i := range reports {
+					reports[i] = m.Perturb(rng.Float64(), rng)
+				}
+				var cells []int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					cells, err = m.Bucketize(cells[:0], reports[i%len(reports)])
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	for _, name := range []string{OUE, SUE, OLH, HRR} {
+		for _, d := range benchDomains {
+			b.Run(fmt.Sprintf("%s/d=%d", name, d), func(b *testing.B) {
+				m := benchMech(b, name, d)
+				rng := randx.New(3)
+				counts := make([]float64, m.OutputBuckets())
+				var cells []int
+				for i := 0; i < 2000; i++ {
+					cells, _ = m.Bucketize(cells[:0], m.Perturb(rng.Float64(), rng))
+					for _, c := range cells {
+						counts[c]++
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Estimate(counts)
+				}
+			})
+		}
+	}
+}

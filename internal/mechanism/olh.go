@@ -1,0 +1,106 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fo"
+	"repro/internal/hashx"
+	"repro/internal/matrixx"
+	"repro/internal/randx"
+)
+
+// olhMech adapts Optimized Local Hashing with the variance-optimal range
+// g = ⌊e^ε⌋+1. A wire report is (seed, y): the user's public hash seed and
+// the GRR-perturbed hash of their value. Seeds are drawn from 53 bits so
+// the float64 wire components (and JSON numbers) round-trip losslessly.
+//
+// Bucketize performs the support-counting half of OLH aggregation at
+// ingestion time: one report increments the cell of every domain value its
+// hash maps onto y (≈ d/g cells, an O(d) scan per report — the same O(n·d)
+// total cost as batch OLH aggregation, paid incrementally) plus the user
+// marker cell d. Reconstruction is matrix-free: the fresh per-user seed
+// means there is no fixed report alphabet to build a transition matrix
+// over, so the debiased support estimate of Section 2.1 applies directly.
+type olhMech struct {
+	p     Params
+	g     int
+	fam   hashx.Family
+	inner *fo.GRR // GRR over the hashed domain {0..g−1}
+}
+
+// olhSeedBits bounds report seeds so they survive a float64 round-trip.
+const olhSeedBits = 53
+
+func newOLH(p Params) *olhMech {
+	g := int(math.Floor(math.Exp(p.Epsilon))) + 1
+	if g < 2 {
+		g = 2
+	}
+	return &olhMech{p: p, g: g, fam: hashx.NewFamily(g), inner: fo.NewGRR(g, p.Epsilon)}
+}
+
+func (m *olhMech) Name() string       { return OLH }
+func (m *olhMech) Epsilon() float64   { return m.p.Epsilon }
+func (m *olhMech) Buckets() int       { return m.p.Buckets }
+func (m *olhMech) OutputBuckets() int { return m.p.Buckets + 1 } // + user marker
+func (m *olhMech) Scalar() bool       { return false }
+func (m *olhMech) FanOut() bool       { return true }
+func (m *olhMech) Params() Params     { return m.p }
+
+// G exposes the hash range for conformance tests.
+func (m *olhMech) G() int { return m.g }
+
+// P exposes the truth probability of the inner GRR for conformance tests.
+func (m *olhMech) P() float64 { return m.inner.P() }
+
+func (m *olhMech) Perturb(v float64, rng *randx.Rand) Report {
+	seed := rng.Uint64() >> (64 - olhSeedBits)
+	h := m.fam.Apply(seed, discretize(v, m.p.Buckets))
+	return Report{float64(seed), float64(m.inner.Perturb(h, rng))}
+}
+
+func (m *olhMech) BucketOf(report float64) (int, error) { return 0, errNotScalar(OLH) }
+
+func (m *olhMech) Bucketize(dst []int, rep Report) ([]int, error) {
+	if len(rep) != 2 {
+		return dst, fmt.Errorf("mechanism: olh report wants 2 components (seed, y), got %d", len(rep))
+	}
+	s := rep[0]
+	if s != math.Trunc(s) || s < 0 || s >= float64(uint64(1)<<olhSeedBits) {
+		return dst, fmt.Errorf("mechanism: olh seed %v is not a %d-bit integer", s, olhSeedBits)
+	}
+	seed := uint64(s)
+	y, err := intComponent(rep[1], m.g, "olh hash report")
+	if err != nil {
+		return dst, err
+	}
+	d := m.p.Buckets
+	for v := 0; v < d; v++ {
+		if m.fam.Apply(seed, v) == y {
+			dst = append(dst, v)
+		}
+	}
+	return append(dst, d), nil
+}
+
+func (m *olhMech) Users(counts []float64, increments int) int {
+	return int(counts[m.p.Buckets] + 0.5)
+}
+
+func (m *olhMech) Channel() matrixx.Channel { return nil }
+
+func (m *olhMech) Estimate(counts []float64) []float64 {
+	d := m.p.Buckets
+	n := counts[d]
+	est := make([]float64, d)
+	if n == 0 {
+		return est
+	}
+	invG := 1 / float64(m.g)
+	denom := m.inner.P() - invG
+	for v := 0; v < d; v++ {
+		est[v] = (counts[v]/n - invG) / denom
+	}
+	return est
+}

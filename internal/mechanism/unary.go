@@ -1,0 +1,102 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"repro/internal/fo"
+	"repro/internal/matrixx"
+	"repro/internal/randx"
+)
+
+// unaryMech adapts the unary-encoding oracles: OUE (asymmetric bit flips,
+// the variance-optimal choice) and SUE (symmetric flips, basic RAPPOR). A
+// wire report lists the indices of the set bits of the randomized d-bit
+// vector, in strictly increasing order; Bucketize increments one support
+// cell per set bit plus the marker cell d, so the histogram carries both the
+// per-value support counts and the exact user count.
+//
+// Unary encodings have no per-cell transition matrix (one report increments
+// many cells), so reconstruction is matrix-free: the standard debiased
+// estimate x̃_v = (C(v)/n − q)/(p − q), projected onto the simplex by the
+// caller (package postprocess).
+type unaryMech struct {
+	p    Params
+	name string
+	pr   float64 // probability a 1-bit stays 1
+	q    float64 // probability a 0-bit flips on
+	// inner implements Perturb's bit sampling (shared with the batch fo
+	// oracles so the randomization — and its variance — is identical).
+	perturb func(v int, rng *randx.Rand) []bool
+}
+
+func newUnary(p Params, symmetric bool) *unaryMech {
+	if symmetric {
+		inner := fo.NewSUE(p.Buckets, p.Epsilon)
+		return &unaryMech{p: p, name: SUE, pr: inner.P(), q: inner.Q(), perturb: inner.Perturb}
+	}
+	inner := fo.NewOUE(p.Buckets, p.Epsilon)
+	return &unaryMech{p: p, name: OUE, pr: inner.P(), q: inner.Q(), perturb: inner.Perturb}
+}
+
+func (m *unaryMech) Name() string       { return m.name }
+func (m *unaryMech) Epsilon() float64   { return m.p.Epsilon }
+func (m *unaryMech) Buckets() int       { return m.p.Buckets }
+func (m *unaryMech) OutputBuckets() int { return m.p.Buckets + 1 } // + user marker
+func (m *unaryMech) Scalar() bool       { return false }
+func (m *unaryMech) FanOut() bool       { return true }
+func (m *unaryMech) Params() Params     { return m.p }
+
+// P and Q expose the bit-flip probabilities for conformance tests.
+func (m *unaryMech) P() float64 { return m.pr }
+func (m *unaryMech) Q() float64 { return m.q }
+
+func (m *unaryMech) Perturb(v float64, rng *randx.Rand) Report {
+	bits := m.perturb(discretize(v, m.p.Buckets), rng)
+	rep := make(Report, 0, 8)
+	for i, b := range bits {
+		if b {
+			rep = append(rep, float64(i))
+		}
+	}
+	return rep
+}
+
+func (m *unaryMech) BucketOf(report float64) (int, error) { return 0, errNotScalar(m.name) }
+
+func (m *unaryMech) Bucketize(dst []int, rep Report) ([]int, error) {
+	prev := -1
+	for _, c := range rep {
+		i, err := intComponent(c, m.p.Buckets, m.name+" set-bit index")
+		if err != nil {
+			return dst, err
+		}
+		if i <= prev {
+			return dst, fmt.Errorf("mechanism: %s set-bit indices must be strictly increasing", m.name)
+		}
+		prev = i
+		dst = append(dst, i)
+	}
+	// The marker cell counts users exactly once per report, even when no
+	// bit survived randomization.
+	return append(dst, m.p.Buckets), nil
+}
+
+func (m *unaryMech) Users(counts []float64, increments int) int {
+	return int(counts[m.p.Buckets] + 0.5)
+}
+
+func (m *unaryMech) Channel() matrixx.Channel { return nil }
+
+func (m *unaryMech) Estimate(counts []float64) []float64 {
+	d := m.p.Buckets
+	n := counts[d]
+	est := make([]float64, d)
+	if n == 0 {
+		return est
+	}
+	denom := m.pr - m.q
+	for v := 0; v < d; v++ {
+		est[v] = (counts[v]/n - m.q) / denom
+	}
+	return est
+}

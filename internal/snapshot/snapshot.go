@@ -62,7 +62,13 @@ func ValidName(name string) bool {
 //	    estimates. A v1 file loads into a v2 build unchanged — its streams
 //	    simply have no window state, i.e. their whole history behaves as a
 //	    single (live) epoch.
-const Version = 2
+//	3 — adds the per-stream Mechanism identifier (pluggable mechanism
+//	    layer) and the raw increment totals cached estimates cover
+//	    (EstimateRaw / WindowEstimate.Raw). v1 and v2 files load into a v3
+//	    build unchanged: a missing mechanism means "sw" (the only
+//	    mechanism those versions could have written) and missing raw
+//	    totals fall back to the user counts, which coincide for sw.
+const Version = 3
 
 // SealedEpoch is one rotated-out epoch of a windowed stream: a frozen dense
 // report histogram. Empty epochs carry nil Counts.
@@ -82,8 +88,11 @@ type WindowEstimate struct {
 	// Lo, Hi are the inclusive epoch bounds the estimate covers.
 	Lo int `json:"lo"`
 	Hi int `json:"hi"`
-	// N is the report count the estimate covers.
-	N int `json:"n"`
+	// N is the report (user) count the estimate covers; Raw the histogram
+	// increment total (0/omitted means N, which is exact for
+	// one-cell-per-report mechanisms — all a version ≤ 2 file can carry).
+	N   int `json:"n"`
+	Raw int `json:"raw,omitempty"`
 	// Estimate is the reconstruction (length = stream Buckets).
 	Estimate []float64 `json:"estimate"`
 }
@@ -142,11 +151,14 @@ func (w *Window) State(live []uint64) window.State {
 type Stream struct {
 	// Name identifies the stream.
 	Name string `json:"name"`
-	// Epsilon, Buckets, Bandwidth, Shards are the stream's mechanism and
-	// ingestion parameters; a restored stream must be reconstructed with
-	// exactly these, or the report histogram is meaningless.
+	// Epsilon, Buckets, Mechanism, Bandwidth, Shards are the stream's
+	// mechanism and ingestion parameters; a restored stream must be
+	// reconstructed with exactly these, or the report histogram is
+	// meaningless. An empty Mechanism means "sw" (version ≤ 2 files
+	// predate the mechanism layer and were always Square Wave).
 	Epsilon   float64 `json:"epsilon"`
 	Buckets   int     `json:"buckets"`
+	Mechanism string  `json:"mechanism,omitempty"`
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	Shards    int     `json:"shards,omitempty"`
 	// Counts is the report histogram (length = the mechanism's output
@@ -158,10 +170,21 @@ type Stream struct {
 	// (payload version ≥ 2).
 	Window *Window `json:"window,omitempty"`
 	// Estimate optionally carries the cached reconstruction so a restart
-	// serves estimates immediately; EstimateN is the report count it
-	// covers.
-	Estimate  []float64 `json:"estimate,omitempty"`
-	EstimateN int       `json:"estimate_n,omitempty"`
+	// serves estimates immediately; EstimateN is the report (user) count
+	// it covers and EstimateRaw the histogram increment total (0 means
+	// EstimateN; the two differ only for fan-out mechanisms).
+	Estimate    []float64 `json:"estimate,omitempty"`
+	EstimateN   int       `json:"estimate_n,omitempty"`
+	EstimateRaw int       `json:"estimate_raw,omitempty"`
+}
+
+// MechanismName returns the stream's mechanism, defaulting the empty value
+// of version ≤ 2 files to "sw".
+func (s *Stream) MechanismName() string {
+	if s.Mechanism == "" {
+		return "sw"
+	}
+	return s.Mechanism
 }
 
 // N returns the total report count of the persisted histogram.

@@ -157,6 +157,22 @@ func (r *Ring) LiveN() int {
 	return r.live.N()
 }
 
+// Cell returns one bucket's count summed over the live epoch and every
+// retained sealed epoch — O(shards + retained), the cheap path for reading
+// a single cell (e.g. a fan-out mechanism's user-marker cell) without a
+// full merge.
+func (r *Ring) Cell(bucket int) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := r.live.Cell(bucket)
+	for i := range r.sealed {
+		if r.sealed[i].Counts != nil {
+			n += int(r.sealed[i].Counts[bucket])
+		}
+	}
+	return n
+}
+
 // Current returns the live epoch's index and start time.
 func (r *Ring) Current() (index int, start time.Time) {
 	r.mu.RLock()

@@ -249,6 +249,7 @@ func (s *Streams) Save(path string) error {
 			Name:      name,
 			Epsilon:   e.opts.Epsilon,
 			Buckets:   e.opts.Buckets,
+			Mechanism: e.opts.Mechanism,
 			Bandwidth: e.opts.Bandwidth,
 			Shards:    e.opts.Shards,
 		}
@@ -307,6 +308,10 @@ func (s *Streams) Load(path string) error {
 				return fmt.Errorf("repro: snapshot stream %q has (ε=%v, buckets=%d, b=%v) but the declared stream differs",
 					rec.Name, rec.Epsilon, rec.Buckets, rec.Bandwidth)
 			}
+			if e.opts.Mechanism != rec.MechanismName() {
+				return fmt.Errorf("repro: snapshot stream %q uses mechanism %q but the declared stream uses %q",
+					rec.Name, rec.MechanismName(), e.opts.Mechanism)
+			}
 			if rec.Window != nil {
 				if e.agg.ring == nil {
 					return fmt.Errorf("repro: snapshot stream %q is windowed but the declared stream is not; declare it with Options.Epoch",
@@ -328,6 +333,7 @@ func (s *Streams) Load(path string) error {
 			opts := Options{
 				Epsilon:   rec.Epsilon,
 				Buckets:   rec.Buckets,
+				Mechanism: rec.MechanismName(),
 				Bandwidth: rec.Bandwidth,
 				Shards:    rec.Shards,
 			}
