@@ -32,9 +32,19 @@
 // sue, olh, hrr; mech=auto picks the lower-variance categorical oracle for
 // the stream's ε and bucket count).
 //
+// Federation: -push-to turns the server into an edge collector that ships
+// per-stream histogram deltas to a root on a jittered interval (-push-interval,
+// identity -edge-id, defaulting to the hostname); -accept-federation turns it
+// into a root that merges edge pushes on POST /federation/push and exposes
+// per-edge high-water marks on GET /federation/peers;
+// -federation-auto-declare additionally lets edges auto-declare their streams
+// at the root. Snapshots (payload v4) persist the cursors on both sides, so
+// a killed-and-restarted edge replays its in-flight push verbatim and the
+// root provably skips it — no delta is ever lost or double-counted.
+//
 // Endpoints: POST /streams, GET /streams, DELETE /streams/{name},
 // POST /report, POST /batch, GET /estimate, GET /query, POST /query,
-// GET /config.
+// GET /config, POST /federation/push, GET /federation/peers.
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -53,6 +64,7 @@ import (
 
 	"repro/internal/ldphttp"
 	"repro/internal/mechanism"
+	"repro/internal/snapshot"
 )
 
 // streamFlag is one -stream declaration:
@@ -137,6 +149,9 @@ type serverConfig struct {
 	streams      []streamFlag
 	snapPath     string
 	snapInterval time.Duration
+	pushTo       string
+	pushInterval time.Duration
+	edgeID       string
 }
 
 // parseArgs builds the server configuration from command-line arguments
@@ -158,6 +173,12 @@ func parseArgs(args []string) (serverConfig, error) {
 
 		snapPath     = fs.String("snapshot", "", "snapshot file: restore at boot, persist on an interval and at shutdown")
 		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "cadence of periodic snapshots (with -snapshot)")
+
+		pushTo       = fs.String("push-to", "", "root collector base URL: run as a federation edge, shipping histogram deltas to this root")
+		pushInterval = fs.Duration("push-interval", 10*time.Second, "cadence of federation pushes (with -push-to; jittered \u00b110%)")
+		edgeID       = fs.String("edge-id", "", "stable identity of this edge at the root (with -push-to; default: hostname)")
+		acceptFed    = fs.Bool("accept-federation", false, "run as a federation root: accept edge pushes on POST /federation/push")
+		autoDeclare  = fs.Bool("federation-auto-declare", false, "auto-declare unknown streams from pushed edge fingerprints (implies -accept-federation)")
 	)
 	var streamFlags []streamFlag
 	fs.Func("stream", "declare a stream as name:eps:buckets[:bandwidth][:mech=NAME][:epoch=DUR][:retain=N] (repeatable)", func(raw string) error {
@@ -194,6 +215,28 @@ func parseArgs(args []string) (serverConfig, error) {
 	if *snapInterval <= 0 {
 		return serverConfig{}, fmt.Errorf("-snapshot-interval must be positive, got %v", *snapInterval)
 	}
+	if *pushInterval <= 0 {
+		return serverConfig{}, fmt.Errorf("-push-interval must be positive, got %v", *pushInterval)
+	}
+	edge := *edgeID
+	if *pushTo != "" {
+		u, err := url.Parse(*pushTo)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return serverConfig{}, fmt.Errorf("-push-to %q is not an http(s) URL", *pushTo)
+		}
+		if edge == "" {
+			host, err := os.Hostname()
+			if err != nil || !snapshot.ValidName(host) {
+				return serverConfig{}, fmt.Errorf("-push-to needs -edge-id (hostname %q is not usable as one)", host)
+			}
+			edge = host
+		}
+		if !snapshot.ValidName(edge) {
+			return serverConfig{}, fmt.Errorf("-edge-id %q invalid (want 1-64 chars of [A-Za-z0-9._-])", edge)
+		}
+	} else if edge != "" {
+		return serverConfig{}, fmt.Errorf("-edge-id needs -push-to")
+	}
 	return serverConfig{
 		addr: *addr,
 		cfg: ldphttp.Config{
@@ -206,10 +249,17 @@ func parseArgs(args []string) (serverConfig, error) {
 			RefreshInterval: *refresh,
 			Epoch:           *epoch,
 			Retain:          *retain,
+			Federation: ldphttp.FederationConfig{
+				Accept:      *acceptFed || *autoDeclare,
+				AutoDeclare: *autoDeclare,
+			},
 		},
 		streams:      streamFlags,
 		snapPath:     *snapPath,
 		snapInterval: *snapInterval,
+		pushTo:       *pushTo,
+		pushInterval: *pushInterval,
+		edgeID:       edge,
 	}, nil
 }
 
@@ -243,6 +293,31 @@ func main() {
 		default:
 			log.Fatalf("restore %s: %v", conf.snapPath, err)
 		}
+	}
+
+	// Edge mode: ship deltas to the root after the snapshot restore, so a
+	// restored push cursor resumes the sequence exactly. With snapshots
+	// enabled, every new delta payload is persisted before it first travels
+	// (write-ahead), which makes a crash between send and ack replay the
+	// identical bytes.
+	if conf.pushTo != "" {
+		opts := ldphttp.PushOptions{
+			URL:      conf.pushTo,
+			Edge:     conf.edgeID,
+			Interval: conf.pushInterval,
+			Logf:     log.Printf,
+		}
+		if conf.snapPath != "" {
+			opts.Persist = func() error { return srv.SaveSnapshot(conf.snapPath) }
+		}
+		if err := srv.EnablePush(opts); err != nil {
+			log.Fatalf("enable federation push: %v", err)
+		}
+		fmt.Printf("federation edge %q pushing to %s every %v\n", conf.edgeID, conf.pushTo, conf.pushInterval)
+	}
+	if conf.cfg.Federation.Accept {
+		fmt.Printf("federation root: accepting pushes on POST /federation/push (auto-declare: %v)\n",
+			conf.cfg.Federation.AutoDeclare)
 	}
 
 	httpSrv := &http.Server{
@@ -279,8 +354,15 @@ func main() {
 	}
 
 	// finalSnapshot persists the last state on any exit path — a clean
-	// shutdown never loses the last partial epoch.
+	// shutdown never loses the last partial epoch. An edge flushes its last
+	// deltas to the root first (best effort; anything unacknowledged is in
+	// the snapshot and replays exactly on the next boot).
 	finalSnapshot := func() {
+		if conf.pushTo != "" {
+			if _, err := srv.PushNow(); err != nil {
+				log.Printf("final federation push: %v", err)
+			}
+		}
 		if conf.snapPath == "" {
 			return
 		}
@@ -295,7 +377,7 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ldpserver listening on %s (default stream: epsilon=%g, buckets=%d; %d streams)\n",
 		conf.addr, conf.cfg.Epsilon, conf.cfg.Buckets, len(srv.Streams()))
-	fmt.Println("endpoints: POST /streams, GET /streams, DELETE /streams/{name}, POST /report, POST /batch, GET /estimate, GET /query, POST /query, GET /config")
+	fmt.Println("endpoints: POST /streams, GET /streams, DELETE /streams/{name}, POST /report, POST /batch, GET /estimate, GET /query, POST /query, GET /config, POST /federation/push, GET /federation/peers")
 
 	select {
 	case err := <-errc:

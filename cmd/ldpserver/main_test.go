@@ -131,3 +131,65 @@ func TestParseArgsErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseArgsFederation(t *testing.T) {
+	conf, err := parseArgs([]string{
+		"-push-to", "http://root:8080", "-edge-id", "sfo-1", "-push-interval", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.pushTo != "http://root:8080" || conf.edgeID != "sfo-1" || conf.pushInterval != 5*time.Second {
+		t.Errorf("edge flags parsed as %+v", conf)
+	}
+	if conf.cfg.Federation.Accept || conf.cfg.Federation.AutoDeclare {
+		t.Errorf("edge flags enabled root federation: %+v", conf.cfg.Federation)
+	}
+
+	conf, err = parseArgs([]string{"-accept-federation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conf.cfg.Federation.Accept || conf.cfg.Federation.AutoDeclare {
+		t.Errorf("-accept-federation parsed as %+v", conf.cfg.Federation)
+	}
+
+	// Auto-declare implies accepting.
+	conf, err = parseArgs([]string{"-federation-auto-declare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conf.cfg.Federation.Accept || !conf.cfg.Federation.AutoDeclare {
+		t.Errorf("-federation-auto-declare parsed as %+v", conf.cfg.Federation)
+	}
+
+	// Without -edge-id the hostname fills in (when it is a valid name).
+	conf, err = parseArgs([]string{"-push-to", "http://root:8080"})
+	if err == nil && conf.edgeID == "" {
+		t.Error("edge id neither defaulted nor rejected")
+	}
+
+	// A server can be edge and root at once (tiered fan-in).
+	conf, err = parseArgs([]string{"-push-to", "http://root:8080", "-edge-id", "mid-1", "-accept-federation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conf.cfg.Federation.Accept || conf.pushTo == "" {
+		t.Errorf("tiered flags parsed as %+v", conf)
+	}
+}
+
+func TestParseArgsFederationErrors(t *testing.T) {
+	cases := map[string][]string{
+		"push-to not a URL":      {"-push-to", "root:8080"},
+		"push-to bad scheme":     {"-push-to", "ftp://root"},
+		"edge-id without target": {"-edge-id", "sfo-1"},
+		"edge-id invalid":        {"-push-to", "http://r", "-edge-id", "no spaces"},
+		"bad push interval":      {"-push-to", "http://r", "-edge-id", "e", "-push-interval", "0s"},
+	}
+	for name, args := range cases {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("%s: parseArgs(%v) accepted", name, args)
+		}
+	}
+}

@@ -97,9 +97,10 @@
 // collection answers "what did the distribution look like recently" instead
 // of averaging over its whole history. Windowed streams persist through
 // Streams.Save with their rotation clock and sealed epochs (snapshot payload
-// version 3, which also records each stream's mechanism; version ≤ 2 files
-// still load — their streams default to "sw", and v1 history lands in the
-// live epoch).
+// version 4, which also records each stream's mechanism and the federation
+// cursors; version ≤ 3 files still load — pre-v3 streams default to "sw",
+// v1 history lands in the live epoch, and pre-v4 files simply carry no
+// federation state).
 //
 // # Collection at scale
 //
@@ -127,4 +128,31 @@
 // window=epochs:i..j). The -snapshot flag makes the collector durable
 // across restarts, windowed streams resuming mid-epoch with bit-identical
 // window estimates. See README.md for the operational details.
+//
+// # Federation
+//
+// One collector scales to one machine; a fleet of reporting users wants a
+// tier of them. The federation layer (internal/federate) connects running
+// collectors: edge servers near the clients accumulate reports in their own
+// striped histograms and periodically POST the increments since their last
+// acknowledged push — keyed by stream and epoch index, fingerprinted with
+// the stream's mechanism/ε/granularity/bandwidth, CRC-checked and
+// sequence-numbered — to a root's /federation/push endpoint, which merges
+// each delta into the matching live or sealed epoch and answers queries
+// over the union:
+//
+//	clients ──▶ edge A ─┐
+//	clients ──▶ edge B ─┼── deltas ──▶ root ──▶ GET /estimate, /query
+//	clients ──▶ edge C ─┘
+//
+// The protocol is exact: the root's histogram after every acknowledged push
+// equals what a single collector ingesting every edge's reports would hold
+// (the serving tests assert the reconstructions bit-identical). Replays —
+// retries after a lost ack, or an edge restarted from its snapshot — are
+// detected by per-edge sequence numbers and payload checksums and skipped,
+// so crashes can neither lose nor double-count a delta. Run an edge with
+// "ldpserver -push-to http://root:8080 -edge-id sfo-1", a root with
+// "ldpserver -accept-federation" (add -federation-auto-declare to let edges
+// declare their streams), and inspect the per-edge high-water marks on GET
+// /federation/peers — or programmatically via FederationPeers.
 package repro

@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestFederationPeers(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/federation/peers" || r.Method != http.MethodGet {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"peers": [
+			{"edge": "edge-1", "last_seq": 4, "last_push": "2026-07-30T12:00:00.5Z",
+			 "reports": 900, "dropped": 2,
+			 "streams": [{"stream": "age", "n": 900,
+			              "epochs": [{"epoch": 0, "n": 600}, {"epoch": 1, "n": 300}]}]},
+			{"edge": "edge-2", "last_seq": 1, "reports": 10}
+		]}`))
+	}))
+	defer ts.Close()
+
+	peers, err := FederationPeers(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 {
+		t.Fatalf("got %d peers", len(peers))
+	}
+	p := peers[0]
+	if p.Edge != "edge-1" || p.LastSeq != 4 || p.Reports != 900 || p.Dropped != 2 {
+		t.Fatalf("peer %+v", p)
+	}
+	want := time.Date(2026, 7, 30, 12, 0, 0, 500000000, time.UTC)
+	if !p.LastPush.Equal(want) {
+		t.Fatalf("last push %v, want %v", p.LastPush, want)
+	}
+	if len(p.Streams) != 1 || p.Streams[0].N != 900 || len(p.Streams[0].Epochs) != 2 ||
+		p.Streams[0].Epochs[1].N != 300 {
+		t.Fatalf("peer streams %+v", p.Streams)
+	}
+	if !peers[1].LastPush.IsZero() {
+		t.Fatalf("peer without last_push decoded %v", peers[1].LastPush)
+	}
+}
+
+func TestFederationPeersErrors(t *testing.T) {
+	if _, err := FederationPeers("not a url", nil); err == nil {
+		t.Error("bad URL accepted")
+	}
+	if _, err := FederationPeers("ftp://x", nil); err == nil {
+		t.Error("non-http scheme accepted")
+	}
+
+	// Non-200 statuses and undecodable bodies surface as errors.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	if _, err := FederationPeers(bad.URL, nil); err == nil {
+		t.Error("503 accepted")
+	}
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer garbage.Close()
+	if _, err := FederationPeers(garbage.URL, nil); err == nil {
+		t.Error("garbage body accepted")
+	}
+}

@@ -165,6 +165,29 @@ func (s *Striped) Snapshot(dst []float64) ([]float64, int) {
 	return dst, int(n)
 }
 
+// AddCounts folds a dense histogram into s in one pass (federation deltas,
+// snapshot restores): the shard is resolved once for the whole histogram and
+// zero cells cost nothing, so merging a delta is O(nonzero buckets) atomic
+// adds rather than one shard lookup per bucket.
+func (s *Striped) AddCounts(counts []uint64) error {
+	if len(counts) != s.buckets {
+		return fmt.Errorf("aggregate: add granularity mismatch (%d vs %d buckets)",
+			len(counts), s.buckets)
+	}
+	id := s.hint.Get().(*uint32)
+	sh := &s.shards[*id]
+	var n uint64
+	for b, c := range counts {
+		if c != 0 {
+			sh.counts[b].Add(c)
+			n += c
+		}
+	}
+	sh.n.Add(n)
+	s.hint.Put(id)
+	return nil
+}
+
 // Merge folds a snapshot of other into s (e.g. per-datacenter stripes
 // merging before reconstruction). The bucket counts must match.
 func (s *Striped) Merge(other *Striped) error {

@@ -135,3 +135,21 @@ func TestDefaults(t *testing.T) {
 		t.Errorf("buckets = %d", s.Buckets())
 	}
 }
+
+func TestAddCounts(t *testing.T) {
+	s := New(4, 2)
+	s.Add(1)
+	if err := s.AddCounts([]uint64{5, 0, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.N(); got != 8 {
+		t.Fatalf("N = %d, want 8", got)
+	}
+	hist, n := s.Snapshot(nil)
+	if n != 8 || hist[0] != 5 || hist[1] != 1 || hist[3] != 2 {
+		t.Fatalf("snapshot %v (n=%d)", hist, n)
+	}
+	if err := s.AddCounts([]uint64{1}); err == nil {
+		t.Fatal("wrong-width AddCounts accepted")
+	}
+}

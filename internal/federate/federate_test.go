@@ -1,0 +1,202 @@
+package federate
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEpochDeltaEncodingChoice(t *testing.T) {
+	// Dense-ish increments stay dense; sparse increments become cells.
+	dense := make([]uint64, 8)
+	for i := range dense {
+		dense[i] = uint64(i + 1)
+	}
+	d, ok := NewEpochDelta(0, dense)
+	if !ok || d.Counts == nil || d.Cells != nil {
+		t.Fatalf("dense increments encoded as %+v", d)
+	}
+	if d.N != 36 {
+		t.Fatalf("dense delta N = %d, want 36", d.N)
+	}
+
+	sparse := make([]uint64, 100)
+	sparse[7] = 3
+	sparse[42] = 9
+	d, ok = NewEpochDelta(5, sparse)
+	if !ok || d.Cells == nil || d.Counts != nil {
+		t.Fatalf("sparse increments encoded as %+v", d)
+	}
+	if d.N != 12 || len(d.Cells) != 2 {
+		t.Fatalf("sparse delta = %+v", d)
+	}
+
+	if _, ok := NewEpochDelta(0, make([]uint64, 16)); ok {
+		t.Fatal("all-zero increments must not encode")
+	}
+}
+
+func TestEpochDeltaDenseRoundTrip(t *testing.T) {
+	for _, buckets := range []int{4, 100} {
+		inc := make([]uint64, buckets)
+		inc[1] = 5
+		inc[buckets-1] = 2
+		d, ok := NewEpochDelta(3, inc)
+		if !ok {
+			t.Fatal("delta did not encode")
+		}
+		got, err := d.Dense(buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range inc {
+			if got[b] != inc[b] {
+				t.Fatalf("buckets=%d: bucket %d = %d, want %d", buckets, b, got[b], inc[b])
+			}
+		}
+	}
+}
+
+func TestEpochDeltaDenseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		d    EpochDelta
+	}{
+		{"negative epoch", EpochDelta{Epoch: -1, N: 1, Counts: []uint64{1, 0}}},
+		{"both encodings", EpochDelta{N: 1, Counts: []uint64{1, 0}, Cells: [][2]uint64{{0, 1}}}},
+		{"no counts", EpochDelta{N: 1}},
+		{"wrong width", EpochDelta{N: 1, Counts: []uint64{1}}},
+		{"bad checksum", EpochDelta{N: 7, Counts: []uint64{1, 0}}},
+		{"zero total", EpochDelta{N: 0, Counts: []uint64{0, 0}}},
+		{"cell out of range", EpochDelta{N: 1, Cells: [][2]uint64{{9, 1}}}},
+		{"cells out of order", EpochDelta{N: 2, Cells: [][2]uint64{{1, 1}, {0, 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.d.Dense(2); err == nil {
+			t.Errorf("%s: Dense accepted %+v", tc.name, tc.d)
+		}
+	}
+}
+
+func testDeltas() []StreamDelta {
+	return []StreamDelta{{
+		Stream: "age",
+		Fingerprint: Fingerprint{
+			Mechanism: "sw", Epsilon: 1, Buckets: 8, OutputBuckets: 8, Bandwidth: 0.25,
+		},
+		Epochs: []EpochDelta{{Epoch: 0, N: 3, Counts: []uint64{1, 0, 2, 0, 0, 0, 0, 0}}},
+	}}
+}
+
+func TestPushRoundTrip(t *testing.T) {
+	body, err := EncodePush("edge-1", 7, testDeltas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := DecodePush(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if push.Edge != "edge-1" || push.Seq != 7 || len(push.Streams) != 1 {
+		t.Fatalf("decoded %+v", push)
+	}
+	sd := push.Streams[0]
+	if sd.Stream != "age" || !sd.Fingerprint.Equal(testDeltas()[0].Fingerprint) {
+		t.Fatalf("decoded stream %+v", sd)
+	}
+	dense, err := sd.Epochs[0].Dense(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense[0] != 1 || dense[2] != 2 {
+		t.Fatalf("decoded counts %v", dense)
+	}
+}
+
+func TestDecodePushRejectsCorruption(t *testing.T) {
+	body, err := EncodePush("edge-1", 1, testDeltas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the streams payload: the CRC must catch it.
+	corrupt := bytes.Replace(body, []byte(`"age"`), []byte(`"agf"`), 1)
+	if bytes.Equal(corrupt, body) {
+		t.Fatal("corruption did not apply")
+	}
+	if _, err := DecodePush(corrupt); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted payload decoded: %v", err)
+	}
+}
+
+func TestDecodePushRejectsMalformed(t *testing.T) {
+	good, _ := EncodePush("e", 1, testDeltas())
+	rewrite := func(mutate func(map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(good, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := map[string][]byte{
+		"not json":      []byte("{"),
+		"wrong version": rewrite(func(m map[string]any) { m["version"] = 99 }),
+		"no edge":       rewrite(func(m map[string]any) { m["edge"] = "" }),
+		"zero seq":      rewrite(func(m map[string]any) { m["seq"] = 0 }),
+	}
+	for name, body := range cases {
+		if _, err := DecodePush(body); err == nil {
+			t.Errorf("%s: decoded", name)
+		}
+	}
+
+	// Structural stream errors, re-encoded through EncodePush so the CRC is
+	// valid and the failure is attributable to the validation.
+	bad := [][]StreamDelta{
+		{{Stream: "", Epochs: []EpochDelta{{N: 1, Counts: []uint64{1}}}}},
+		{{Stream: "a", Epochs: []EpochDelta{{N: 1, Counts: []uint64{1}}}},
+			{Stream: "a", Epochs: []EpochDelta{{N: 1, Counts: []uint64{1}}}}},
+		{{Stream: "a"}},
+	}
+	for i, streams := range bad {
+		body, err := EncodePush("e", 1, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodePush(body); err == nil {
+			t.Errorf("bad streams %d decoded", i)
+		}
+	}
+}
+
+func TestEncodePushRejectsBadArgs(t *testing.T) {
+	if _, err := EncodePush("", 1, nil); err == nil {
+		t.Error("empty edge encoded")
+	}
+	if _, err := EncodePush("e", 0, nil); err == nil {
+		t.Error("zero seq encoded")
+	}
+}
+
+func TestFingerprintEqualAndString(t *testing.T) {
+	a := Fingerprint{Mechanism: "sw", Epsilon: 1, Buckets: 64, OutputBuckets: 64, Bandwidth: 0.3}
+	b := a
+	if !a.Equal(b) {
+		t.Fatal("identical fingerprints unequal")
+	}
+	b.Epsilon = 2
+	if a.Equal(b) {
+		t.Fatal("different fingerprints equal")
+	}
+	w := Fingerprint{Mechanism: "oue", Epsilon: 1, Buckets: 32, OutputBuckets: 33,
+		EpochNanos: int64(time.Minute), Retain: 4}
+	if s := w.String(); !strings.Contains(s, "epoch=1m") || !strings.Contains(s, "retain=4") {
+		t.Fatalf("windowed fingerprint renders %q", s)
+	}
+}

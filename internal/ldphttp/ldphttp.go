@@ -80,8 +80,10 @@ package ldphttp
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,9 +91,11 @@ import (
 	"repro/internal/aggregate"
 	"repro/internal/core"
 	"repro/internal/em"
+	"repro/internal/federate"
 	"repro/internal/histogram"
 	"repro/internal/mechanism"
 	"repro/internal/snapshot"
+	"repro/internal/sw"
 	"repro/internal/window"
 )
 
@@ -133,6 +137,22 @@ type Config struct {
 	// Clock overrides the rotation clock (nil = time.Now). Tests drive a
 	// mock clock through it; rotation advances on the engine's cadence.
 	Clock func() time.Time `json:"-"`
+	// Federation configures the root side of the federation tier (see
+	// POST /federation/push): whether this server accepts delta pushes
+	// from edge collectors, and whether it auto-declares streams it does
+	// not host yet from the pushed fingerprints.
+	Federation FederationConfig `json:"-"`
+}
+
+// FederationConfig is the root-side federation surface. Both knobs are
+// opt-in: a server that never asked to be a root rejects pushes outright.
+type FederationConfig struct {
+	// Accept serves POST /federation/push.
+	Accept bool
+	// AutoDeclare creates unknown streams from the fingerprint an edge
+	// pushes, so a fleet of edges can sync their stream declarations to
+	// the root without an operator pre-declaring every stream.
+	AutoDeclare bool
 }
 
 // StreamConfig is the per-stream subset of Config. Zero fields inherit the
@@ -180,14 +200,16 @@ type stream struct {
 	winMu sync.Mutex
 	wins  map[window.Range]*windowCache
 
-	// Engine-owned scratch (single goroutine): warm-start vector,
-	// snapshot/merge buffers, and a flag forcing the next re-estimate
-	// after a rotation (age-out can change the population without
-	// changing its size, so the count comparison alone is not enough).
-	init        []float64
-	scratch     []float64
-	winScratch  []float64
-	mustRefresh bool
+	// Engine-owned scratch (single goroutine): warm-start vector and
+	// snapshot/merge buffers.
+	init       []float64
+	scratch    []float64
+	winScratch []float64
+	// mustRefresh forces the next re-estimate after a rotation (age-out
+	// can change the population without changing its size, so the count
+	// comparison alone is not enough). Atomic because both the engine and
+	// the federation push handler rotate rings.
+	mustRefresh atomic.Bool
 }
 
 // add, addBatch, addN and reports dispatch ingestion and counting to the
@@ -260,6 +282,18 @@ type Server struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 	snapMu    sync.Mutex // serializes SaveSnapshot
+
+	// Federation state. fedMu serializes push application against snapshot
+	// capture, so a snapshot's histograms and peer watermarks are always
+	// mutually consistent (lock order: snapMu → fedMu → mu).
+	fedMu   sync.Mutex
+	peers   map[string]*peerState
+	tracker *federate.Tracker
+	pusher  *federate.Pusher
+	// restoredCursor stashes an edge push cursor loaded from a snapshot
+	// before EnablePush was called (boot order is declare → restore →
+	// enable, but both orders work).
+	restoredCursor *federate.CursorState
 }
 
 // NewServer builds a collection server with its default stream and starts
@@ -284,6 +318,7 @@ func NewServer(cfg Config) *Server {
 		workers: workers,
 		now:     clock,
 		streams: make(map[string]*stream),
+		peers:   make(map[string]*peerState),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
@@ -394,6 +429,23 @@ func (s *Server) fillStreamDefaults(cfg StreamConfig) (StreamConfig, error) {
 // exists with different parameters.
 var ErrStreamConfigMismatch = fmt.Errorf("stream exists with different configuration")
 
+// effectiveBandwidth resolves a declared wave half-width the way the
+// mechanism layer does: for the sw family, 0 means the mutual-information
+// optimum for the stream's ε; other mechanisms have no bandwidth. Stream
+// compatibility is judged on this resolved value, so "declare the default"
+// and "declare the optimum explicitly" (e.g. a stream auto-declared from a
+// federation fingerprint, which always carries resolved values) are the
+// same configuration.
+func effectiveBandwidth(mech string, epsilon, bandwidth float64) float64 {
+	if mech != mechanism.SW && mech != mechanism.SWDiscrete {
+		return 0
+	}
+	if bandwidth != 0 {
+		return bandwidth
+	}
+	return sw.BOpt(epsilon)
+}
+
 // CreateStream declares a named stream. Declaring an existing stream with
 // the same mechanism parameters (mechanism, ε, buckets, bandwidth) is a
 // no-op — Shards
@@ -414,7 +466,9 @@ func (s *Server) CreateStream(name string, cfg StreamConfig) error {
 	defer s.mu.Unlock()
 	if existing, ok := s.streams[name]; ok {
 		if existing.cfg.Epsilon != cfg.Epsilon || existing.cfg.Buckets != cfg.Buckets ||
-			existing.cfg.Bandwidth != cfg.Bandwidth || existing.cfg.Mechanism != cfg.Mechanism {
+			existing.cfg.Mechanism != cfg.Mechanism ||
+			effectiveBandwidth(existing.cfg.Mechanism, existing.cfg.Epsilon, existing.cfg.Bandwidth) !=
+				effectiveBandwidth(cfg.Mechanism, cfg.Epsilon, cfg.Bandwidth) {
 			return fmt.Errorf("ldphttp: %w: %q has %+v, requested %+v",
 				ErrStreamConfigMismatch, name, existing.cfg, cfg)
 		}
@@ -630,7 +684,7 @@ func (s *Server) refreshStream(st *stream) {
 		s.mu.RUnlock()
 		if rotated > 0 {
 			st.evictAgedWindows()
-			st.mustRefresh = true
+			st.mustRefresh.Store(true)
 		}
 		defer s.refreshWindows(st)
 	}
@@ -640,10 +694,10 @@ func (s *Server) refreshStream(st *stream) {
 	} else {
 		st.scratch, n = st.counts.Snapshot(st.scratch)
 	}
-	if n == 0 || (int64(n) == st.published.Load() && !st.mustRefresh) {
+	if n == 0 || (int64(n) == st.published.Load() && !st.mustRefresh.Load()) {
 		return
 	}
-	st.mustRefresh = false
+	st.mustRefresh.Store(false)
 	init := st.init
 	if init == nil {
 		// Warm-start from a snapshot-restored estimate when there is one.
@@ -680,6 +734,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/estimate", s.handleEstimate)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/config", s.handleConfig)
+	mux.HandleFunc("/federation/push", s.handleFederationPush)
+	mux.HandleFunc("/federation/peers", s.handleFederationPeers)
 	return mux
 }
 
@@ -769,6 +825,16 @@ func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]any{"error": fmt.Sprintf(format, args...)})
 }
 
+// methodNotAllowed answers an unsupported method the way RFC 9110 asks: 405
+// with an Allow header listing what the resource supports — and, since every
+// endpoint here speaks JSON, a JSON error body instead of a bare text line.
+func methodNotAllowed(w http.ResponseWriter, r *http.Request, allowed ...string) {
+	allow := strings.Join(allowed, ", ")
+	w.Header().Set("Allow", allow)
+	errorJSON(w, http.StatusMethodNotAllowed, "method %s not allowed on %s (allow: %s)",
+		r.Method, r.URL.Path, allow)
+}
+
 // resolveStream finds the request's stream or writes a 404.
 func (s *Server) resolveStream(w http.ResponseWriter, name string) *stream {
 	st := s.lookup(name)
@@ -780,7 +846,7 @@ func (s *Server) resolveStream(w http.ResponseWriter, name string) *stream {
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodPost)
 		return
 	}
 	var req reportRequest
@@ -807,7 +873,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodPost)
 		return
 	}
 	var req batchRequest
@@ -880,7 +946,7 @@ func (s *Server) loadEstimate(w http.ResponseWriter, st *stream) (cached *Estima
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	st := s.resolveStream(w, r.URL.Query().Get("stream"))
@@ -895,6 +961,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	out := *cached
 	out.PendingReports = pending
 	writeJSON(w, out)
+}
+
+// StreamCreateResponse is the JSON shape of POST /streams: the full
+// effective configuration of the declared stream (identical to GET /config)
+// plus whether this request created it. Re-declaring an existing stream with
+// a compatible configuration is idempotent — 200 with the existing config —
+// so a fleet of edge collectors can blindly sync their declarations to a
+// root; only a genuinely conflicting configuration is refused with 409.
+type StreamCreateResponse struct {
+	ConfigResponse
+	Created bool `json:"created"`
 }
 
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
@@ -914,8 +991,11 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 		_, existed := s.streams[req.Name] // exact name: "" must not alias the default stream
 		s.mu.RUnlock()
 		if err := s.CreateStream(req.Name, req.StreamConfig); err != nil {
+			// 409 is reserved for a real configuration conflict with the
+			// live stream; a malformed declaration is 400 whether or not
+			// the name exists.
 			status := http.StatusBadRequest
-			if existed {
+			if errors.Is(err, ErrStreamConfigMismatch) {
 				status = http.StatusConflict
 			}
 			errorJSON(w, status, "%v", err)
@@ -925,10 +1005,9 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 		if !existed {
 			w.WriteHeader(http.StatusCreated)
 		}
-		writeJSON(w, map[string]any{"stream": st.name, "epsilon": st.cfg.Epsilon,
-			"buckets": st.cfg.Buckets, "mechanism": st.cfg.Mechanism, "created": !existed})
+		writeJSON(w, StreamCreateResponse{ConfigResponse: s.configOf(st), Created: !existed})
 	default:
-		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 	}
 }
 
@@ -959,15 +1038,20 @@ type ConfigResponse struct {
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	st := s.resolveStream(w, r.URL.Query().Get("stream"))
 	if st == nil {
 		return
 	}
+	writeJSON(w, s.configOf(st))
+}
+
+// configOf assembles the full effective configuration of one stream.
+func (s *Server) configOf(st *stream) ConfigResponse {
 	params := st.agg.Mechanism().Params()
-	resp := ConfigResponse{
+	return ConfigResponse{
 		Stream:        st.name,
 		Mechanism:     st.cfg.Mechanism,
 		Epsilon:       st.cfg.Epsilon,
@@ -979,7 +1063,6 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		Retain:        st.cfg.Retain,
 		EMWorkers:     s.workers,
 	}
-	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

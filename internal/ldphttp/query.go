@@ -47,7 +47,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.handleQueryPost(w, r)
 	default:
-		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 	}
 }
 

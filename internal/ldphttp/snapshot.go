@@ -28,10 +28,17 @@ import (
 // SaveSnapshot atomically writes the state of every stream to path. Safe to
 // call concurrently with ingestion and estimation: each stream's histogram
 // is captured with a non-blocking consistent snapshot, and concurrent saves
-// are serialized.
+// are serialized. Federation cursors (payload version 4) are captured under
+// the same lock that serializes push application, so the persisted peer
+// watermarks and histograms always agree — a restored root skips exactly
+// the replays whose increments its histograms already contain.
 func (s *Server) SaveSnapshot(path string) error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	// fedMu covers only the in-memory capture: holding it across the file
+	// write would stall every incoming federation push on disk I/O. snapMu
+	// alone serializes concurrent saves.
+	s.fedMu.Lock()
 	list := s.streamList()
 	records := make([]snapshot.Stream, 0, len(list))
 	for _, st := range list {
@@ -64,7 +71,9 @@ func (s *Server) SaveSnapshot(path string) error {
 		}
 		records = append(records, rec)
 	}
-	return snapshot.Save(path, records)
+	fed := s.federationRecordLocked()
+	s.fedMu.Unlock()
+	return snapshot.SaveFile(path, &snapshot.File{Streams: records, Federation: fed})
 }
 
 // windowRecord converts a ring state plus the stream's cached window
@@ -119,10 +128,16 @@ func windowState(rec snapshot.Stream) window.State {
 // takes the registry read-lock) can slip between validation and apply, and
 // no error path leaves a partial merge behind.
 func (s *Server) LoadSnapshot(path string) error {
-	records, err := snapshot.Load(path)
+	file, err := snapshot.LoadFile(path)
 	if err != nil {
 		return err
 	}
+	records := file.Streams
+	// Lock order: fedMu before the registry lock, matching the push path —
+	// the restore must exclude concurrent pushes, or a push applied between
+	// the histogram merge and the peer-cursor install would be forgotten.
+	s.fedMu.Lock()
+	defer s.fedMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Phase 1 — validate every record and build (but do not register) the
@@ -134,7 +149,8 @@ func (s *Server) LoadSnapshot(path string) error {
 		st, ok := s.streams[rec.Name]
 		if ok {
 			if st.cfg.Epsilon != rec.Epsilon || st.cfg.Buckets != rec.Buckets ||
-				st.cfg.Bandwidth != rec.Bandwidth {
+				effectiveBandwidth(st.cfg.Mechanism, st.cfg.Epsilon, st.cfg.Bandwidth) !=
+					effectiveBandwidth(rec.MechanismName(), rec.Epsilon, rec.Bandwidth) {
 				return fmt.Errorf("ldphttp: snapshot stream %q has (ε=%v, buckets=%d, b=%v) but the live stream has (ε=%v, buckets=%d, b=%v)",
 					rec.Name, rec.Epsilon, rec.Buckets, rec.Bandwidth,
 					st.cfg.Epsilon, st.cfg.Buckets, st.cfg.Bandwidth)
@@ -191,6 +207,15 @@ func (s *Server) LoadSnapshot(path string) error {
 		}
 		targets[i] = st
 	}
+	// The edge push cursor restores between validation and the merges: its
+	// one failure mode — a tracker that already acked pushes this process
+	// made, state the snapshot cannot know about — must abort the load
+	// while nothing has merged yet, or a retry would double-merge. The
+	// cursor installed here agrees with the histograms only once phase 2
+	// lands, which it now cannot fail to do.
+	if err := s.restorePushCursorLocked(file.Federation); err != nil {
+		return fmt.Errorf("ldphttp: restore federation state: %w", err)
+	}
 	// Phase 2 — register and merge; no failure paths remain: the engine
 	// rotates rings only under the registry read-lock, which this restore
 	// holds exclusively, so a ring validated as adoptable in phase 1 is
@@ -241,6 +266,9 @@ func (s *Server) LoadSnapshot(path string) error {
 			st.restoreWindowEstimates(s, rec.Window.Estimates)
 		}
 	}
+	// Phase 3 — root-side peer cursors (validated in LoadFile, install
+	// cannot fail).
+	s.restorePeersLocked(file.Federation)
 	s.wake() // re-estimate any stream whose counts moved past its estimate
 	return nil
 }

@@ -1,10 +1,11 @@
 package ldphttp
 
-// Snapshot migration matrix (payload v1/v2 → v3): fixtures derived from a
-// real v3 save by stripping exactly the fields the older versions lacked
-// must load into a v3 build, default every stream to the "sw" mechanism,
-// and serve bit-identical cached estimates after the engine's next pass
-// (which must conclude there is nothing to recompute).
+// Snapshot migration matrix (payload v1/v2/v3 → v4): fixtures derived from
+// a real v4 save by stripping exactly the fields the older versions lacked
+// must load into a v4 build — v1/v2 defaulting every stream to the "sw"
+// mechanism, v3 loading with empty federation cursors — and serve
+// bit-identical cached estimates after the engine's next pass (which must
+// conclude there is nothing to recompute).
 
 import (
 	"bufio"
@@ -23,10 +24,11 @@ import (
 	"repro/internal/randx"
 )
 
-// downgradeSnapshot rewrites a v3 snapshot file as an older payload
-// version, stripping the v3-only fields (mechanism, estimate_raw, window
-// estimate raw) and, for v1, the window blocks. Numbers pass through
-// json.Number, so float64 payloads survive byte-for-byte.
+// downgradeSnapshot rewrites a current snapshot file as an older payload
+// version, stripping exactly the fields each version lacked: the federation
+// block (v4), the mechanism and raw-total fields (v3), and the window blocks
+// (v2). Numbers pass through json.Number, so float64 payloads survive
+// byte-for-byte.
 func downgradeSnapshot(t *testing.T, src, dst string, version int) {
 	t.Helper()
 	raw, err := os.ReadFile(src)
@@ -44,17 +46,22 @@ func downgradeSnapshot(t *testing.T, src, dst string, version int) {
 		t.Fatal(err)
 	}
 	payload["version"] = version
+	if version < 4 {
+		delete(payload, "federation")
+	}
 	streams, ok := payload["streams"].([]any)
 	if !ok {
 		t.Fatalf("snapshot %s has no streams", src)
 	}
 	for _, raw := range streams {
 		stream := raw.(map[string]any)
-		delete(stream, "mechanism")
-		delete(stream, "estimate_raw")
+		if version < 3 {
+			delete(stream, "mechanism")
+			delete(stream, "estimate_raw")
+		}
 		if version < 2 {
 			delete(stream, "window")
-		} else if win, ok := stream["window"].(map[string]any); ok {
+		} else if win, ok := stream["window"].(map[string]any); ok && version < 3 {
 			if ests, ok := win["estimates"].([]any); ok {
 				for _, e := range ests {
 					delete(e.(map[string]any), "raw")
@@ -78,14 +85,25 @@ func downgradeSnapshot(t *testing.T, src, dst string, version int) {
 
 func TestSnapshotMigrationMatrix(t *testing.T) {
 	dir := t.TempDir()
-	v3Path := filepath.Join(dir, "v3.snap")
+	v4Path := filepath.Join(dir, "v4.snap")
 
 	// A real workload: the default sw stream plus a second plain stream,
-	// both with cached estimates.
-	s1 := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 10 * time.Millisecond})
+	// both with cached estimates — and, for the v3 case, federation state
+	// from one applied edge push (a third stream keeps it out of the
+	// estimate assertions).
+	s1 := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 10 * time.Millisecond,
+		Federation: FederationConfig{Accept: true}})
 	ts1 := httptest.NewServer(s1.Handler())
 	if err := s1.CreateStream("age", StreamConfig{Epsilon: 2, Buckets: 32}); err != nil {
 		t.Fatal(err)
+	}
+	if err := s1.CreateStream("fed", StreamConfig{Epsilon: 1, Buckets: 16}); err != nil {
+		t.Fatal(err)
+	}
+	fedCounts := make([]uint64, 16)
+	fedCounts[2] = 9
+	if pr, code := pushBody(t, ts1.URL, encodePush(t, s1, "mig-edge", 1, "fed", 0, fedCounts)); code != 200 || !pr.Applied {
+		t.Fatalf("seed push answered %d %+v", code, pr)
 	}
 	repDefault, err := ldptest.CheckServing(ts1.URL,
 		func(rng *randx.Rand) float64 { return rng.Beta(5, 2) },
@@ -99,7 +117,7 @@ func TestSnapshotMigrationMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.SaveSnapshot(v3Path); err != nil {
+	if err := s1.SaveSnapshot(v4Path); err != nil {
 		t.Fatal(err)
 	}
 	ts1.Close()
@@ -110,11 +128,11 @@ func TestSnapshotMigrationMatrix(t *testing.T) {
 		"age":         repAge.Estimate,
 	}
 
-	for _, version := range []int{1, 2} {
+	for _, version := range []int{1, 2, 3} {
 		version := version
 		t.Run(fmt.Sprintf("v%d", version), func(t *testing.T) {
 			path := filepath.Join(dir, fmt.Sprintf("v%d.snap", version))
-			downgradeSnapshot(t, v3Path, path, version)
+			downgradeSnapshot(t, v4Path, path, version)
 
 			s := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: 5 * time.Millisecond})
 			t.Cleanup(s.Close)
@@ -124,12 +142,24 @@ func TestSnapshotMigrationMatrix(t *testing.T) {
 			ts := httptest.NewServer(s.Handler())
 			t.Cleanup(ts.Close)
 
-			// Every restored stream defaults to the sw mechanism.
+			// Every restored stream defaults to the sw mechanism (the
+			// source streams are sw, so this holds for v3 too, where the
+			// field is preserved rather than defaulted).
 			for _, info := range s.Streams() {
 				if info.Mechanism != "sw" {
 					t.Errorf("v%d: stream %s restored with mechanism %q, want sw",
 						version, info.Name, info.Mechanism)
 				}
+			}
+
+			// Pre-v4 files carry no federation block: the restored server
+			// has empty cursors — no peers, nothing to replay against —
+			// while the pushed histogram itself survives in the stream.
+			if peers := s.Peers(); len(peers) != 0 {
+				t.Errorf("v%d: restored server has %d federation peers, want 0", version, len(peers))
+			}
+			if got := s.StreamN("fed"); got != 9 {
+				t.Errorf("v%d: fed stream restored %d reports, want 9", version, got)
 			}
 
 			// Give the engine several passes: with published == raw counts it

@@ -276,7 +276,7 @@ func (s *Server) loadEstimateOrWindow(w http.ResponseWriter, st *stream, rawSel 
 // handleStreamItem serves /streams/{name}: DELETE retires a stream.
 func (s *Server) handleStreamItem(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodDelete {
-		http.Error(w, "DELETE only", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodDelete)
 		return
 	}
 	name := r.URL.Path[len("/streams/"):]

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/federate"
 	"repro/internal/window"
 )
 
@@ -68,7 +69,14 @@ func ValidName(name string) bool {
 //	    build unchanged: a missing mechanism means "sw" (the only
 //	    mechanism those versions could have written) and missing raw
 //	    totals fall back to the user counts, which coincide for sw.
-const Version = 3
+//	4 — adds the optional top-level Federation block: on a root, the
+//	    per-edge peer high-water marks (last applied push sequence and
+//	    absorbed counts per stream/epoch); on an edge, the push cursor
+//	    (acked bases, sequence, and the frozen in-flight payload). The
+//	    block is captured atomically with the stream histograms, so a
+//	    restore can never double-count or lose a federated delta. Files of
+//	    version ≤ 3 load into a v4 build with empty federation state.
+const Version = 4
 
 // SealedEpoch is one rotated-out epoch of a windowed stream: a frozen dense
 // report histogram. Empty epochs carry nil Counts.
@@ -196,23 +204,64 @@ func (s *Stream) N() uint64 {
 	return n
 }
 
+// FederationEpochN is one absorbed-count high-water mark: how many
+// histogram increments of one epoch a root has merged from one edge.
+type FederationEpochN struct {
+	Epoch int    `json:"epoch"`
+	N     uint64 `json:"n"`
+}
+
+// FederationPeerStream is the per-stream watermark block of one peer.
+type FederationPeerStream struct {
+	Stream string             `json:"stream"`
+	Epochs []FederationEpochN `json:"epochs,omitempty"`
+}
+
+// FederationPeer is the root-side state of one edge: replay-detection
+// cursor plus absorbed-count watermarks.
+type FederationPeer struct {
+	Edge          string                 `json:"edge"`
+	LastSeq       int64                  `json:"last_seq"`
+	LastCRC       string                 `json:"last_crc,omitempty"`
+	LastUnixNanos int64                  `json:"last_unix_nanos,omitempty"`
+	Reports       uint64                 `json:"reports,omitempty"`
+	Dropped       uint64                 `json:"dropped,omitempty"`
+	Streams       []FederationPeerStream `json:"streams,omitempty"`
+}
+
+// Federation is the optional version-4 federation block. Peers is the root
+// side; Push the edge side (a collector can be both, in a tiered fan-in).
+type Federation struct {
+	Peers []FederationPeer      `json:"peers,omitempty"`
+	Push  *federate.CursorState `json:"push,omitempty"`
+}
+
 // File is the versioned payload. SavedUnix records the save wall-clock time
 // (seconds) for operators; nothing is derived from it.
 type File struct {
 	Version   int      `json:"version"`
 	SavedUnix int64    `json:"saved_unix"`
 	Streams   []Stream `json:"streams"`
+	// Federation carries the replication cursors (version ≥ 4; absent on
+	// collectors that neither push nor accept pushes).
+	Federation *Federation `json:"federation,omitempty"`
 }
 
-// Save writes the streams to path atomically: the payload lands in a
-// temporary file in the same directory (so the rename cannot cross
-// filesystems), is synced, and then renamed over path.
+// Save writes the streams to path atomically (no federation state); see
+// SaveFile for the full payload.
 func Save(path string, streams []Stream) error {
-	payload, err := json.Marshal(File{
-		Version:   Version,
-		SavedUnix: time.Now().Unix(),
-		Streams:   streams,
-	})
+	return SaveFile(path, &File{Streams: streams})
+}
+
+// SaveFile writes a full payload to path atomically: the payload lands in a
+// temporary file in the same directory (so the rename cannot cross
+// filesystems), is synced, and then renamed over path. Version and SavedUnix
+// are stamped here.
+func SaveFile(path string, file *File) error {
+	stamped := *file
+	stamped.Version = Version
+	stamped.SavedUnix = time.Now().Unix()
+	payload, err := json.Marshal(stamped)
 	if err != nil {
 		return fmt.Errorf("snapshot: encode: %w", err)
 	}
@@ -249,10 +298,20 @@ func Save(path string, streams []Stream) error {
 	return nil
 }
 
-// Load reads and verifies a snapshot. Truncated, corrupt, or
-// version-incompatible files return a descriptive error; Load never panics
-// on hostile input.
+// Load reads and verifies a snapshot, returning the stream records; see
+// LoadFile for the full payload including federation state.
 func Load(path string) ([]Stream, error) {
+	file, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return file.Streams, nil
+}
+
+// LoadFile reads and verifies a snapshot. Truncated, corrupt, or
+// version-incompatible files return a descriptive error; LoadFile never
+// panics on hostile input.
+func LoadFile(path string) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
@@ -326,7 +385,50 @@ func Load(path string) ([]Stream, error) {
 			}
 		}
 	}
-	return file.Streams, nil
+	if file.Federation != nil {
+		if err := validateFederation(file.Federation); err != nil {
+			return nil, fmt.Errorf("snapshot: %s: %v", path, err)
+		}
+	}
+	return &file, nil
+}
+
+// validateFederation checks the federation block before any field is
+// trusted.
+func validateFederation(fed *Federation) error {
+	seen := make(map[string]bool, len(fed.Peers))
+	for _, p := range fed.Peers {
+		if !ValidName(p.Edge) {
+			return fmt.Errorf("federation peer has invalid edge id %q", p.Edge)
+		}
+		if seen[p.Edge] {
+			return fmt.Errorf("duplicate federation peer %q", p.Edge)
+		}
+		seen[p.Edge] = true
+		if p.LastSeq < 0 {
+			return fmt.Errorf("federation peer %q has negative sequence %d", p.Edge, p.LastSeq)
+		}
+		streams := make(map[string]bool, len(p.Streams))
+		for _, ps := range p.Streams {
+			if ps.Stream == "" || streams[ps.Stream] {
+				return fmt.Errorf("federation peer %q has a missing or duplicate stream entry", p.Edge)
+			}
+			streams[ps.Stream] = true
+			prev := -1
+			for _, ep := range ps.Epochs {
+				if ep.Epoch < 0 || ep.Epoch <= prev {
+					return fmt.Errorf("federation peer %q stream %q epochs out of order", p.Edge, ps.Stream)
+				}
+				prev = ep.Epoch
+			}
+		}
+	}
+	if fed.Push != nil {
+		if err := fed.Push.Validate(); err != nil {
+			return fmt.Errorf("federation push cursor: %v", err)
+		}
+	}
+	return nil
 }
 
 // validateWindow checks a persisted window block before any field is

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/federate"
 )
 
 func sampleStreams() []Stream {
@@ -368,4 +370,67 @@ func underlying(err error) error {
 		err = u.Unwrap()
 	}
 	return err
+}
+
+func TestFederationBlockRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fed.snap")
+	streams := []Stream{{Name: "age", Epsilon: 1, Buckets: 4, Counts: []uint64{1, 2, 3, 4}}}
+	fed := &Federation{
+		Peers: []FederationPeer{{
+			Edge: "edge-1", LastSeq: 7, LastCRC: "00c0ffee", LastUnixNanos: 12345,
+			Reports: 42, Dropped: 3,
+			Streams: []FederationPeerStream{{
+				Stream: "age",
+				Epochs: []FederationEpochN{{Epoch: 0, N: 40}, {Epoch: 2, N: 2}},
+			}},
+		}},
+	}
+	if err := SaveFile(path, &File{Streams: streams, Federation: fed}); err != nil {
+		t.Fatal(err)
+	}
+	file, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Version != Version {
+		t.Fatalf("version %d, want %d", file.Version, Version)
+	}
+	got := file.Federation
+	if got == nil || len(got.Peers) != 1 {
+		t.Fatalf("federation block %+v", got)
+	}
+	p := got.Peers[0]
+	if p.Edge != "edge-1" || p.LastSeq != 7 || p.LastCRC != "00c0ffee" ||
+		p.Reports != 42 || p.Dropped != 3 || len(p.Streams) != 1 || len(p.Streams[0].Epochs) != 2 {
+		t.Fatalf("peer %+v", p)
+	}
+	// The legacy Load accessor still works and ignores the block.
+	recs, err := Load(path)
+	if err != nil || len(recs) != 1 || recs[0].Name != "age" {
+		t.Fatalf("Load: %v %+v", err, recs)
+	}
+}
+
+func TestFederationBlockValidation(t *testing.T) {
+	dir := t.TempDir()
+	streams := []Stream{{Name: "age", Epsilon: 1, Buckets: 4, Counts: []uint64{1, 0, 0, 0}}}
+	cases := map[string]*Federation{
+		"bad edge":   {Peers: []FederationPeer{{Edge: "no spaces!"}}},
+		"dup edge":   {Peers: []FederationPeer{{Edge: "e"}, {Edge: "e"}}},
+		"neg seq":    {Peers: []FederationPeer{{Edge: "e", LastSeq: -1}}},
+		"dup stream": {Peers: []FederationPeer{{Edge: "e", Streams: []FederationPeerStream{{Stream: "a"}, {Stream: "a"}}}}},
+		"bad epochs": {Peers: []FederationPeer{{Edge: "e", Streams: []FederationPeerStream{{Stream: "a",
+			Epochs: []FederationEpochN{{Epoch: 3}, {Epoch: 1}}}}}}},
+		"bad cursor": {Push: &federate.CursorState{Seq: -2}},
+	}
+	for name, fed := range cases {
+		path := filepath.Join(dir, "bad.snap")
+		if err := SaveFile(path, &File{Streams: streams, Federation: fed}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(path); err == nil {
+			t.Errorf("%s: loaded", name)
+		}
+	}
 }

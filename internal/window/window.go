@@ -35,6 +35,7 @@ package window
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -260,6 +261,60 @@ func (r *Ring) advanceLocked(now time.Time) int {
 	}
 	r.live.Reset()
 	return rotations
+}
+
+// ErrEpochAgedOut marks an AddEpochCounts target that already fell out of
+// retention; ErrEpochNotStarted one the ring's clock has not reached yet.
+// Both are normal weather for a federated merge (edge and root clocks are
+// never perfectly aligned) — callers count and report them rather than fail.
+var (
+	ErrEpochAgedOut    = errors.New("window: epoch aged out of retention")
+	ErrEpochNotStarted = errors.New("window: epoch not started")
+)
+
+// AddEpochCounts merges a dense histogram into one retained epoch by global
+// index — the live epoch, or any retained sealed epoch (a federated edge
+// shipping increments for an epoch the root has already sealed). The whole
+// merge happens under the write lock, so it is atomic with respect to
+// rotation: an increment lands entirely in the epoch it was addressed to.
+func (r *Ring) AddEpochCounts(idx int, counts []uint64) error {
+	if len(counts) != r.buckets {
+		return fmt.Errorf("window: epoch %d merge has %d buckets, want %d", idx, len(counts), r.buckets)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx > r.cur {
+		return fmt.Errorf("%w: epoch %d (current is %d)", ErrEpochNotStarted, idx, r.cur)
+	}
+	if idx == r.cur {
+		for b, c := range counts {
+			if c != 0 {
+				r.live.AddN(b, c)
+			}
+		}
+		return nil
+	}
+	if idx < r.oldestLocked() {
+		return fmt.Errorf("%w: epoch %d (oldest retained is %d)", ErrEpochAgedOut, idx, r.oldestLocked())
+	}
+	// Find the sealed epoch, or the insertion point for one an adopted
+	// sparse history skipped (advanceLocked gap-fills, so this only happens
+	// after restoring a snapshot with holes).
+	at := sort.Search(len(r.sealed), func(i int) bool { return r.sealed[i].Index >= idx })
+	if at == len(r.sealed) || r.sealed[at].Index != idx {
+		r.sealed = append(r.sealed, Epoch{})
+		copy(r.sealed[at+1:], r.sealed[at:])
+		r.sealed[at] = Epoch{Index: idx}
+	}
+	ep := &r.sealed[at]
+	if ep.Counts == nil {
+		ep.Counts = make([]uint64, r.buckets)
+	}
+	for b, c := range counts {
+		ep.Counts[b] += c
+		ep.N += int(c)
+	}
+	return nil
 }
 
 // Rotate forces exactly one rotation regardless of the clock: the live

@@ -1,6 +1,7 @@
 package window
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -362,5 +363,73 @@ func TestRangeString(t *testing.T) {
 	}
 	if got := fmt.Sprint(Range{Lo: 0, Hi: 0}); got != "epochs:0..0" {
 		t.Errorf("Range via Sprint = %q", got)
+	}
+}
+
+func TestAddEpochCounts(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	r := New(4, 1, Config{Epoch: time.Minute, Retain: 4}, t0)
+	r.Add(0) // live epoch 0
+	r.Advance(t0.Add(time.Minute))
+	r.Add(1) // live epoch 1
+
+	// Merge into the live epoch.
+	if err := r.AddEpochCounts(1, []uint64{0, 2, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Merge into a sealed epoch.
+	if err := r.AddEpochCounts(0, []uint64{3, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.N(); got != 8 {
+		t.Fatalf("N = %d, want 8", got)
+	}
+	hist, n, err := r.Merge(Range{Lo: 0, Hi: 0}, nil)
+	if err != nil || n != 5 {
+		t.Fatalf("sealed epoch merge n=%d err=%v", n, err)
+	}
+	if hist[0] != 4 || hist[3] != 1 {
+		t.Fatalf("sealed epoch hist %v", hist)
+	}
+
+	// Future epochs are refused with the typed error.
+	if err := r.AddEpochCounts(2, []uint64{1, 0, 0, 0}); !errors.Is(err, ErrEpochNotStarted) {
+		t.Fatalf("future epoch err = %v", err)
+	}
+	// Aged-out epochs are refused with the typed error.
+	for i := 2; i <= 6; i++ {
+		r.Advance(t0.Add(time.Duration(i) * time.Minute))
+	}
+	if err := r.AddEpochCounts(0, []uint64{1, 0, 0, 0}); !errors.Is(err, ErrEpochAgedOut) {
+		t.Fatalf("aged epoch err = %v", err)
+	}
+	// Shape mismatches are refused.
+	if err := r.AddEpochCounts(6, []uint64{1}); err == nil {
+		t.Fatal("wrong-width merge accepted")
+	}
+}
+
+func TestAddEpochCountsFillsSparseAdoptedHistory(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	r := New(2, 1, Config{Epoch: time.Minute, Retain: 8}, t0)
+	// A sparse history (holes at epochs 1 and 3) from an old snapshot.
+	if err := r.Adopt(State{
+		Epoch: time.Minute, Retain: 8, Current: 4, Start: t0.Add(4 * time.Minute),
+		Sealed: []Epoch{{Index: 0, Counts: []uint64{1, 0}, N: 1}, {Index: 2, Counts: []uint64{0, 1}, N: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddEpochCounts(3, []uint64{0, 5}); err != nil {
+		t.Fatal(err)
+	}
+	hist, n, err := r.Merge(Range{Lo: 3, Hi: 3}, nil)
+	if err != nil || n != 5 || hist[1] != 5 {
+		t.Fatalf("sparse-fill merge hist=%v n=%d err=%v", hist, n, err)
+	}
+	// The filled epoch keeps the sealed list ordered: every index resolves.
+	for _, idx := range []int{0, 2, 3} {
+		if _, _, err := r.Merge(Range{Lo: idx, Hi: idx}, nil); err != nil {
+			t.Fatalf("epoch %d unreachable after sparse fill: %v", idx, err)
+		}
 	}
 }
