@@ -42,9 +42,21 @@
 // a killed-and-restarted edge replays its in-flight push verbatim and the
 // root provably skips it — no delta is ever lost or double-counted.
 //
-// Endpoints: POST /streams, GET /streams, DELETE /streams/{name},
-// POST /report, POST /batch, GET /estimate, GET /query, POST /query,
-// GET /config, POST /federation/push, GET /federation/peers.
+// Operations: GET /metrics exposes Prometheus-format telemetry (ingest
+// rates, EM refresh latency and staleness, epoch rotations, snapshot and
+// federation health); GET /healthz and GET /readyz are the liveness and
+// readiness probes (-snapshot servers stay unready until the restore
+// completes). -rate-limit and -edge-rate-limit install token-bucket
+// admission control that sheds with 429 + Retry-After before the engine;
+// -max-body bounds request bodies; -log-format kv|json writes structured
+// access logs to stderr; -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// Endpoints: the versioned v1 tree (POST/GET /v1/streams,
+// GET/DELETE /v1/streams/{name}, POST .../report, POST .../batch,
+// GET .../estimate, GET|POST .../query, GET .../config), their legacy flat
+// aliases (deprecated; answered with Deprecation + Link headers),
+// POST /federation/push, GET /federation/peers, GET /metrics, GET /healthz,
+// GET /readyz.
 package main
 
 import (
@@ -54,6 +66,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -152,6 +165,28 @@ type serverConfig struct {
 	pushTo       string
 	pushInterval time.Duration
 	edgeID       string
+	pprof        bool
+}
+
+// parseRateFlag parses -rate-limit / -edge-rate-limit values: "rps" or
+// "rps:burst". Zero rate disables the bucket (burst is then meaningless).
+func parseRateFlag(flagName, raw string) (rate, burst float64, err error) {
+	if raw == "" {
+		return 0, 0, nil
+	}
+	rateStr, burstStr, hasBurst := strings.Cut(raw, ":")
+	if rate, err = strconv.ParseFloat(rateStr, 64); err != nil || rate < 0 {
+		return 0, 0, fmt.Errorf("%s %q: want rps[:burst] with rps >= 0", flagName, raw)
+	}
+	if hasBurst {
+		if burst, err = strconv.ParseFloat(burstStr, 64); err != nil || burst <= 0 {
+			return 0, 0, fmt.Errorf("%s %q: burst must be positive", flagName, raw)
+		}
+		if rate == 0 {
+			return 0, 0, fmt.Errorf("%s %q: burst without a rate", flagName, raw)
+		}
+	}
+	return rate, burst, nil
 }
 
 // parseArgs builds the server configuration from command-line arguments
@@ -179,6 +214,12 @@ func parseArgs(args []string) (serverConfig, error) {
 		edgeID       = fs.String("edge-id", "", "stable identity of this edge at the root (with -push-to; default: hostname)")
 		acceptFed    = fs.Bool("accept-federation", false, "run as a federation root: accept edge pushes on POST /federation/push")
 		autoDeclare  = fs.Bool("federation-auto-declare", false, "auto-declare unknown streams from pushed edge fingerprints (implies -accept-federation)")
+
+		maxBody   = fs.Int64("max-body", 1<<20, "request body cap in bytes for the JSON endpoints (0 = unlimited; federation pushes keep their own 64 MiB cap)")
+		rateLimit = fs.String("rate-limit", "", "global admission rate as rps[:burst]: shed requests beyond it with 429 + Retry-After (\"\" = unlimited)")
+		edgeRate  = fs.String("edge-rate-limit", "", "per-edge federation push rate as rps[:burst] (\"\" = unlimited)")
+		logFormat = fs.String("log-format", "", "structured access log to stderr: kv or json (\"\" = off)")
+		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	var streamFlags []streamFlag
 	fs.Func("stream", "declare a stream as name:eps:buckets[:bandwidth][:mech=NAME][:epoch=DUR][:retain=N] (repeatable)", func(raw string) error {
@@ -237,6 +278,35 @@ func parseArgs(args []string) (serverConfig, error) {
 	} else if edge != "" {
 		return serverConfig{}, fmt.Errorf("-edge-id needs -push-to")
 	}
+	if *maxBody < 0 {
+		return serverConfig{}, fmt.Errorf("-max-body must not be negative, got %d", *maxBody)
+	}
+	globalRate, globalBurst, err := parseRateFlag("-rate-limit", *rateLimit)
+	if err != nil {
+		return serverConfig{}, err
+	}
+	edgeRateV, edgeBurstV, err := parseRateFlag("-edge-rate-limit", *edgeRate)
+	if err != nil {
+		return serverConfig{}, err
+	}
+	ops := ldphttp.OpsConfig{
+		MaxBodyBytes:  *maxBody,
+		RateLimit:     globalRate,
+		RateBurst:     globalBurst,
+		EdgeRateLimit: edgeRateV,
+		EdgeRateBurst: edgeBurstV,
+		AwaitRestore:  *snapPath != "",
+	}
+	switch *logFormat {
+	case "":
+	case "kv":
+		ops.AccessLog = os.Stderr
+	case "json":
+		ops.AccessLog = os.Stderr
+		ops.LogJSON = true
+	default:
+		return serverConfig{}, fmt.Errorf("-log-format %q unknown (want kv or json)", *logFormat)
+	}
 	return serverConfig{
 		addr: *addr,
 		cfg: ldphttp.Config{
@@ -253,6 +323,7 @@ func parseArgs(args []string) (serverConfig, error) {
 				Accept:      *acceptFed || *autoDeclare,
 				AutoDeclare: *autoDeclare,
 			},
+			Ops: ops,
 		},
 		streams:      streamFlags,
 		snapPath:     *snapPath,
@@ -260,6 +331,7 @@ func parseArgs(args []string) (serverConfig, error) {
 		pushTo:       *pushTo,
 		pushInterval: *pushInterval,
 		edgeID:       edge,
+		pprof:        *pprofFlag,
 	}, nil
 }
 
@@ -284,12 +356,16 @@ func main() {
 		}
 	}
 	if conf.snapPath != "" {
+		// The server boots unready (Ops.AwaitRestore); a successful restore
+		// flips /readyz itself, a cold start flips it here, and a failed
+		// restore exits with the server still failing readiness.
 		switch err := srv.LoadSnapshot(conf.snapPath); {
 		case err == nil:
 			fmt.Printf("restored %d reports across %d streams from %s\n",
 				srv.N(), len(srv.Streams()), conf.snapPath)
 		case errors.Is(err, os.ErrNotExist):
 			fmt.Printf("no snapshot at %s yet; starting cold\n", conf.snapPath)
+			srv.MarkReady()
 		default:
 			log.Fatalf("restore %s: %v", conf.snapPath, err)
 		}
@@ -320,9 +396,22 @@ func main() {
 			conf.cfg.Federation.AutoDeclare)
 	}
 
+	handler := srv.Handler()
+	if conf.pprof {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		fmt.Println("pprof: profiling endpoints mounted under /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:         conf.addr,
-		Handler:      srv.Handler(),
+		Handler:      handler,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second, // /estimate and /query serve caches and never block on EM
 	}
@@ -377,7 +466,7 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ldpserver listening on %s (default stream: epsilon=%g, buckets=%d; %d streams)\n",
 		conf.addr, conf.cfg.Epsilon, conf.cfg.Buckets, len(srv.Streams()))
-	fmt.Println("endpoints: POST /streams, GET /streams, DELETE /streams/{name}, POST /report, POST /batch, GET /estimate, GET /query, POST /query, GET /config, POST /federation/push, GET /federation/peers")
+	fmt.Println("endpoints: POST|GET /v1/streams, GET|DELETE /v1/streams/{name}, POST /v1/streams/{name}/report, POST /v1/streams/{name}/batch, GET /v1/streams/{name}/estimate, GET|POST /v1/streams/{name}/query, GET /v1/streams/{name}/config (legacy flat aliases deprecated), POST /federation/push, GET /federation/peers, GET /metrics, GET /healthz, GET /readyz")
 
 	select {
 	case err := <-errc:

@@ -193,3 +193,71 @@ func TestParseArgsFederationErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseArgsOps(t *testing.T) {
+	// Defaults: 1 MiB body cap, no rate limits, no access log, telemetry on.
+	conf, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := conf.cfg.Ops
+	if ops.MaxBodyBytes != 1<<20 || ops.RateLimit != 0 || ops.EdgeRateLimit != 0 ||
+		ops.AccessLog != nil || ops.AwaitRestore || conf.pprof {
+		t.Errorf("default ops config %+v (pprof %v)", ops, conf.pprof)
+	}
+
+	conf, err = parseArgs([]string{
+		"-max-body", "4096",
+		"-rate-limit", "100:250",
+		"-edge-rate-limit", "5",
+		"-log-format", "json",
+		"-pprof",
+		"-snapshot", "/tmp/x.snap",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops = conf.cfg.Ops
+	if ops.MaxBodyBytes != 4096 {
+		t.Errorf("MaxBodyBytes = %d", ops.MaxBodyBytes)
+	}
+	if ops.RateLimit != 100 || ops.RateBurst != 250 {
+		t.Errorf("rate limit parsed as %v:%v", ops.RateLimit, ops.RateBurst)
+	}
+	if ops.EdgeRateLimit != 5 || ops.EdgeRateBurst != 0 {
+		t.Errorf("edge rate limit parsed as %v:%v", ops.EdgeRateLimit, ops.EdgeRateBurst)
+	}
+	if ops.AccessLog == nil || !ops.LogJSON {
+		t.Errorf("log-format json parsed as AccessLog=%v LogJSON=%v", ops.AccessLog, ops.LogJSON)
+	}
+	if !ops.AwaitRestore {
+		t.Error("-snapshot did not set AwaitRestore")
+	}
+	if !conf.pprof {
+		t.Error("-pprof not parsed")
+	}
+
+	// kv logging is structured but not JSON.
+	conf, err = parseArgs([]string{"-log-format", "kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.cfg.Ops.AccessLog == nil || conf.cfg.Ops.LogJSON {
+		t.Errorf("log-format kv parsed as %+v", conf.cfg.Ops)
+	}
+
+	bad := map[string][]string{
+		"negative max-body":  {"-max-body", "-1"},
+		"rate not a number":  {"-rate-limit", "fast"},
+		"negative rate":      {"-rate-limit", "-3"},
+		"bad burst":          {"-rate-limit", "10:zero"},
+		"burst without rate": {"-rate-limit", "0:5"},
+		"bad edge rate":      {"-edge-rate-limit", "1:2:3"},
+		"unknown log format": {"-log-format", "xml"},
+	}
+	for name, args := range bad {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("%s: parseArgs(%v) accepted", name, args)
+		}
+	}
+}

@@ -155,4 +155,37 @@
 // "ldpserver -accept-federation" (add -federation-auto-declare to let edges
 // declare their streams), and inspect the per-edge high-water marks on GET
 // /federation/peers — or programmatically via FederationPeers.
+//
+// # Operations
+//
+// The HTTP collector serves a versioned v1 resource tree — POST/GET
+// /v1/streams, GET/DELETE /v1/streams/{name}, and the per-stream
+// subresources /report, /batch, /estimate, /query and /config. The original
+// flat routes (POST /report with a "stream" body field, GET
+// /estimate?stream=..., ...) remain as thin aliases onto the same handlers;
+// they answer with "Deprecation: true" and a Link header naming their v1
+// successor. Every non-2xx response, on every route, carries one envelope:
+//
+//	{"error": {"code": "rate_limited", "message": "...", "retry_after_ms": 250}}
+//
+// with a stable machine-readable code (unknown_stream, stream_conflict,
+// no_reports, estimate_pending, rate_limited, not_ready, ...) and
+// retry_after_ms plus a Retry-After header on anything worth retrying.
+//
+// The collector is observable and self-protecting. GET /metrics exposes
+// Prometheus text-format telemetry from a zero-dependency registry:
+// per-stream ingest and mechanism counters, EM refresh latency and
+// staleness, epoch rotations, snapshot durations, federation absorb/replay/
+// reject/drop counters and per-edge push lag, plus the edge pusher's cursor
+// when running with -push-to. GET /healthz is liveness (the estimation
+// engine is ticking) and GET /readyz is readiness (snapshot restore has
+// completed — a -snapshot server stays unready until then). Admission
+// control bounds request bodies (-max-body) and sheds traffic beyond a
+// token-bucket rate (-rate-limit rps[:burst], plus a per-edge
+// -edge-rate-limit tier on /federation/push) with 429s emitted before any
+// engine work; the operational endpoints stay exempt so a drowning server
+// still answers its probes. Structured access logs (-log-format kv|json)
+// and net/http/pprof profiling (-pprof) complete the surface. Watch it all
+// programmatically with FetchServerStats, CheckServerHealth and
+// AwaitServerReady.
 package repro

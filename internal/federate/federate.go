@@ -332,7 +332,67 @@ type PushResponse struct {
 	// Reports is the total increments absorbed by this push.
 	Reports uint64         `json:"reports,omitempty"`
 	Streams []StreamResult `json:"streams,omitempty"`
-	// Error and Reason describe a rejection (HTTP 4xx).
-	Error  string `json:"error,omitempty"`
-	Reason string `json:"reason,omitempty"`
+	// Error and Reason describe a rejection (HTTP 4xx). On the wire they
+	// travel as the uniform error envelope every collector endpoint speaks
+	// — {"error": {"code": Reason, "message": Error}} — see MarshalJSON.
+	Error  string `json:"-"`
+	Reason string `json:"-"`
+}
+
+// pushResponseWire is PushResponse's JSON form: every field flat except the
+// rejection, which nests as the uniform HTTP error envelope so federation
+// 4xx bodies look exactly like every other endpoint's. The Go struct keeps
+// flat Error/Reason fields — the pusher's state machine and its tests never
+// see the envelope.
+type pushResponseWire struct {
+	Seq       int64          `json:"seq"`
+	LastSeq   int64          `json:"last_seq"`
+	Applied   bool           `json:"applied"`
+	Duplicate bool           `json:"duplicate,omitempty"`
+	CRC       string         `json:"payload_crc32,omitempty"`
+	Reports   uint64         `json:"reports,omitempty"`
+	Streams   []StreamResult `json:"streams,omitempty"`
+	Err       *wireError     `json:"error,omitempty"`
+}
+
+// wireError mirrors ldphttp's envelope body (the two packages must not
+// import each other).
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// MarshalJSON renders Reason/Error as the nested envelope, with Reason as
+// the machine-readable code ("bad_request" when a rejection carries no
+// reason).
+func (r PushResponse) MarshalJSON() ([]byte, error) {
+	w := pushResponseWire{
+		Seq: r.Seq, LastSeq: r.LastSeq, Applied: r.Applied, Duplicate: r.Duplicate,
+		CRC: r.CRC, Reports: r.Reports, Streams: r.Streams,
+	}
+	if r.Error != "" || r.Reason != "" {
+		code := r.Reason
+		if code == "" {
+			code = "bad_request"
+		}
+		w.Err = &wireError{Code: code, Message: r.Error}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON folds the envelope back into the flat fields.
+func (r *PushResponse) UnmarshalJSON(b []byte) error {
+	var w pushResponseWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = PushResponse{
+		Seq: w.Seq, LastSeq: w.LastSeq, Applied: w.Applied, Duplicate: w.Duplicate,
+		CRC: w.CRC, Reports: w.Reports, Streams: w.Streams,
+	}
+	if w.Err != nil {
+		r.Reason = w.Err.Code
+		r.Error = w.Err.Message
+	}
+	return nil
 }

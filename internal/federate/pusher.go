@@ -101,8 +101,11 @@ type PusherStatus struct {
 	LastAttempt time.Time `json:"last_attempt,omitzero"`
 	LastSuccess time.Time `json:"last_success,omitzero"`
 	LastError   string    `json:"last_error,omitempty"`
-	// Failures counts consecutive failed attempts (resets on success).
-	Failures int `json:"failures,omitempty"`
+	// Failures counts consecutive failed attempts (resets on success);
+	// Backoff is the exponential wait the loop applies before the next
+	// attempt while Failures is non-zero (zero after a success).
+	Failures int           `json:"failures,omitempty"`
+	Backoff  time.Duration `json:"backoff,omitempty"`
 	// Pushes and Reports count acknowledged pushes and the increments
 	// they shipped.
 	Pushes  uint64 `json:"pushes"`
@@ -160,11 +163,7 @@ func (p *Pusher) Run(done <-chan struct{}) {
 	for {
 		wait := p.jittered(p.cfg.Interval)
 		if failures > 0 {
-			backoff := p.cfg.MinBackoff << (failures - 1)
-			if backoff > p.cfg.MaxBackoff || backoff <= 0 {
-				backoff = p.cfg.MaxBackoff
-			}
-			wait = p.jittered(backoff)
+			wait = p.jittered(p.backoffFor(failures))
 		}
 		select {
 		case <-done:
@@ -191,6 +190,22 @@ func (p *Pusher) jittered(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
+// backoffFor is the exponential failure backoff after n consecutive
+// failures, bounded by MinBackoff/MaxBackoff.
+func (p *Pusher) backoffFor(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if n > 62 {
+		n = 62 // cap the shift, not the backoff
+	}
+	backoff := p.cfg.MinBackoff << (n - 1)
+	if backoff > p.cfg.MaxBackoff || backoff <= 0 {
+		backoff = p.cfg.MaxBackoff
+	}
+	return backoff
+}
+
 // PushOnce performs one full push attempt: freeze (or reuse) the pending
 // delta, write it ahead, transmit, and fold the acknowledgment. It returns
 // (false, nil) when there was nothing to ship, (true, nil) when a payload
@@ -213,10 +228,12 @@ func (p *Pusher) PushOnce() (acked bool, err error) {
 	if err != nil {
 		p.status.LastError = err.Error()
 		p.status.Failures++
+		p.status.Backoff = p.backoffFor(p.status.Failures)
 		return acked, err
 	}
 	p.status.LastError = ""
 	p.status.Failures = 0
+	p.status.Backoff = 0
 	if acked {
 		p.status.LastSuccess = time.Now()
 	}

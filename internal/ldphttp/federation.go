@@ -143,18 +143,31 @@ func (s *Server) handleFederationPush(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPushBytes))
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "read push payload: %v", err)
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "read push payload: %v", err)
 		return
 	}
 	push, err := federate.DecodePush(body)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if !snapshot.ValidName(push.Edge) {
-		errorJSON(w, http.StatusBadRequest,
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest,
 			"invalid edge id %q (want 1-64 chars of [A-Za-z0-9._-])", push.Edge)
 		return
+	}
+	// The per-edge admission tier sits after edge-id validation (so the key
+	// space stays operator-controlled) and before the engine: a runaway edge
+	// is shed here without touching cursors or histograms.
+	if s.edgeLim != nil {
+		if ok, retry := s.edgeLim.Allow(push.Edge); !ok {
+			if m := s.metrics; m != nil {
+				m.shed.With("/federation/push", "edge").Inc()
+			}
+			retryJSON(w, http.StatusTooManyRequests, CodeRateLimited, retry, nil,
+				"edge %q is pushing faster than the root admits; retry in %v", push.Edge, retry)
+			return
+		}
 	}
 
 	s.fedMu.Lock()
@@ -162,6 +175,27 @@ func (s *Server) handleFederationPush(w http.ResponseWriter, r *http.Request) {
 	s.fedMu.Unlock()
 	if resp.Applied {
 		s.wake() // the engine re-estimates the touched streams
+	}
+	if m := s.metrics; m != nil {
+		switch {
+		case resp.Duplicate:
+			m.fedDuplicates.With(push.Edge).Inc()
+		case resp.Applied:
+			m.fedAbsorbed.With(push.Edge).Add(resp.Reports)
+			var dropped uint64
+			for _, sr := range resp.Streams {
+				dropped += sr.DroppedN
+			}
+			if dropped > 0 {
+				m.fedDropped.With(push.Edge).Add(dropped)
+			}
+		default:
+			code := resp.Reason
+			if code == "" {
+				code = CodeBadRequest
+			}
+			m.fedRejects.With(push.Edge, code).Inc()
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -75,10 +75,13 @@ func FuzzWireReport(f *testing.F) {
 		}
 		if rec.Code != http.StatusOK {
 			var e struct {
-				Error string `json:"error"`
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
 			}
-			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
-				t.Fatalf("POST /report %q: %d without a JSON error body: %s", body, rec.Code, rec.Body.Bytes())
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+				t.Fatalf("POST /report %q: %d without a JSON error envelope: %s", body, rec.Code, rec.Body.Bytes())
 			}
 		}
 

@@ -24,6 +24,33 @@
 //	POST   /query    {"stream": "age", "queries": [...]}           batched analytics
 //	GET    /config?stream=age                      effective stream configuration
 //
+// The flat routes above are the legacy surface, kept as thin aliases that
+// answer with Deprecation: true and a Link: </v1/...>; rel="successor-version"
+// header. The same operations — one code path, two surfaces — live under the
+// versioned v1 resource tree:
+//
+//	GET    /v1/streams                   list streams
+//	POST   /v1/streams                   declare a stream (same body as /streams)
+//	GET    /v1/streams/{name}            one stream's info, config and links
+//	DELETE /v1/streams/{name}            retire a stream
+//	POST   /v1/streams/{name}/report    {"report": 0.1234}
+//	POST   /v1/streams/{name}/batch     {"reports": [0.1, 0.2]}
+//	GET    /v1/streams/{name}/estimate?window=last:6
+//	GET    /v1/streams/{name}/query?type=quantile&q=0.5
+//	POST   /v1/streams/{name}/query     {"queries": [...]}
+//	GET    /v1/streams/{name}/config
+//
+// Operational endpoints (exempt from admission control, never deprecated):
+//
+//	GET /metrics   Prometheus text exposition, format 0.0.4 (see Ops below)
+//	GET /healthz   liveness: the estimation engine is ticking
+//	GET /readyz    readiness: snapshot restore has completed
+//
+// Every non-2xx response — including federation rejections and admission
+// sheds — carries the uniform envelope
+// {"error": {"code": "...", "message": "...", "retry_after_ms": N}}; the
+// stable code catalog lives in errors.go.
+//
 // # Mechanisms
 //
 // Every stream runs one reporting mechanism from package mechanism,
@@ -76,14 +103,27 @@
 // persist rotation clock, sealed epochs and window estimates, so restarts
 // resume mid-epoch with bit-identical window answers; cmd/ldpserver wires
 // this to the -snapshot flag.
+//
+// # Ops
+//
+// OpsConfig turns on the operational surface: a zero-dependency Prometheus
+// exposition on GET /metrics (ingest rates per stream and mechanism, EM
+// refresh latency and staleness, epoch rotations, snapshot durations,
+// federation push lag and replay/drop counters per edge), liveness and
+// readiness probes, structured request logging, a global token-bucket
+// admission limiter plus a per-edge tier for federation pushes, and a bound
+// on request bodies. Shed requests answer 429 with an honest Retry-After
+// before they ever touch the engine; sheds are themselves counted in
+// /metrics (ldp_shed_total).
 package ldphttp
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"strings"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,8 +134,10 @@ import (
 	"repro/internal/federate"
 	"repro/internal/histogram"
 	"repro/internal/mechanism"
+	"repro/internal/ratelimit"
 	"repro/internal/snapshot"
 	"repro/internal/sw"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 )
 
@@ -142,6 +184,41 @@ type Config struct {
 	// from edge collectors, and whether it auto-declares streams it does
 	// not host yet from the pushed fingerprints.
 	Federation FederationConfig `json:"-"`
+	// Ops configures telemetry, probes, logging and admission control.
+	Ops OpsConfig `json:"-"`
+}
+
+// OpsConfig bundles the operational knobs. The zero value is a server with
+// telemetry on and everything else off: metrics and probes always answer,
+// but nothing is shed, bounded, or logged until asked.
+type OpsConfig struct {
+	// DisableTelemetry skips metric registration and all per-request
+	// instrumentation (benchmark baselines); /metrics then answers 404.
+	DisableTelemetry bool
+	// MaxBodyBytes bounds every request body except federation pushes,
+	// which keep their own 64 MiB cap (deltas are legitimately large).
+	// Oversized bodies answer 413 body_too_large. 0 = unbounded.
+	MaxBodyBytes int64
+	// RateLimit is the global admission rate in requests per second over
+	// every non-operational endpoint; 0 = unlimited. RateBurst is the
+	// bucket depth (0 = 2×RateLimit, minimum 1). Requests beyond the
+	// bucket are shed with 429 rate_limited and a Retry-After before they
+	// reach the engine.
+	RateLimit float64
+	RateBurst float64
+	// EdgeRateLimit is a second admission tier for POST /federation/push,
+	// one bucket per pushing edge, so a runaway edge collector cannot
+	// starve its fleet; 0 = unlimited. EdgeRateBurst as above.
+	EdgeRateLimit float64
+	EdgeRateBurst float64
+	// AccessLog, when non-nil, receives one structured line per request:
+	// key=value pairs, or JSON objects when LogJSON is set.
+	AccessLog io.Writer
+	LogJSON   bool
+	// AwaitRestore starts the server unready: GET /readyz answers 503
+	// not_ready until LoadSnapshot succeeds or MarkReady is called.
+	// cmd/ldpserver sets it when a -snapshot path is configured.
+	AwaitRestore bool
 }
 
 // FederationConfig is the root-side federation surface. Both knobs are
@@ -205,6 +282,16 @@ type stream struct {
 	init       []float64
 	scratch    []float64
 	winScratch []float64
+	// Telemetry handles, resolved once at stream creation so the ingest
+	// hot path is a single atomic add. All nil when telemetry is disabled.
+	mReports    *telemetry.Counter
+	mRefresh    *telemetry.Histogram
+	mStaleness  *telemetry.Gauge
+	mRefreshAge *telemetry.Gauge
+	mRotations  *telemetry.Counter
+	// lastRefresh is the wall-clock nanos of the last published estimate
+	// (0 = none yet); the scrape hook derives refresh age from it.
+	lastRefresh atomic.Int64
 	// mustRefresh forces the next re-estimate after a rotation (age-out
 	// can change the population without changing its size, so the count
 	// comparison alone is not enough). Atomic because both the engine and
@@ -294,6 +381,19 @@ type Server struct {
 	// before EnablePush was called (boot order is declare → restore →
 	// enable, but both orders work).
 	restoredCursor *federate.CursorState
+
+	// Operational state: telemetry registry and handles (nil when
+	// disabled), admission buckets (nil when unlimited), probe state.
+	metrics   *serverMetrics
+	limiter   *ratelimit.Bucket
+	edgeLim   *ratelimit.Keyed
+	maxBody   int64
+	accessLog io.Writer
+	logJSON   bool
+	logMu     sync.Mutex   // serializes access-log writes
+	ready     atomic.Bool  // readiness probe state
+	lastTick  atomic.Int64 // wall-clock nanos of the engine's last loop pass
+	started   time.Time
 }
 
 // NewServer builds a collection server with its default stream and starts
@@ -313,14 +413,29 @@ func NewServer(cfg Config) *Server {
 		clock = time.Now
 	}
 	s := &Server{
-		cfg:     cfg,
-		refresh: refresh,
-		workers: workers,
-		now:     clock,
-		streams: make(map[string]*stream),
-		peers:   make(map[string]*peerState),
-		kick:    make(chan struct{}, 1),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		refresh:   refresh,
+		workers:   workers,
+		now:       clock,
+		streams:   make(map[string]*stream),
+		peers:     make(map[string]*peerState),
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		maxBody:   cfg.Ops.MaxBodyBytes,
+		accessLog: cfg.Ops.AccessLog,
+		logJSON:   cfg.Ops.LogJSON,
+		started:   time.Now(),
+	}
+	s.ready.Store(!cfg.Ops.AwaitRestore)
+	s.lastTick.Store(time.Now().UnixNano())
+	if lim := cfg.Ops.RateLimit; lim > 0 {
+		s.limiter = ratelimit.New(lim, admissionBurst(lim, cfg.Ops.RateBurst))
+	}
+	if lim := cfg.Ops.EdgeRateLimit; lim > 0 {
+		s.edgeLim = ratelimit.NewKeyed(lim, admissionBurst(lim, cfg.Ops.EdgeRateBurst))
+	}
+	if !cfg.Ops.DisableTelemetry {
+		s.metrics = newServerMetrics(s)
 	}
 	if err := s.CreateStream(DefaultStream, StreamConfig{
 		Epsilon:   cfg.Epsilon,
@@ -367,6 +482,13 @@ func (s *Server) newStream(name string, cfg StreamConfig) *stream {
 		st.counts = aggregate.New(agg.OutputBuckets(), cfg.Shards)
 	}
 	st.cfg = cfg
+	if m := s.metrics; m != nil {
+		st.mReports = m.reports.With(name, cfg.Mechanism)
+		st.mRefresh = m.emRefresh.With(name)
+		st.mStaleness = m.emStaleness.With(name)
+		st.mRefreshAge = m.emRefreshAge.With(name)
+		st.mRotations = m.rotations.With(name)
+	}
 	return st
 }
 
@@ -533,7 +655,11 @@ func (s *Server) streamList() []*stream {
 	return append([]*stream(nil), s.order...)
 }
 
-// StreamInfo is one row of GET /streams.
+// StreamInfo is one row of GET /streams (and the whole body of GET
+// /v1/streams/{name}). Epsilon/Buckets/Mechanism/Bandwidth/Shards echo the
+// declaration; Config carries the full resolved configuration — identical
+// field for field to GET /v1/streams/{name}/config — so the list view and
+// the item view can never diverge again.
 type StreamInfo struct {
 	Name      string  `json:"name"`
 	Epsilon   float64 `json:"epsilon"`
@@ -549,6 +675,30 @@ type StreamInfo struct {
 	EstimateN int `json:"estimate_n"`
 	// Window carries the epoch-rotation state of a windowed stream.
 	Window *WindowInfo `json:"window,omitempty"`
+	// Config is the stream's effective configuration, every value resolved.
+	Config ConfigResponse `json:"config"`
+	// Links locates the stream's v1 subresources.
+	Links StreamLinks `json:"links"`
+}
+
+// StreamLinks are the v1 URLs of one stream's resources.
+type StreamLinks struct {
+	Self     string `json:"self"`
+	Report   string `json:"report"`
+	Estimate string `json:"estimate"`
+	Query    string `json:"query"`
+	Config   string `json:"config"`
+}
+
+func streamLinks(name string) StreamLinks {
+	base := "/v1/streams/" + url.PathEscape(name)
+	return StreamLinks{
+		Self:     base,
+		Report:   base + "/report",
+		Estimate: base + "/estimate",
+		Query:    base + "/query",
+		Config:   base + "/config",
+	}
 }
 
 // users reads the report (user) count visible to estimates. Fan-out
@@ -568,36 +718,44 @@ func (st *stream) users() int {
 	return st.counts.Cell(marker)
 }
 
+// streamInfo assembles one stream's info row.
+func (s *Server) streamInfo(st *stream) StreamInfo {
+	estN := 0
+	if est := st.est.Load(); est != nil {
+		estN = est.N
+	}
+	info := StreamInfo{
+		Name:      st.name,
+		Epsilon:   st.cfg.Epsilon,
+		Buckets:   st.cfg.Buckets,
+		Mechanism: st.cfg.Mechanism,
+		Bandwidth: st.cfg.Bandwidth,
+		Shards:    st.cfg.Shards,
+		N:         st.users(),
+		EstimateN: estN,
+		Config:    s.configOf(st),
+		Links:     streamLinks(st.name),
+	}
+	if st.ring != nil {
+		cur, _ := st.ring.Current()
+		info.Window = &WindowInfo{
+			Epoch:        st.cfg.Epoch,
+			Retain:       st.cfg.Retain,
+			CurrentEpoch: cur,
+			OldestEpoch:  st.ring.Oldest(),
+			SealedEpochs: st.ring.SealedLen(),
+			LiveN:        st.ring.LiveN(),
+		}
+	}
+	return info
+}
+
 // Streams lists every stream in declaration order.
 func (s *Server) Streams() []StreamInfo {
 	list := s.streamList()
 	infos := make([]StreamInfo, len(list))
 	for i, st := range list {
-		estN := 0
-		if est := st.est.Load(); est != nil {
-			estN = est.N
-		}
-		infos[i] = StreamInfo{
-			Name:      st.name,
-			Epsilon:   st.cfg.Epsilon,
-			Buckets:   st.cfg.Buckets,
-			Mechanism: st.cfg.Mechanism,
-			Bandwidth: st.cfg.Bandwidth,
-			Shards:    st.cfg.Shards,
-			N:         st.users(),
-			EstimateN: estN,
-		}
-		if st.ring != nil {
-			cur, _ := st.ring.Current()
-			infos[i].Window = &WindowInfo{
-				Epoch:        st.cfg.Epoch,
-				Retain:       st.cfg.Retain,
-				CurrentEpoch: cur,
-				OldestEpoch:  st.ring.Oldest(),
-				SealedEpochs: st.ring.SealedLen(),
-				LiveN:        st.ring.LiveN(),
-			}
-		}
+		infos[i] = s.streamInfo(st)
 	}
 	return infos
 }
@@ -653,6 +811,7 @@ func (s *Server) estimator() {
 		case <-s.kick:
 		case <-ticker.C:
 		}
+		s.lastTick.Store(time.Now().UnixNano())
 		list := s.streamList()
 		if len(list) == 0 {
 			continue
@@ -685,6 +844,9 @@ func (s *Server) refreshStream(st *stream) {
 		if rotated > 0 {
 			st.evictAgedWindows()
 			st.mustRefresh.Store(true)
+			if st.mRotations != nil {
+				st.mRotations.Add(uint64(rotated))
+			}
 		}
 		defer s.refreshWindows(st)
 	}
@@ -705,7 +867,12 @@ func (s *Server) refreshStream(st *stream) {
 			init = prev.Distribution
 		}
 	}
+	emStart := time.Now()
 	res := st.agg.EstimateFrom(st.scratch, init)
+	if st.mRefresh != nil {
+		st.mRefresh.Observe(time.Since(emStart).Seconds())
+	}
+	st.lastRefresh.Store(time.Now().UnixNano())
 	st.init = append(st.init[:0], res.Estimate...)
 	st.est.Store(&EstimateResponse{
 		Stream:       st.name,
@@ -722,21 +889,6 @@ func (s *Server) refreshStream(st *stream) {
 		raw:          n,
 	})
 	st.published.Store(int64(n))
-}
-
-// Handler returns the HTTP routes.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/streams", s.handleStreams)
-	mux.HandleFunc("/streams/", s.handleStreamItem)
-	mux.HandleFunc("/report", s.handleReport)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/estimate", s.handleEstimate)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/config", s.handleConfig)
-	mux.HandleFunc("/federation/push", s.handleFederationPush)
-	mux.HandleFunc("/federation/peers", s.handleFederationPeers)
-	return mux
 }
 
 // WireReport is one randomized report as it travels in JSON: either a bare
@@ -818,30 +970,38 @@ type EstimateResponse struct {
 	raw int
 }
 
-// errorJSON writes a JSON error body with the given status.
-func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]any{"error": fmt.Sprintf(format, args...)})
-}
-
-// methodNotAllowed answers an unsupported method the way RFC 9110 asks: 405
-// with an Allow header listing what the resource supports — and, since every
-// endpoint here speaks JSON, a JSON error body instead of a bare text line.
-func methodNotAllowed(w http.ResponseWriter, r *http.Request, allowed ...string) {
-	allow := strings.Join(allowed, ", ")
-	w.Header().Set("Allow", allow)
-	errorJSON(w, http.StatusMethodNotAllowed, "method %s not allowed on %s (allow: %s)",
-		r.Method, r.URL.Path, allow)
-}
-
 // resolveStream finds the request's stream or writes a 404.
 func (s *Server) resolveStream(w http.ResponseWriter, name string) *stream {
 	st := s.lookup(name)
 	if st == nil {
-		errorJSON(w, http.StatusNotFound, "unknown stream %q (declare it with POST /streams)", name)
+		errorJSON(w, http.StatusNotFound, CodeUnknownStream,
+			"unknown stream %q (declare it with POST /v1/streams)", name)
 	}
 	return st
+}
+
+// serveReport is the shared core of POST /report and POST
+// /v1/streams/{name}/report: bucketize one report and land it in the
+// stream's histogram.
+func (s *Server) serveReport(w http.ResponseWriter, name string, rep WireReport) {
+	st := s.resolveStream(w, name)
+	if st == nil {
+		return
+	}
+	cells, err := st.agg.Bucketize(nil, mechanism.Report(rep))
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if len(cells) == 1 {
+		st.add(cells[0])
+	} else {
+		st.addBatch(cells)
+	}
+	if st.mReports != nil {
+		st.mReports.Inc()
+	}
+	writeJSON(w, map[string]any{"accepted": true, "stream": st.name, "n": st.users()})
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -850,25 +1010,38 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req reportRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	st := s.resolveStream(w, req.Stream)
+	s.serveReport(w, req.Stream, req.Report)
+}
+
+// serveBatch is the shared core of POST /batch and POST
+// /v1/streams/{name}/batch.
+func (s *Server) serveBatch(w http.ResponseWriter, name string, reports []WireReport) {
+	if len(reports) == 0 {
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "empty batch")
+		return
+	}
+	st := s.resolveStream(w, name)
 	if st == nil {
 		return
 	}
-	cells, err := st.agg.Bucketize(nil, mechanism.Report(req.Report))
-	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
-		return
+	// Validate the whole batch before ingesting anything, so a bad report
+	// in the middle cannot leave a half-applied batch behind.
+	buckets := make([]int, 0, len(reports))
+	var err error
+	for i, rep := range reports {
+		if buckets, err = st.agg.Bucketize(buckets, mechanism.Report(rep)); err != nil {
+			errorJSON(w, http.StatusBadRequest, CodeBadRequest, "report %d: %v", i, err)
+			return
+		}
 	}
-	if len(cells) == 1 {
-		st.add(cells[0])
-	} else {
-		st.addBatch(cells)
+	st.addBatch(buckets)
+	if st.mReports != nil {
+		st.mReports.Add(uint64(len(reports)))
 	}
-	writeJSON(w, map[string]any{"accepted": true, "stream": st.name, "n": st.users()})
+	writeJSON(w, map[string]any{"accepted": len(reports), "stream": st.name, "n": st.users()})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -877,30 +1050,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if len(req.Reports) == 0 {
-		errorJSON(w, http.StatusBadRequest, "empty batch")
-		return
-	}
-	st := s.resolveStream(w, req.Stream)
-	if st == nil {
-		return
-	}
-	// Validate the whole batch before ingesting anything, so a bad report
-	// in the middle cannot leave a half-applied batch behind.
-	buckets := make([]int, 0, len(req.Reports))
-	var err error
-	for i, rep := range req.Reports {
-		if buckets, err = st.agg.Bucketize(buckets, mechanism.Report(rep)); err != nil {
-			errorJSON(w, http.StatusBadRequest, "report %d: %v", i, err)
-			return
-		}
-	}
-	st.addBatch(buckets)
-	writeJSON(w, map[string]any{"accepted": len(req.Reports), "stream": st.name, "n": st.users()})
+	s.serveBatch(w, req.Stream, req.Reports)
 }
 
 // loadEstimate fetches a stream's cached reconstruction for serving,
@@ -913,7 +1066,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) loadEstimate(w http.ResponseWriter, st *stream) (cached *EstimateResponse, pending int, ok bool) {
 	n := st.reports()
 	if n == 0 {
-		errorJSON(w, http.StatusConflict, "no reports yet on stream %q", st.name)
+		errorJSON(w, http.StatusConflict, CodeNoReports, "no reports yet on stream %q", st.name)
 		return nil, 0, false
 	}
 	cached = st.est.Load()
@@ -921,14 +1074,9 @@ func (s *Server) loadEstimate(w http.ResponseWriter, st *stream) (cached *Estima
 		// First estimate still pending: tell the client instead of
 		// hanging, and make sure the engine is on it.
 		s.wake()
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Retry-After", "1")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]any{
-			"error":           "estimate pending: first reconstruction in progress",
-			"stream":          st.name,
-			"pending_reports": n,
-		})
+		retryJSON(w, http.StatusServiceUnavailable, CodeEstimatePending, time.Second,
+			map[string]any{"stream": st.name, "pending_reports": n},
+			"estimate pending: first reconstruction in progress")
 		return nil, 0, false
 	}
 	// Staleness is tracked in raw histogram increments (published), not the
@@ -944,16 +1092,14 @@ func (s *Server) loadEstimate(w http.ResponseWriter, st *stream) (cached *Estima
 	return cached, pending, true
 }
 
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w, r, http.MethodGet)
-		return
-	}
-	st := s.resolveStream(w, r.URL.Query().Get("stream"))
+// serveEstimate is the shared core of GET /estimate and GET
+// /v1/streams/{name}/estimate.
+func (s *Server) serveEstimate(w http.ResponseWriter, name, windowSel string) {
+	st := s.resolveStream(w, name)
 	if st == nil {
 		return
 	}
-	cached, pending, ok := s.loadEstimateOrWindow(w, st, r.URL.Query().Get("window"))
+	cached, pending, ok := s.loadEstimateOrWindow(w, st, windowSel)
 	if !ok {
 		return
 	}
@@ -961,6 +1107,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	out := *cached
 	out.PendingReports = pending
 	writeJSON(w, out)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	s.serveEstimate(w, r.URL.Query().Get("stream"), r.URL.Query().Get("window"))
 }
 
 // StreamCreateResponse is the JSON shape of POST /streams: the full
@@ -974,41 +1128,69 @@ type StreamCreateResponse struct {
 	Created bool `json:"created"`
 }
 
+// serveStreamList and serveStreamCreate are the shared cores of /streams and
+// /v1/streams.
+func (s *Server) serveStreamList(w http.ResponseWriter) {
+	writeJSON(w, map[string]any{"streams": s.Streams()})
+}
+
+func (s *Server) serveStreamCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		StreamConfig
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	_, existed := s.streams[req.Name] // exact name: "" must not alias the default stream
+	s.mu.RUnlock()
+	if err := s.CreateStream(req.Name, req.StreamConfig); err != nil {
+		// 409 is reserved for a real configuration conflict with the
+		// live stream; a malformed declaration is 400 whether or not
+		// the name exists.
+		status, code := http.StatusBadRequest, CodeBadRequest
+		if errors.Is(err, ErrStreamConfigMismatch) {
+			status, code = http.StatusConflict, CodeStreamConflict
+		}
+		errorJSON(w, status, code, "%v", err)
+		return
+	}
+	st := s.lookup(req.Name)
+	if !existed {
+		w.WriteHeader(http.StatusCreated)
+	}
+	writeJSON(w, StreamCreateResponse{ConfigResponse: s.configOf(st), Created: !existed})
+}
+
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, map[string]any{"streams": s.Streams()})
+		s.serveStreamList(w)
 	case http.MethodPost:
-		var req struct {
-			Name string `json:"name"`
-			StreamConfig
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
-			return
-		}
-		s.mu.RLock()
-		_, existed := s.streams[req.Name] // exact name: "" must not alias the default stream
-		s.mu.RUnlock()
-		if err := s.CreateStream(req.Name, req.StreamConfig); err != nil {
-			// 409 is reserved for a real configuration conflict with the
-			// live stream; a malformed declaration is 400 whether or not
-			// the name exists.
-			status := http.StatusBadRequest
-			if errors.Is(err, ErrStreamConfigMismatch) {
-				status = http.StatusConflict
-			}
-			errorJSON(w, status, "%v", err)
-			return
-		}
-		st := s.lookup(req.Name)
-		if !existed {
-			w.WriteHeader(http.StatusCreated)
-		}
-		writeJSON(w, StreamCreateResponse{ConfigResponse: s.configOf(st), Created: !existed})
+		s.serveStreamCreate(w, r)
 	default:
 		methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 	}
+}
+
+// serveStreamDelete is the shared core of DELETE /streams/{name} and DELETE
+// /v1/streams/{name}.
+func (s *Server) serveStreamDelete(w http.ResponseWriter, name string) {
+	if err := s.DropStream(name); err != nil {
+		errorJSON(w, http.StatusNotFound, CodeUnknownStream, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"dropped": name})
+}
+
+// serveStreamInfo answers GET /v1/streams/{name}.
+func (s *Server) serveStreamInfo(w http.ResponseWriter, name string) {
+	st := s.resolveStream(w, name)
+	if st == nil {
+		return
+	}
+	writeJSON(w, s.streamInfo(st))
 }
 
 // ConfigResponse is the JSON shape of GET /config: the full effective
@@ -1036,16 +1218,22 @@ type ConfigResponse struct {
 	EMWorkers int `json:"em_workers"`
 }
 
+// serveConfig is the shared core of GET /config and GET
+// /v1/streams/{name}/config.
+func (s *Server) serveConfig(w http.ResponseWriter, name string) {
+	st := s.resolveStream(w, name)
+	if st == nil {
+		return
+	}
+	writeJSON(w, s.configOf(st))
+}
+
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
-	st := s.resolveStream(w, r.URL.Query().Get("stream"))
-	if st == nil {
-		return
-	}
-	writeJSON(w, s.configOf(st))
+	s.serveConfig(w, r.URL.Query().Get("stream"))
 }
 
 // configOf assembles the full effective configuration of one stream.

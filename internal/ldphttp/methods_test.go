@@ -166,10 +166,16 @@ func TestMethodNotAllowedMatrix(t *testing.T) {
 			t.Errorf("%s %s: Content-Type %q, want application/json", tc.method, tc.path, ct)
 		}
 		var body struct {
-			Error string `json:"error"`
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
-		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
-			t.Errorf("%s %s: body is not a JSON error (%v)", tc.method, tc.path, err)
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error.Message == "" {
+			t.Errorf("%s %s: body is not a JSON error envelope (%v)", tc.method, tc.path, err)
+		}
+		if body.Error.Code != CodeMethodNotAllowed {
+			t.Errorf("%s %s: error code %q, want %q", tc.method, tc.path, body.Error.Code, CodeMethodNotAllowed)
 		}
 		resp.Body.Close()
 	}

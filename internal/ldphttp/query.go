@@ -5,7 +5,6 @@ package ldphttp
 // consistent snapshot of a stream's estimate.
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -43,22 +42,29 @@ type BatchQueryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		s.handleQueryGet(w, r)
+		s.serveQueryGet(w, r, r.URL.Query().Get("stream"))
 	case http.MethodPost:
-		s.handleQueryPost(w, r)
+		var req batchQueryRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		s.serveQueryPost(w, req.Stream, req)
 	default:
 		methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 	}
 }
 
-func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+// serveQueryGet is the shared core of GET /query and GET
+// /v1/streams/{name}/query; the stream name arrives resolved (parameter or
+// path) while every other parameter reads from the URL.
+func (s *Server) serveQueryGet(w http.ResponseWriter, r *http.Request, name string) {
 	params := r.URL.Query()
 	req, err := parseQueryParams(params)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	st := s.resolveStream(w, params.Get("stream"))
+	st := s.resolveStream(w, name)
 	if st == nil {
 		return
 	}
@@ -68,7 +74,7 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := query.Eval(cached.Distribution, cached.N, req)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, QueryResponse{
@@ -90,25 +96,23 @@ type batchQueryRequest struct {
 	Queries []query.Request `json:"queries"`
 }
 
-func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
-	var req batchQueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
+// serveQueryPost is the shared core of POST /query and POST
+// /v1/streams/{name}/query; name is the resolved stream (body field or
+// path).
+func (s *Server) serveQueryPost(w http.ResponseWriter, name string, req batchQueryRequest) {
 	if len(req.Queries) == 0 {
-		errorJSON(w, http.StatusBadRequest, "empty query batch")
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "empty query batch")
 		return
 	}
 	// Validate the whole batch before evaluating anything, so a bad query
 	// in the middle cannot produce a half-answered 400.
 	for i, q := range req.Queries {
 		if err := query.Validate(q); err != nil {
-			errorJSON(w, http.StatusBadRequest, "query %d: %v", i, err)
+			errorJSON(w, http.StatusBadRequest, CodeBadRequest, "query %d: %v", i, err)
 			return
 		}
 	}
-	st := s.resolveStream(w, req.Stream)
+	st := s.resolveStream(w, name)
 	if st == nil {
 		return
 	}
@@ -122,7 +126,7 @@ func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		resp, err := query.Eval(cached.Distribution, cached.N, q)
 		if err != nil {
-			errorJSON(w, http.StatusBadRequest, "query %d: %v", i, err)
+			errorJSON(w, http.StatusBadRequest, CodeBadRequest, "query %d: %v", i, err)
 			return
 		}
 		results[i] = resp

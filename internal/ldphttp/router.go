@@ -1,0 +1,300 @@
+package ldphttp
+
+// Routing and middleware: Handler assembles the versioned /v1 resource
+// tree, the legacy flat aliases (same cores, plus Deprecation/Link
+// headers), the federation and operational endpoints — each wrapped by one
+// middleware that sheds over-rate requests before the engine, bounds
+// bodies, counts and times the request, and writes the access log line.
+//
+// The v1 tree is dispatched by hand rather than with ServeMux method
+// patterns so unsupported methods keep answering 405 with an Allow header
+// and the JSON envelope (a mux pattern miss would produce a bare text 404).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// routeOpts configures the middleware for one endpoint.
+type routeOpts struct {
+	// admit subjects the endpoint to the global admission bucket. Off for
+	// the operational endpoints: a load-shedding server must keep
+	// answering its probes and exposing its shed counters.
+	admit bool
+	// capBody bounds the request body at Ops.MaxBodyBytes. Off for
+	// federation pushes, which keep their own 64 MiB cap.
+	capBody bool
+	// successor, when set, marks the endpoint deprecated and names the v1
+	// route that replaces it.
+	successor string
+}
+
+// statusWriter captures the status code and body size for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// route wraps a handler with the operational middleware. endpoint is the
+// stable label carried by ldp_requests_total and the access log — the
+// route template ("/v1/streams/{name}/report"), never the raw path, so the
+// label space stays bounded.
+func (s *Server) route(endpoint string, opts routeOpts, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		if opts.successor != "" {
+			sw.Header().Set("Deprecation", "true")
+			sw.Header().Set("Link", "<"+opts.successor+`>; rel="successor-version"`)
+		}
+		shed := false
+		if opts.admit && s.limiter != nil {
+			if ok, retry := s.limiter.Allow(); !ok {
+				shed = true
+				if m := s.metrics; m != nil {
+					m.shed.With(endpoint, "global").Inc()
+				}
+				retryJSON(sw, http.StatusTooManyRequests, CodeRateLimited, retry, nil,
+					"server over admission rate; retry in %v", retry)
+			}
+		}
+		if !shed {
+			if opts.capBody && s.maxBody > 0 && r.Body != nil {
+				r.Body = http.MaxBytesReader(sw, r.Body, s.maxBody)
+			}
+			h(sw, r)
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		if m := s.metrics; m != nil {
+			m.requests.With(endpoint, r.Method, fmt.Sprintf("%d", sw.status)).Inc()
+			m.reqDur.With(endpoint).Observe(dur.Seconds())
+		}
+		s.logRequest(r, sw, dur)
+	}
+}
+
+// logRequest writes one structured access-log line (key=value or JSON).
+func (s *Server) logRequest(r *http.Request, sw *statusWriter, dur time.Duration) {
+	if s.accessLog == nil {
+		return
+	}
+	ts := time.Now().UTC().Format(time.RFC3339Nano)
+	var line string
+	if s.logJSON {
+		b, err := json.Marshal(map[string]any{
+			"ts":     ts,
+			"method": r.Method,
+			"path":   r.URL.RequestURI(),
+			"status": sw.status,
+			"dur_ms": float64(dur.Microseconds()) / 1000,
+			"bytes":  sw.bytes,
+			"remote": r.RemoteAddr,
+		})
+		if err != nil {
+			return
+		}
+		line = string(b) + "\n"
+	} else {
+		line = fmt.Sprintf("ts=%s method=%s path=%q status=%d dur_ms=%.3f bytes=%d remote=%s\n",
+			ts, r.Method, r.URL.RequestURI(), sw.status, float64(dur.Microseconds())/1000, sw.bytes, r.RemoteAddr)
+	}
+	s.logMu.Lock()
+	s.accessLog.Write([]byte(line))
+	s.logMu.Unlock()
+}
+
+// Handler returns the HTTP routes: the v1 tree, the legacy aliases, the
+// federation surface, and the operational endpoints.
+func (s *Server) Handler() http.Handler {
+	engine := routeOpts{admit: true, capBody: true}
+	ops := routeOpts{}
+	dep := func(successor string) routeOpts {
+		return routeOpts{admit: true, capBody: true, successor: successor}
+	}
+
+	mux := http.NewServeMux()
+	// Legacy flat surface: same cores as v1, marked deprecated.
+	mux.HandleFunc("/streams", s.route("/streams", dep("/v1/streams"), s.handleStreams))
+	mux.HandleFunc("/streams/", s.route("/streams/{name}", dep("/v1/streams/{name}"), s.handleStreamItem))
+	mux.HandleFunc("/report", s.route("/report", dep("/v1/streams/{name}/report"), s.handleReport))
+	mux.HandleFunc("/batch", s.route("/batch", dep("/v1/streams/{name}/batch"), s.handleBatch))
+	mux.HandleFunc("/estimate", s.route("/estimate", dep("/v1/streams/{name}/estimate"), s.handleEstimate))
+	mux.HandleFunc("/query", s.route("/query", dep("/v1/streams/{name}/query"), s.handleQuery))
+	mux.HandleFunc("/config", s.route("/config", dep("/v1/streams/{name}/config"), s.handleConfig))
+
+	// Versioned v1 resource tree.
+	mux.HandleFunc("/v1/streams", s.route("/v1/streams", engine, s.handleStreams))
+	mux.HandleFunc("/v1/streams/", s.v1StreamRoutes())
+
+	// Federation: push carries its own body cap and the per-edge tier.
+	mux.HandleFunc("/federation/push", s.route("/federation/push", routeOpts{admit: true}, s.handleFederationPush))
+	mux.HandleFunc("/federation/peers", s.route("/federation/peers", engine, s.handleFederationPeers))
+
+	// Operational surface: exempt from admission control.
+	mux.HandleFunc("/metrics", s.route("/metrics", ops, s.handleMetrics))
+	mux.HandleFunc("/healthz", s.route("/healthz", ops, s.handleHealthz))
+	mux.HandleFunc("/readyz", s.route("/readyz", ops, s.handleReadyz))
+
+	// Everything else 404s with the envelope, not the mux's text body.
+	mux.HandleFunc("/", s.route("/", ops, func(w http.ResponseWriter, r *http.Request) {
+		errorJSON(w, http.StatusNotFound, CodeNotFound, "no route %s", r.URL.Path)
+	}))
+	return mux
+}
+
+// v1StreamRoutes dispatches /v1/streams/{name}[/{action}]. Middleware is
+// pre-built per action so every endpoint label is a stable route template.
+func (s *Server) v1StreamRoutes() http.HandlerFunc {
+	engine := routeOpts{admit: true, capBody: true}
+	item := s.route("/v1/streams/{name}", engine, func(w http.ResponseWriter, r *http.Request) {
+		name, _, _ := v1StreamPath(r)
+		switch r.Method {
+		case http.MethodGet:
+			s.serveStreamInfo(w, name)
+		case http.MethodDelete:
+			s.serveStreamDelete(w, name)
+		default:
+			methodNotAllowed(w, r, http.MethodGet, http.MethodDelete)
+		}
+	})
+	actions := map[string]http.HandlerFunc{
+		"report": s.route("/v1/streams/{name}/report", engine, func(w http.ResponseWriter, r *http.Request) {
+			name, _, _ := v1StreamPath(r)
+			if r.Method != http.MethodPost {
+				methodNotAllowed(w, r, http.MethodPost)
+				return
+			}
+			var req reportRequest
+			if !decodeJSON(w, r, &req) {
+				return
+			}
+			if !v1StreamMatches(w, name, req.Stream) {
+				return
+			}
+			s.serveReport(w, name, req.Report)
+		}),
+		"batch": s.route("/v1/streams/{name}/batch", engine, func(w http.ResponseWriter, r *http.Request) {
+			name, _, _ := v1StreamPath(r)
+			if r.Method != http.MethodPost {
+				methodNotAllowed(w, r, http.MethodPost)
+				return
+			}
+			var req batchRequest
+			if !decodeJSON(w, r, &req) {
+				return
+			}
+			if !v1StreamMatches(w, name, req.Stream) {
+				return
+			}
+			s.serveBatch(w, name, req.Reports)
+		}),
+		"estimate": s.route("/v1/streams/{name}/estimate", engine, func(w http.ResponseWriter, r *http.Request) {
+			name, _, _ := v1StreamPath(r)
+			if r.Method != http.MethodGet {
+				methodNotAllowed(w, r, http.MethodGet)
+				return
+			}
+			s.serveEstimate(w, name, r.URL.Query().Get("window"))
+		}),
+		"query": s.route("/v1/streams/{name}/query", engine, func(w http.ResponseWriter, r *http.Request) {
+			name, _, _ := v1StreamPath(r)
+			switch r.Method {
+			case http.MethodGet:
+				s.serveQueryGet(w, r, name)
+			case http.MethodPost:
+				var req batchQueryRequest
+				if !decodeJSON(w, r, &req) {
+					return
+				}
+				if !v1StreamMatches(w, name, req.Stream) {
+					return
+				}
+				s.serveQueryPost(w, name, req)
+			default:
+				methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
+			}
+		}),
+		"config": s.route("/v1/streams/{name}/config", engine, func(w http.ResponseWriter, r *http.Request) {
+			name, _, _ := v1StreamPath(r)
+			if r.Method != http.MethodGet {
+				methodNotAllowed(w, r, http.MethodGet)
+				return
+			}
+			s.serveConfig(w, name)
+		}),
+	}
+	notFound := s.route("/v1/streams/{name}", routeOpts{}, func(w http.ResponseWriter, r *http.Request) {
+		errorJSON(w, http.StatusNotFound, CodeNotFound, "no route %s", r.URL.Path)
+	})
+	return func(w http.ResponseWriter, r *http.Request) {
+		name, action, ok := v1StreamPath(r)
+		if !ok || name == "" {
+			notFound(w, r)
+			return
+		}
+		if action == "" {
+			item(w, r)
+			return
+		}
+		h, known := actions[action]
+		if !known {
+			notFound(w, r)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// v1StreamPath parses /v1/streams/{name}[/{action}]; ok is false for
+// deeper nesting or an unescapable name.
+func v1StreamPath(r *http.Request) (name, action string, ok bool) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/streams/")
+	parts := strings.Split(rest, "/")
+	if len(parts) > 2 {
+		return "", "", false
+	}
+	name, err := url.PathUnescape(parts[0])
+	if err != nil {
+		return "", "", false
+	}
+	if len(parts) == 2 {
+		action = parts[1]
+	}
+	return name, action, true
+}
+
+// v1StreamMatches rejects a v1 body that names a different stream than the
+// path; an empty body field inherits the path (the legacy field is simply
+// redundant on v1).
+func v1StreamMatches(w http.ResponseWriter, path, body string) bool {
+	if body != "" && body != path {
+		errorJSON(w, http.StatusBadRequest, CodeStreamMismatch,
+			"body addresses stream %q but the path addresses %q", body, path)
+		return false
+	}
+	return true
+}

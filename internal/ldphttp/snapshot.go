@@ -33,6 +33,13 @@ import (
 // watermarks and histograms always agree — a restored root skips exactly
 // the replays whose increments its histograms already contain.
 func (s *Server) SaveSnapshot(path string) error {
+	start := time.Now()
+	err := s.saveSnapshot(path)
+	s.observeSnapshot("save", start, err)
+	return err
+}
+
+func (s *Server) saveSnapshot(path string) error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	// fedMu covers only the in-memory capture: holding it across the file
@@ -128,6 +135,18 @@ func windowState(rec snapshot.Stream) window.State {
 // takes the registry read-lock) can slip between validation and apply, and
 // no error path leaves a partial merge behind.
 func (s *Server) LoadSnapshot(path string) error {
+	start := time.Now()
+	err := s.loadSnapshot(path)
+	s.observeSnapshot("load", start, err)
+	if err == nil {
+		// Restore completed: a server started with Ops.AwaitRestore is now
+		// safe to serve from (readiness probe flips to 200).
+		s.MarkReady()
+	}
+	return err
+}
+
+func (s *Server) loadSnapshot(path string) error {
 	file, err := snapshot.LoadFile(path)
 	if err != nil {
 		return err

@@ -209,46 +209,40 @@ func (s *Server) windowEstimateResponse(st *stream, g window.Range, n int, dist 
 // while the engine computes the first estimate for the range.
 func (s *Server) loadWindowEstimate(w http.ResponseWriter, st *stream, rawSel string) (*EstimateResponse, int, bool) {
 	if st.ring == nil {
-		errorJSON(w, http.StatusBadRequest,
+		errorJSON(w, http.StatusBadRequest, CodeNotWindowed,
 			"stream %q is not windowed; declare it with an epoch to enable window queries", st.name)
 		return nil, 0, false
 	}
 	sel, err := window.ParseSelector(rawSel)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return nil, 0, false
 	}
 	g, err := st.ring.Resolve(sel)
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, CodeBadRequest
 		if window.IsAgedOut(err) {
-			status = http.StatusGone
+			status, code = http.StatusGone, CodeWindowAgedOut
 		}
-		errorJSON(w, status, "%v", err)
+		errorJSON(w, status, code, "%v", err)
 		return nil, 0, false
 	}
 	n, err := st.ring.RangeN(g)
 	if err != nil { // the range aged out between Resolve and RangeN
-		errorJSON(w, http.StatusGone, "%v", err)
+		errorJSON(w, http.StatusGone, CodeWindowAgedOut, "%v", err)
 		return nil, 0, false
 	}
 	if n == 0 {
-		errorJSON(w, http.StatusConflict, "no reports in window %s on stream %q", g, st.name)
+		errorJSON(w, http.StatusConflict, CodeNoReports, "no reports in window %s on stream %q", g, st.name)
 		return nil, 0, false
 	}
 	wc := st.windowCacheFor(g)
 	cached := wc.est.Load()
 	if cached == nil {
 		s.wake()
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Retry-After", "1")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]any{
-			"error":           "window estimate pending: reconstruction in progress",
-			"stream":          st.name,
-			"window":          g.String(),
-			"pending_reports": n,
-		})
+		retryJSON(w, http.StatusServiceUnavailable, CodeEstimatePending, time.Second,
+			map[string]any{"stream": st.name, "window": g.String(), "pending_reports": n},
+			"window estimate pending: reconstruction in progress")
 		return nil, 0, false
 	}
 	// Staleness is tracked in raw histogram increments, not the user count
@@ -281,12 +275,8 @@ func (s *Server) handleStreamItem(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.URL.Path[len("/streams/"):]
 	if name == "" {
-		errorJSON(w, http.StatusBadRequest, "missing stream name (DELETE /streams/{name})")
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "missing stream name (DELETE /streams/{name})")
 		return
 	}
-	if err := s.DropStream(name); err != nil {
-		errorJSON(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	writeJSON(w, map[string]any{"dropped": name})
+	s.serveStreamDelete(w, name)
 }

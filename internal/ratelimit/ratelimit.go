@@ -1,0 +1,141 @@
+// Package ratelimit implements the admission-control token buckets the
+// collection server sheds load with: a Bucket is one rate/burst tier, a
+// Keyed lazily grows one bucket per key (federation edges). Denials come
+// back with the wait until a token frees up, so HTTP handlers can answer
+// 429 with an honest Retry-After instead of stalling the client.
+//
+// Buckets are mock-clock testable (NewWithClock) and safe for concurrent
+// use; the fast path is one mutex and a handful of float operations —
+// nanoseconds against the microseconds of the request it admits.
+package ratelimit
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket refilling at Rate tokens per second up to Burst.
+type Bucket struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// New builds a bucket born full. rate must be positive; burst below 1 is
+// raised to 1 (a bucket that can never hold a whole token admits nothing).
+func New(rate, burst float64) *Bucket {
+	return NewWithClock(rate, burst, time.Now)
+}
+
+// NewWithClock is New under a caller-supplied clock (tests).
+func NewWithClock(rate, burst float64, now func() time.Time) *Bucket {
+	if rate <= 0 {
+		panic("ratelimit: rate must be positive")
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, now: now, tokens: burst, last: now()}
+}
+
+// Allow takes one token. Denials report how long until a token is
+// available — the Retry-After an HTTP 429 should carry.
+func (b *Bucket) Allow() (ok bool, retryAfter time.Duration) {
+	return b.AllowN(1)
+}
+
+// AllowN takes n tokens atomically: all n or none.
+func (b *Bucket) AllowN(n float64) (ok bool, retryAfter time.Duration) {
+	if n <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	if n > b.burst {
+		// Can never succeed; report the time to a full bucket as the
+		// honest "not soon" answer.
+		return false, b.durationFor(b.burst - b.tokens)
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	return false, b.durationFor(n - b.tokens)
+}
+
+// Tokens reports the tokens available right now (tests, introspection).
+func (b *Bucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	return b.tokens
+}
+
+// durationFor converts a token deficit into a wait, rounded up to a whole
+// millisecond so a Retry-After of "0" can never mean "now but denied".
+func (b *Bucket) durationFor(deficit float64) time.Duration {
+	d := time.Duration(deficit / b.rate * float64(time.Second))
+	if rem := d % time.Millisecond; rem != 0 || d == 0 {
+		d += time.Millisecond - rem
+	}
+	return d
+}
+
+// Keyed is a family of buckets sharing one rate/burst configuration, one
+// bucket per key — the per-edge federation tier. Unknown keys get a fresh
+// full bucket on first use; keys never expire (the key space is operator
+// -controlled edge identities, bounded by the fleet size).
+type Keyed struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*Bucket
+}
+
+// NewKeyed builds an empty family.
+func NewKeyed(rate, burst float64) *Keyed {
+	return NewKeyedWithClock(rate, burst, time.Now)
+}
+
+// NewKeyedWithClock is NewKeyed under a caller-supplied clock (tests).
+func NewKeyedWithClock(rate, burst float64, now func() time.Time) *Keyed {
+	if rate <= 0 {
+		panic("ratelimit: rate must be positive")
+	}
+	return &Keyed{rate: rate, burst: burst, now: now, m: make(map[string]*Bucket)}
+}
+
+// Allow takes one token from key's bucket.
+func (k *Keyed) Allow(key string) (ok bool, retryAfter time.Duration) {
+	k.mu.Lock()
+	b := k.m[key]
+	if b == nil {
+		b = NewWithClock(k.rate, k.burst, k.now)
+		k.m[key] = b
+	}
+	k.mu.Unlock()
+	return b.Allow()
+}
+
+// Len reports how many keys have been seen.
+func (k *Keyed) Len() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.m)
+}

@@ -1,0 +1,179 @@
+package ratelimit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// mockClock is a manually-advanced clock.
+type mockClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newMockClock() *mockClock {
+	return &mockClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *mockClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *mockClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBurstThenDeny(t *testing.T) {
+	clk := newMockClock()
+	b := NewWithClock(10, 5, clk.Now)
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := b.Allow()
+	if ok {
+		t.Fatal("6th request admitted from a burst-5 bucket")
+	}
+	// Deficit is 1 token at 10/s: 100ms.
+	if retry != 100*time.Millisecond {
+		t.Errorf("retry-after = %v, want 100ms", retry)
+	}
+}
+
+func TestRefill(t *testing.T) {
+	clk := newMockClock()
+	b := NewWithClock(10, 5, clk.Now)
+	for i := 0; i < 5; i++ {
+		b.Allow()
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("empty bucket admitted")
+	}
+	clk.Advance(100 * time.Millisecond) // exactly one token
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("refilled token not admitted")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second request admitted after a single-token refill")
+	}
+	// Refill caps at burst.
+	clk.Advance(time.Hour)
+	if got := b.Tokens(); got != 5 {
+		t.Errorf("tokens after an hour = %v, want burst cap 5", got)
+	}
+}
+
+func TestAllowNAtomicity(t *testing.T) {
+	clk := newMockClock()
+	b := NewWithClock(1, 4, clk.Now)
+	if ok, _ := b.AllowN(3); !ok {
+		t.Fatal("AllowN(3) denied on a full burst-4 bucket")
+	}
+	// 1 token left; a 2-token take must fail and take nothing.
+	if ok, _ := b.AllowN(2); ok {
+		t.Fatal("AllowN(2) admitted with 1 token")
+	}
+	if ok, _ := b.AllowN(1); !ok {
+		t.Fatal("the single remaining token vanished on a failed AllowN")
+	}
+	// A take above burst can never succeed, even from full.
+	clk.Advance(time.Hour)
+	if ok, retry := b.AllowN(10); ok || retry <= 0 {
+		t.Fatalf("AllowN(10) on burst 4 = %v %v", ok, retry)
+	}
+	if ok, _ := b.AllowN(0); !ok {
+		t.Fatal("AllowN(0) denied")
+	}
+}
+
+func TestRetryAfterNeverZeroOnDenial(t *testing.T) {
+	clk := newMockClock()
+	b := NewWithClock(1e9, 1, clk.Now) // refills almost instantly
+	b.Allow()
+	if ok, retry := b.Allow(); !ok && retry <= 0 {
+		t.Errorf("denied with retry-after %v", retry)
+	}
+}
+
+func TestKeyedIsolation(t *testing.T) {
+	clk := newMockClock()
+	k := NewKeyedWithClock(10, 2, clk.Now)
+	// Edge A burns its burst.
+	for i := 0; i < 2; i++ {
+		if ok, _ := k.Allow("edge-a"); !ok {
+			t.Fatalf("edge-a burst request %d denied", i)
+		}
+	}
+	if ok, _ := k.Allow("edge-a"); ok {
+		t.Fatal("edge-a over-burst admitted")
+	}
+	// Edge B is untouched by A's exhaustion.
+	if ok, _ := k.Allow("edge-b"); !ok {
+		t.Fatal("edge-b denied by edge-a's exhaustion")
+	}
+	if k.Len() != 2 {
+		t.Errorf("keys = %d, want 2", k.Len())
+	}
+	// A's refill is A's alone.
+	clk.Advance(100 * time.Millisecond)
+	if ok, _ := k.Allow("edge-a"); !ok {
+		t.Fatal("edge-a refill not admitted")
+	}
+}
+
+func TestBurstBelowOneIsRaised(t *testing.T) {
+	clk := newMockClock()
+	b := NewWithClock(10, 0, clk.Now)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("burst-0 bucket admits nothing; want the documented raise to 1")
+	}
+}
+
+func TestInvalidRatePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { NewKeyed(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConcurrentExactAdmission(t *testing.T) {
+	clk := newMockClock()
+	b := NewWithClock(1, 100, clk.Now)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if ok, _ := b.Allow(); ok {
+					mu.Lock()
+					admitted++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 400 requests against a frozen clock and a burst of 100: exactly 100
+	// admitted, not one more.
+	if admitted != 100 {
+		t.Errorf("admitted %d, want exactly 100", admitted)
+	}
+}

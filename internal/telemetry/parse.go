@@ -1,0 +1,316 @@
+package telemetry
+
+// ParseText is the promtool-free exposition-format validator: it parses the
+// text format WriteText emits (and any well-formed 0.0.4 exposition),
+// enforcing the invariants operators rely on — every sample belongs to a
+// TYPE-declared family, label names are well-formed, no series repeats, and
+// no sample carries a timestamp. The server's tests lint every scrape
+// through it, and the public API's typed ServerStats accessor is built on
+// it.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full sample name (histogram series keep their _bucket /
+	// _sum / _count suffix).
+	Name string
+	// Labels holds the label pairs, including a histogram bucket's "le".
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Label fetches one label value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// Scrape is a fully-parsed exposition payload.
+type Scrape struct {
+	// Families holds every family keyed by name.
+	Families map[string]*Family
+}
+
+// Value fetches one sample's value by family sample name and label
+// pairs ("k=v"). The second return is false when no sample matches exactly
+// (every given pair present; samples with extra labels still match).
+func (sc *Scrape) Value(name string, labelPairs ...string) (float64, bool) {
+	fam := sc.Families[baseFamilyName(name)]
+	if fam == nil {
+		return 0, false
+	}
+	for _, s := range fam.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for _, pair := range labelPairs {
+			k, v, _ := strings.Cut(pair, "=")
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Counter sums every sample of a counter family that matches the label
+// pairs — the natural read for "total across streams".
+func (sc *Scrape) Counter(name string, labelPairs ...string) float64 {
+	fam := sc.Families[name]
+	if fam == nil {
+		return 0
+	}
+	var total float64
+	for _, s := range fam.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for _, pair := range labelPairs {
+			k, v, _ := strings.Cut(pair, "=")
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// baseFamilyName strips the histogram sample suffixes.
+func baseFamilyName(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			return base
+		}
+	}
+	return name
+}
+
+// ParseText parses and validates an exposition payload.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Families: make(map[string]*Family)}
+	seen := make(map[string]bool) // name + sorted labels, for duplicate detection
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := sc.parseMeta(line); err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		famName := baseFamilyName(sample.Name)
+		fam := sc.Families[famName]
+		if fam == nil || fam.Kind == "" {
+			// A histogram suffix can also be a literal family name; accept
+			// the exact name before failing.
+			if f2 := sc.Families[sample.Name]; f2 != nil && f2.Kind != "" {
+				fam, famName = f2, sample.Name
+			} else {
+				return nil, fmt.Errorf("telemetry: line %d: sample %q has no preceding # TYPE", lineNo, sample.Name)
+			}
+		}
+		if fam.Kind != KindHistogram && sample.Name != famName {
+			return nil, fmt.Errorf("telemetry: line %d: %s sample %q carries a histogram suffix", lineNo, fam.Kind, sample.Name)
+		}
+		key := seriesKey(sample)
+		if seen[key] {
+			return nil, fmt.Errorf("telemetry: line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	for name, fam := range sc.Families {
+		if fam.Kind == "" {
+			return nil, fmt.Errorf("telemetry: family %q has HELP but no TYPE", name)
+		}
+	}
+	return sc, nil
+}
+
+func (sc *Scrape) parseMeta(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		fam := sc.familyFor(fields[2])
+		if len(fields) == 4 {
+			fam.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		kind := Kind(fields[3])
+		switch kind {
+		case KindCounter, KindGauge, KindHistogram:
+		default:
+			return fmt.Errorf("unknown family type %q", fields[3])
+		}
+		fam := sc.familyFor(fields[2])
+		if fam.Kind != "" {
+			return fmt.Errorf("family %q declared twice", fields[2])
+		}
+		if len(fam.Samples) > 0 {
+			return fmt.Errorf("family %q declared after its samples", fields[2])
+		}
+		fam.Kind = kind
+	}
+	return nil
+}
+
+func (sc *Scrape) familyFor(name string) *Family {
+	fam := sc.Families[name]
+	if fam == nil {
+		fam = &Family{Name: name}
+		sc.Families[name] = fam
+	}
+	return fam
+}
+
+// parseSample parses `name{k="v",...} value` — and rejects the optional
+// trailing timestamp the format allows, because a deterministic exposition
+// must never emit one.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: make(map[string]string)}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		s.Name = rest[:brace]
+		rest = rest[brace+1:]
+		var err error
+		if rest, err = parseLabels(rest, s.Labels); err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+	} else {
+		if space < 0 {
+			return s, fmt.Errorf("malformed sample line %q", line)
+		}
+		s.Name = rest[:space]
+		rest = rest[space:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	switch len(fields) {
+	case 1:
+	case 2:
+		return s, fmt.Errorf("sample %q carries a timestamp (%q); the exposition must be deterministic", s.Name, fields[1])
+	default:
+		return s, fmt.Errorf("sample %q: want exactly one value, got %q", s.Name, rest)
+	}
+	v, err := strconv.ParseFloat(strings.TrimPrefix(fields[0], "+"), 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `k="v",...}` and returns what follows the brace.
+func parseLabels(rest string, into map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, ",")
+		if len(rest) > 0 && rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return rest, fmt.Errorf("unterminated label set")
+		}
+		name := rest[:eq]
+		if name != "le" && !validLabelName(name) {
+			return rest, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return rest, fmt.Errorf("label %q: unquoted value", name)
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		for {
+			if len(rest) == 0 {
+				return rest, fmt.Errorf("label %q: unterminated value", name)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(rest) == 0 {
+					return rest, fmt.Errorf("label %q: dangling escape", name)
+				}
+				switch rest[0] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(rest[0])
+				default:
+					return rest, fmt.Errorf("label %q: bad escape \\%c", name, rest[0])
+				}
+				rest = rest[1:]
+				continue
+			}
+			b.WriteByte(c)
+		}
+		if _, dup := into[name]; dup {
+			return rest, fmt.Errorf("label %q repeated", name)
+		}
+		into[name] = b.String()
+	}
+}
+
+// seriesKey is a canonical series identity: name plus sorted label pairs.
+func seriesKey(s Sample) string {
+	pairs := make([]string, 0, len(s.Labels))
+	for k, v := range s.Labels {
+		pairs = append(pairs, k+"="+v)
+	}
+	sort.Strings(pairs)
+	return s.Name + "{" + strings.Join(pairs, ",") + "}"
+}

@@ -1,0 +1,405 @@
+// Package telemetry is the zero-dependency operational-metrics core of the
+// collection server: atomic counters, gauges and histograms organized into
+// labeled families, rendered in the Prometheus text exposition format
+// (version 0.0.4) by WriteText and parsed back by ParseText.
+//
+// It exists because the server needs /metrics without pulling a client
+// library into a reproduction repo, and because the repo's general-purpose
+// name — metrics — is already taken by the Wasserstein/KS distance package.
+// The design goal is a hot path of exactly one atomic add: callers resolve a
+// labeled series once (With), keep the returned handle, and touch only that
+// handle while serving.
+//
+// Exposition is deterministic: families render sorted by name, series sorted
+// by label values, values in Go's shortest-round-trip float syntax, and no
+// sample ever carries a timestamp — so golden tests can compare scrapes
+// byte-for-byte.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's type as exposed on the TYPE line.
+type Kind string
+
+// The exposition family types.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// DefBuckets are the default histogram upper bounds, in seconds — spanning
+// 100µs (an instrumented atomic ingest) to 10s (an EM refresh over a huge
+// domain).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; create with New.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    []func()
+}
+
+// family is one named metric with a fixed label schema and any number of
+// label-value series.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one (label values → value) sample set.
+type series struct {
+	labelValues []string
+
+	count atomic.Uint64 // counter value, or histogram observation count
+	bits  atomic.Uint64 // gauge value, or histogram sum (float64 bits)
+
+	buckets []atomic.Uint64 // histogram only: cumulative-by-render counts
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnScrape registers a hook run at the start of every WriteText, before any
+// family renders — the place to refresh gauges whose value is derived
+// (staleness, lag, queue depths) rather than event-driven.
+func (r *Registry) OnScrape(hook func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, hook)
+}
+
+func (r *Registry) register(name, help string, kind Kind, bounds []float64, labels []string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		kind:   kind,
+		labels: append([]string(nil), labels...),
+		bounds: bounds,
+		series: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns the existing) counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, nil, labels)}
+}
+
+// Gauge registers (or returns the existing) gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, nil, labels)}
+}
+
+// Histogram registers (or returns the existing) histogram family with the
+// given upper bounds (nil = DefBuckets). Bounds must be strictly increasing.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not increasing", name))
+		}
+	}
+	return &HistogramVec{r.register(name, help, KindHistogram, bounds, labels)}
+}
+
+// seriesFor resolves (creating if needed) the series with the given label
+// values.
+func (f *family) seriesFor(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			s.buckets = make([]atomic.Uint64, len(f.bounds))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With resolves the series for the given label values. Resolve once and keep
+// the handle: With takes the family lock, the handle is one atomic.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{v.f.seriesFor(labelValues)}
+}
+
+// Counter is one monotonically-increasing series.
+type Counter struct{ s *series }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.s.count.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.s.count.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.s.count.Load() }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With resolves the series for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{v.f.seriesFor(labelValues)}
+}
+
+// Gauge is one set-to-current-value series.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With resolves the series for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{s: v.f.seriesFor(labelValues), bounds: v.f.bounds}
+}
+
+// Histogram is one series of observations bucketed by fixed upper bounds.
+type Histogram struct {
+	s      *series
+	bounds []float64
+}
+
+// Observe records one value: the matching bucket, the count and the sum.
+// Wait-free except for the float sum, which is a CAS loop.
+func (h *Histogram) Observe(v float64) {
+	// Non-cumulative per-bucket counts at write time; WriteText accumulates
+	// at render time, so the hot path is a single bucket's atomic add.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.s.buckets[i].Add(1)
+	}
+	h.s.count.Add(1)
+	for {
+		old := h.s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the number of observations.
+func (h *Histogram) Count() uint64 { return h.s.count.Load() }
+
+// Sum reads the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.bits.Load()) }
+
+// WriteText renders every family in the Prometheus text exposition format:
+// scrape hooks first, then families sorted by name, series sorted by label
+// values, no timestamps.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, hook := range hooks {
+		hook()
+	}
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	list := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		list = append(list, f.series[k])
+	}
+	f.mu.Unlock()
+	// A family with no series yet still announces itself: dashboards and
+	// alert rules can reference every metric the server will ever emit from
+	// the first scrape on.
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range list {
+		switch f.kind {
+		case KindCounter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.labelValues, "", 0)
+			fmt.Fprintf(b, " %d\n", s.count.Load())
+		case KindGauge:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.labelValues, "", 0)
+			fmt.Fprintf(b, " %s\n", formatFloat(math.Float64frombits(s.bits.Load())))
+		case KindHistogram:
+			var cum uint64
+			for i, bound := range f.bounds {
+				cum += s.buckets[i].Load()
+				b.WriteString(f.name + "_bucket")
+				writeLabels(b, f.labels, s.labelValues, formatFloat(bound), 1)
+				fmt.Fprintf(b, " %d\n", cum)
+			}
+			b.WriteString(f.name + "_bucket")
+			writeLabels(b, f.labels, s.labelValues, "+Inf", 1)
+			fmt.Fprintf(b, " %d\n", s.count.Load())
+			b.WriteString(f.name + "_sum")
+			writeLabels(b, f.labels, s.labelValues, "", 0)
+			fmt.Fprintf(b, " %s\n", formatFloat(math.Float64frombits(s.bits.Load())))
+			b.WriteString(f.name + "_count")
+			writeLabels(b, f.labels, s.labelValues, "", 0)
+			fmt.Fprintf(b, " %d\n", s.count.Load())
+		}
+	}
+}
+
+// writeLabels renders {k="v",...}; le ("histogram upper bound") is appended
+// when leMode is 1. No braces render for an empty label set.
+func writeLabels(b *strings.Builder, names, values []string, le string, leMode int) {
+	if len(names) == 0 && leMode == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if leMode == 1 {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
