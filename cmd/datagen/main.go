@@ -1,11 +1,15 @@
 // Command datagen emits the synthetic evaluation datasets as CSV, one value
 // per line in [0,1], so external tooling (or the swcollect command) can
-// consume the exact workloads the experiments run on.
+// consume the exact workloads the experiments run on — or, with -post,
+// perturbs each value locally and drives it into a running collector
+// through the batching reporter (JSON or binary wire codec).
 //
 // Usage:
 //
 //	datagen -dataset income -n 100000 -o income.csv
 //	datagen -dataset taxi -n 50000            # writes to stdout
+//	datagen -dataset beta -n 100000 -post http://localhost:8080 \
+//	    -stream default -eps 1 -buckets 256 -binary
 //	datagen -list
 package main
 
@@ -16,7 +20,9 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"time"
 
+	"repro"
 	"repro/internal/dataset"
 )
 
@@ -27,6 +33,15 @@ func main() {
 		seed = flag.Uint64("seed", 1, "random seed")
 		out  = flag.String("o", "", "output path (default stdout)")
 		list = flag.Bool("list", false, "list available datasets and exit")
+
+		post    = flag.String("post", "", "collector base URL: perturb each value and POST it instead of writing CSV")
+		stream  = flag.String("stream", "", "target stream name (with -post; default: the collector's default stream)")
+		eps     = flag.Float64("eps", 1, "privacy budget ε of the randomizer (with -post; must match the stream)")
+		buckets = flag.Int("buckets", 256, "domain granularity of the randomizer (with -post; must match the stream)")
+		mech    = flag.String("mechanism", "", "reporting mechanism (with -post; default: the library default)")
+		batch   = flag.Int("batch", 128, "reports per shipped batch (with -post)")
+		flushIv = flag.Duration("flush-interval", 200*time.Millisecond, "max queue age before a timed flush (with -post)")
+		binary  = flag.Bool("binary", false, "ship batches as application/x-ldp-binary frames (with -post)")
 	)
 	flag.Parse()
 
@@ -41,6 +56,11 @@ func main() {
 	ds, err := dataset.ByName(*name, *n, *seed)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *post != "" {
+		postValues(ds.Values, *post, *stream, *eps, *buckets, *mech, *seed, *batch, *flushIv, *binary)
+		return
 	}
 
 	var w io.Writer = os.Stdout
@@ -67,6 +87,43 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %d values of %q to %s\n", ds.N(), ds.Name, *out)
 	}
+}
+
+// postValues perturbs every value with a local randomizer and ships the
+// reports through the batching reporter.
+func postValues(values []float64, url, stream string, eps float64, buckets int, mech string,
+	seed uint64, batch int, flushIv time.Duration, binary bool) {
+	rep, err := repro.NewReporter(repro.ReporterOptions{
+		URL:    url,
+		Stream: stream,
+		Options: repro.Options{
+			Epsilon:   eps,
+			Buckets:   buckets,
+			Mechanism: mech,
+			Seed:      seed,
+		},
+		Binary:   binary,
+		MaxBatch: batch,
+		MaxDelay: flushIv,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	start := time.Now()
+	for _, v := range values {
+		if err := rep.Report(v); err != nil {
+			fatalf("report: %v", err)
+		}
+	}
+	if err := rep.Close(); err != nil {
+		fatalf("flush: %v", err)
+	}
+	codec := "json"
+	if binary {
+		codec = "binary"
+	}
+	fmt.Fprintf(os.Stderr, "posted %d reports to %s (%s, batch %d) in %v\n",
+		len(values), url, codec, batch, time.Since(start).Round(time.Millisecond))
 }
 
 func fatalf(format string, args ...any) {

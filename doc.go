@@ -188,4 +188,35 @@
 // and net/http/pprof profiling (-pprof) complete the surface. Watch it all
 // programmatically with FetchServerStats, CheckServerHealth and
 // AwaitServerReady.
+//
+// # Wire formats and the batching Reporter
+//
+// Both hot wire paths speak two codecs, negotiated per request by
+// Content-Type: JSON (absent or "application/json" — the default, semantics
+// unchanged) and a compact length-prefixed binary frame
+// ("application/x-ldp-binary"); any other media type answers 415
+// unsupported_media_type. Report batches use the LDPR frame (internal/wire),
+// which varint-packs the small non-negative integers LDP mechanisms mostly
+// emit and falls back to raw IEEE-754 bits for everything else, so the
+// round-trip is bit-exact; federation pushes use the analogous LDPB frame
+// with sparse gap/run-encoded epoch deltas (enable per edge with
+// "ldpserver -push-format binary" — mixed fleets are fine, the root decodes
+// by declared Content-Type and merges identically). Both frames are
+// magic-tagged, versioned and CRC32-trailed, and their decoders are fuzzed
+// in CI. At 1024 buckets a binary push is ~6.5x smaller than dense JSON;
+// BENCH_wire.json pins sizes and throughput.
+//
+// Client-side, Reporter pairs the binary codec with amortized batching: each
+// Report(v) perturbs locally (the value never leaves the process) and
+// enqueues the wire report, and a background batcher ships size- or
+// age-triggered batches with blocking backpressure — reports are never
+// dropped, and failed batches stay queued for retry:
+//
+//	rep, _ := repro.NewReporter(repro.ReporterOptions{
+//		URL: "http://collector:8080", Stream: "age",
+//		Options: repro.Options{Epsilon: 1, Buckets: 64},
+//		Binary:  true,
+//	})
+//	for _, v := range values { rep.Report(v) }
+//	rep.Close() // flushes the remainder
 package repro

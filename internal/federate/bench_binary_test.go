@@ -1,0 +1,105 @@
+package federate
+
+// Codec-comparative benchmarks for the push wire formats at the standard
+// granularities B ∈ {256, 1024, 4096}: the same ~10% occupancy delta
+// encoded and decoded as JSON and as the LDPB binary frame. Results are
+// recorded in BENCH_wire.json; bytes/op is the payload size, so the
+// federation bandwidth ratio can be read straight off the two codecs.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchDeltas converts the benchmark state into the StreamDelta shape both
+// encoders take.
+func benchDeltas(buckets int) []StreamDelta {
+	st := benchStates(buckets)[0]
+	d, ok := NewEpochDelta(0, st.Epochs[0].Counts)
+	if !ok {
+		panic("bench delta did not encode")
+	}
+	return []StreamDelta{{Stream: st.Name, Fingerprint: st.Fingerprint, Epochs: []EpochDelta{d}}}
+}
+
+func BenchmarkPushEncode(b *testing.B) {
+	codecs := []struct {
+		name   string
+		encode func(string, int64, []StreamDelta) ([]byte, error)
+	}{
+		{"json", EncodePush},
+		{"binary", EncodePushBinary},
+	}
+	for _, codec := range codecs {
+		for _, buckets := range []int{256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%s/B=%d", codec.name, buckets), func(b *testing.B) {
+				deltas := benchDeltas(buckets)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					body, err := codec.encode("edge", 1, deltas)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.SetBytes(int64(len(body)))
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPushDecode(b *testing.B) {
+	codecs := []struct {
+		name   string
+		encode func(string, int64, []StreamDelta) ([]byte, error)
+		decode func([]byte) (Push, error)
+	}{
+		{"json", EncodePush, DecodePush},
+		{"binary", EncodePushBinary, DecodePushBinary},
+	}
+	for _, codec := range codecs {
+		for _, buckets := range []int{256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%s/B=%d", codec.name, buckets), func(b *testing.B) {
+				body, err := codec.encode("edge", 1, benchDeltas(buckets))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(len(body)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := codec.decode(body); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPushMergeBinary(b *testing.B) {
+	// Root-side apply of a binary push: decode + expand dense + fold, the
+	// full per-push cost at the root.
+	for _, buckets := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("B=%d", buckets), func(b *testing.B) {
+			body, err := EncodePushBinary("edge", 1, benchDeltas(buckets))
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc := make([]uint64, buckets)
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				push, err := DecodePushBinary(body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dense, err := push.Streams[0].Epochs[0].Dense(buckets)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for bkt, c := range dense {
+					acc[bkt] += c
+				}
+			}
+		})
+	}
+}

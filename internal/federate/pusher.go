@@ -17,6 +17,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // PusherConfig parameterizes a Pusher.
@@ -51,6 +53,11 @@ type PusherConfig struct {
 	// Streams optionally restricts pushing to these stream names (nil =
 	// every stream with unshipped increments).
 	Streams []string
+	// Binary freezes new payloads in the LDPB binary codec instead of the
+	// JSON envelope (≈5–10× smaller at typical occupancy). A pending
+	// payload persisted under the other codec still replays verbatim —
+	// transmit picks the Content-Type by sniffing the frozen bytes.
+	Binary bool
 	// Logf receives push-loop diagnostics (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -242,7 +249,7 @@ func (p *Pusher) PushOnce() (acked bool, err error) {
 
 func (p *Pusher) pushOnce() (bool, error) {
 	hadPending := p.tracker.Pending() != nil
-	pending, err := p.tracker.Prepare(p.cfg.Edge, p.filteredStates())
+	pending, err := p.tracker.PrepareFormat(p.cfg.Edge, p.filteredStates(), p.cfg.Binary)
 	if err != nil {
 		return false, err
 	}
@@ -353,7 +360,14 @@ func (p *Pusher) transmit(pending *Pending) (PushResponse, error) {
 	if err != nil {
 		return PushResponse{}, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	// The Content-Type follows the frozen bytes, not the current config: a
+	// pending payload restored from a snapshot may predate a codec change.
+	if IsBinaryPush(pending.Body) {
+		req.Header.Set("Content-Type", wire.ContentType)
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("Accept", "application/json")
 	resp, err := p.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return PushResponse{}, fmt.Errorf("federate: POST /federation/push: %w", err)

@@ -20,6 +20,9 @@ type stubRoot struct {
 	lastCRC string
 	merged  map[string]map[int][]uint64
 	pushes  int
+	// lastContentType records the most recent request's Content-Type so
+	// codec tests can assert what the pusher declared.
+	lastContentType string
 	// failNext makes the next request fail at the HTTP layer.
 	failNext int
 }
@@ -36,12 +39,13 @@ func (r *stubRoot) handler(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "root on fire", http.StatusInternalServerError)
 		return
 	}
+	r.lastContentType = req.Header.Get("Content-Type")
 	body := make([]byte, req.ContentLength)
 	if _, err := req.Body.Read(body); err != nil && err.Error() != "EOF" {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	push, err := DecodePush(body)
+	push, err := DecodePushAuto(body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -47,6 +48,10 @@ const (
 	CodeWindowAgedOut = "window_aged_out"
 	// CodeBodyTooLarge: the request body exceeds the admission bound.
 	CodeBodyTooLarge = "body_too_large"
+	// CodeUnsupportedMedia: the request declared a Content-Type the
+	// endpoint does not speak (absent and application/json always work;
+	// ingest endpoints additionally accept application/x-ldp-binary).
+	CodeUnsupportedMedia = "unsupported_media_type"
 	// CodeRateLimited: admission control shed the request; retry after
 	// retry_after_ms.
 	CodeRateLimited = "rate_limited"
@@ -115,9 +120,13 @@ func methodNotAllowed(w http.ResponseWriter, r *http.Request, allowed ...string)
 
 // decodeJSON decodes a request body and writes the envelope on failure —
 // 413 body_too_large when the admission body cap truncated it, 400
-// bad_request otherwise.
+// bad_request otherwise. The body must be exactly one JSON value: trailing
+// bytes after the first value (`{"report":1}garbage`) are a 400, not
+// silently ignored, so a concatenated or corrupted payload can never be
+// half-accepted.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			errorJSON(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
@@ -125,6 +134,17 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 			return false
 		}
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			errorJSON(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds the %d-byte admission bound", tooBig.Limit)
+			return false
+		}
+		errorJSON(w, http.StatusBadRequest, CodeBadRequest,
+			"bad request: trailing data after JSON body")
 		return false
 	}
 	return true

@@ -141,12 +141,23 @@ func (s *Server) handleFederationPush(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	codec, ok := s.negotiateCodec(w, r, "/federation/push")
+	if !ok {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPushBytes))
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "read push payload: %v", err)
 		return
 	}
-	push, err := federate.DecodePush(body)
+	// The declared Content-Type picks the decoder; the body is never
+	// sniffed here, so a mislabeled payload fails loudly instead of being
+	// guessed at.
+	decode := federate.DecodePush
+	if codec == codecBinary {
+		decode = federate.DecodePushBinary
+	}
+	push, err := decode(body)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
@@ -459,6 +470,10 @@ type PushOptions struct {
 	// re-ships from scratch, which the root's replay cursor still keeps
 	// exact.
 	Persist func() error
+	// Binary freezes push payloads in the compact binary codec
+	// (Content-Type application/x-ldp-binary) instead of JSON. A pending
+	// payload restored from a snapshot keeps its original codec.
+	Binary bool
 	// Logf receives push-loop diagnostics (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -492,6 +507,7 @@ func (s *Server) EnablePush(opts PushOptions) error {
 		HTTPClient: opts.HTTPClient,
 		Gather:     s.federationStates,
 		Persist:    opts.Persist,
+		Binary:     opts.Binary,
 		Logf:       opts.Logf,
 	}, tracker)
 	if err != nil {

@@ -158,6 +158,17 @@ func TestFederationEndToEndBitIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-server federation round in -short mode")
 	}
+	// The exactness guarantee is codec-independent: the same scenario runs
+	// with every edge on JSON, every edge on the binary push codec, and a
+	// mixed fleet where only the crashing edge speaks binary — and is then
+	// restarted as a JSON pusher, so its frozen binary pending must replay
+	// by body sniffing, not by configuration.
+	t.Run("json", func(t *testing.T) { runFederationE2E(t, [3]bool{}, false) })
+	t.Run("binary", func(t *testing.T) { runFederationE2E(t, [3]bool{true, true, true}, true) })
+	t.Run("mixed", func(t *testing.T) { runFederationE2E(t, [3]bool{false, true, false}, false) })
+}
+
+func runFederationE2E(t *testing.T, edgeBinary [3]bool, restartBinary bool) {
 	dir := t.TempDir()
 	const perEdge = 400
 	const extra = 150
@@ -199,7 +210,8 @@ func TestFederationEndToEndBitIdentical(t *testing.T) {
 
 	// Edge 0 and 2 push normally.
 	for _, i := range []int{0, 2} {
-		if err := edges[i].EnablePush(PushOptions{URL: rootTS.URL, Edge: edgeNames[i], Interval: time.Hour}); err != nil {
+		if err := edges[i].EnablePush(PushOptions{URL: rootTS.URL, Edge: edgeNames[i], Interval: time.Hour,
+			Binary: edgeBinary[i]}); err != nil {
 			t.Fatal(err)
 		}
 		if acked, err := edges[i].PushNow(); err != nil || !acked {
@@ -213,7 +225,7 @@ func TestFederationEndToEndBitIdentical(t *testing.T) {
 	snapPath := filepath.Join(dir, "edge1.snap")
 	drop := &dropResponseTransport{inner: http.DefaultTransport, drops: 1}
 	if err := edges[1].EnablePush(PushOptions{
-		URL: rootTS.URL, Edge: edgeNames[1], Interval: time.Hour,
+		URL: rootTS.URL, Edge: edgeNames[1], Interval: time.Hour, Binary: edgeBinary[1],
 		HTTPClient: &http.Client{Transport: drop},
 		Persist:    func() error { return edges[1].SaveSnapshot(snapPath) },
 	}); err != nil {
@@ -233,7 +245,8 @@ func TestFederationEndToEndBitIdentical(t *testing.T) {
 	if err := edge1b.LoadSnapshot(snapPath); err != nil {
 		t.Fatal(err)
 	}
-	if err := edge1b.EnablePush(PushOptions{URL: rootTS.URL, Edge: edgeNames[1], Interval: time.Hour}); err != nil {
+	if err := edge1b.EnablePush(PushOptions{URL: rootTS.URL, Edge: edgeNames[1], Interval: time.Hour,
+		Binary: restartBinary}); err != nil {
 		t.Fatal(err)
 	}
 	edge1bTS := httptest.NewServer(edge1b.Handler())

@@ -577,8 +577,8 @@ func effectiveBandwidth(mech string, epsilon, bandwidth float64) float64 {
 // are an error (the report histogram of the live stream would be
 // meaningless under the new mechanism).
 func (s *Server) CreateStream(name string, cfg StreamConfig) error {
-	if !snapshot.ValidName(name) {
-		return fmt.Errorf("ldphttp: invalid stream name %q (want 1-64 chars of [A-Za-z0-9._-])", name)
+	if !snapshot.ValidStreamName(name) {
+		return fmt.Errorf("ldphttp: invalid stream name %q (want 1-64 bytes with no control characters)", name)
 	}
 	cfg, err := s.fillStreamDefaults(cfg)
 	if err != nil {
@@ -980,6 +980,13 @@ func (s *Server) resolveStream(w http.ResponseWriter, name string) *stream {
 	return st
 }
 
+// cellPool recycles the bucket-cell scratch of the ingest hot path: every
+// /report and /batch request needs a []int for Bucketize's output, and at
+// high report rates those allocations dominate the handler. The striped
+// histogram consumes the cells synchronously, so the buffer is free again
+// when the handler returns.
+var cellPool = sync.Pool{New: func() any { b := make([]int, 0, 256); return &b }}
+
 // serveReport is the shared core of POST /report and POST
 // /v1/streams/{name}/report: bucketize one report and land it in the
 // stream's histogram.
@@ -988,8 +995,11 @@ func (s *Server) serveReport(w http.ResponseWriter, name string, rep WireReport)
 	if st == nil {
 		return
 	}
-	cells, err := st.agg.Bucketize(nil, mechanism.Report(rep))
+	bufp := cellPool.Get().(*[]int)
+	cells, err := st.agg.Bucketize((*bufp)[:0], mechanism.Report(rep))
+	*bufp = cells[:0]
 	if err != nil {
+		cellPool.Put(bufp)
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
@@ -998,6 +1008,7 @@ func (s *Server) serveReport(w http.ResponseWriter, name string, rep WireReport)
 	} else {
 		st.addBatch(cells)
 	}
+	cellPool.Put(bufp)
 	if st.mReports != nil {
 		st.mReports.Inc()
 	}
@@ -1007,6 +1018,16 @@ func (s *Server) serveReport(w http.ResponseWriter, name string, rep WireReport)
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodNotAllowed(w, r, http.MethodPost)
+		return
+	}
+	codec, ok := s.negotiateCodec(w, r, "/report")
+	if !ok {
+		return
+	}
+	if codec == codecBinary {
+		// A binary frame carries no stream field; it addresses the default
+		// stream, the same rule as a JSON body with the field omitted.
+		s.serveBinaryReport(w, r, "")
 		return
 	}
 	var req reportRequest
@@ -1029,7 +1050,12 @@ func (s *Server) serveBatch(w http.ResponseWriter, name string, reports []WireRe
 	}
 	// Validate the whole batch before ingesting anything, so a bad report
 	// in the middle cannot leave a half-applied batch behind.
-	buckets := make([]int, 0, len(reports))
+	bufp := cellPool.Get().(*[]int)
+	buckets := (*bufp)[:0]
+	defer func() {
+		*bufp = buckets[:0]
+		cellPool.Put(bufp)
+	}()
 	var err error
 	for i, rep := range reports {
 		if buckets, err = st.agg.Bucketize(buckets, mechanism.Report(rep)); err != nil {
@@ -1047,6 +1073,14 @@ func (s *Server) serveBatch(w http.ResponseWriter, name string, reports []WireRe
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodNotAllowed(w, r, http.MethodPost)
+		return
+	}
+	codec, ok := s.negotiateCodec(w, r, "/batch")
+	if !ok {
+		return
+	}
+	if codec == codecBinary {
+		s.serveBinaryBatch(w, r, "")
 		return
 	}
 	var req batchRequest
@@ -1126,6 +1160,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 type StreamCreateResponse struct {
 	ConfigResponse
 	Created bool `json:"created"`
+	// Links locates the created stream's v1 subresources, pre-escaped, so
+	// clients never build (and possibly mis-escape) stream URLs themselves.
+	Links StreamLinks `json:"links"`
 }
 
 // serveStreamList and serveStreamCreate are the shared cores of /streams and
@@ -1160,7 +1197,7 @@ func (s *Server) serveStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if !existed {
 		w.WriteHeader(http.StatusCreated)
 	}
-	writeJSON(w, StreamCreateResponse{ConfigResponse: s.configOf(st), Created: !existed})
+	writeJSON(w, StreamCreateResponse{ConfigResponse: s.configOf(st), Created: !existed, Links: streamLinks(st.name)})
 }
 
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -308,10 +309,13 @@ func TestStreamLifecycle(t *testing.T) {
 		t.Errorf("shards-only redeclare rejected: %v", err)
 	}
 
-	// Invalid names and parameters are rejected.
+	// Invalid names and parameters are rejected. Stream names are wide
+	// (spaces, '%', '/' are all fine — they travel escaped in v1 URLs) but
+	// control characters and over-long names are not.
 	for _, bad := range []map[string]any{
 		{"name": "", "epsilon": 1.0},
-		{"name": "has space", "epsilon": 1.0},
+		{"name": "ctrl\x00char", "epsilon": 1.0},
+		{"name": strings.Repeat("x", 65), "epsilon": 1.0},
 		{"name": "x", "epsilon": -1.0},
 		{"name": "x", "epsilon": 1.0, "buckets": 1},
 	} {

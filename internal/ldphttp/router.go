@@ -188,6 +188,14 @@ func (s *Server) v1StreamRoutes() http.HandlerFunc {
 				methodNotAllowed(w, r, http.MethodPost)
 				return
 			}
+			codec, ok := s.negotiateCodec(w, r, "/v1/streams/{name}/report")
+			if !ok {
+				return
+			}
+			if codec == codecBinary {
+				s.serveBinaryReport(w, r, name)
+				return
+			}
 			var req reportRequest
 			if !decodeJSON(w, r, &req) {
 				return
@@ -201,6 +209,14 @@ func (s *Server) v1StreamRoutes() http.HandlerFunc {
 			name, _, _ := v1StreamPath(r)
 			if r.Method != http.MethodPost {
 				methodNotAllowed(w, r, http.MethodPost)
+				return
+			}
+			codec, ok := s.negotiateCodec(w, r, "/v1/streams/{name}/batch")
+			if !ok {
+				return
+			}
+			if codec == codecBinary {
+				s.serveBinaryBatch(w, r, name)
 				return
 			}
 			var req batchRequest
@@ -270,9 +286,13 @@ func (s *Server) v1StreamRoutes() http.HandlerFunc {
 }
 
 // v1StreamPath parses /v1/streams/{name}[/{action}]; ok is false for
-// deeper nesting or an unescapable name.
+// deeper nesting or an unescapable name. The segments come from
+// EscapedPath, not Path: net/http has already percent-decoded r.URL.Path,
+// so unescaping that a second time would mangle names containing '%' and
+// split names containing an escaped '/' — the exact names the server's own
+// PathEscape-built links carry.
 func v1StreamPath(r *http.Request) (name, action string, ok bool) {
-	rest := strings.TrimPrefix(r.URL.Path, "/v1/streams/")
+	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/streams/")
 	parts := strings.Split(rest, "/")
 	if len(parts) > 2 {
 		return "", "", false

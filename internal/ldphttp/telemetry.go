@@ -26,6 +26,7 @@ type serverMetrics struct {
 	requests *telemetry.CounterVec   // endpoint, method, code
 	reqDur   *telemetry.HistogramVec // endpoint
 	shed     *telemetry.CounterVec   // endpoint, scope (global|edge)
+	codecSel *telemetry.CounterVec   // endpoint, codec (json|binary)
 
 	// Ingestion and estimation engine.
 	reports      *telemetry.CounterVec   // stream, mechanism
@@ -74,6 +75,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 		shed: r.Counter("ldp_shed_total",
 			"Requests shed by admission control before reaching the engine.",
 			"endpoint", "scope"),
+		codecSel: r.Counter("ldp_codec_requests_total",
+			"Ingest requests by negotiated wire codec (json or binary).",
+			"endpoint", "codec"),
 		reports: r.Counter("ldp_reports_total",
 			"Randomized reports ingested, by stream and mechanism.",
 			"stream", "mechanism"),

@@ -32,10 +32,10 @@ import (
 // header version; bump it only if the header line itself changes shape.
 const magic = "LDPSNAP1"
 
-// ValidName reports whether name is usable as a stream identifier: 1–64
-// characters from [A-Za-z0-9._-]. Both the HTTP collector and the library
-// stream registry enforce this, so every stream that exists can be persisted
-// and addressed in a URL query parameter without escaping.
+// ValidName reports whether name is usable as a strict identifier: 1–64
+// characters from [A-Za-z0-9._-]. Federation edge IDs enforce this — they
+// appear unescaped in metrics labels, log lines and CLI flags. Stream names
+// use the wider ValidStreamName.
 func ValidName(name string) bool {
 	if len(name) == 0 || len(name) > 64 {
 		return false
@@ -46,6 +46,24 @@ func ValidName(name string) bool {
 		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
 			c == '.', c == '_', c == '-':
 		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidStreamName reports whether name is usable as a stream identifier:
+// 1–64 bytes with no control characters. Stream names are wider than edge
+// identifiers (ValidName): they travel percent-escaped in v1 URLs and as
+// JSON strings in snapshots and push payloads, so `50%off` or `a b/c` are
+// fine. Edge IDs stay on the strict alphabet — they name peers in metrics
+// label values and flat config flags.
+func ValidStreamName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c < 0x20 || c == 0x7f {
 			return false
 		}
 	}

@@ -1,0 +1,88 @@
+package wire
+
+// Report-frame codec benchmarks at the client batch sizes the Batcher
+// ships: scalar (sw-family) and fan-out (oue-style, 24 components) reports.
+// bytes/op is the frame size. Results recorded in BENCH_wire.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func benchReports(n, arity int) [][]float64 {
+	reports := make([][]float64, n)
+	for i := range reports {
+		rep := make([]float64, arity)
+		if arity == 1 {
+			// sw-discrete style: small bucket indexes.
+			rep[0] = float64(i % 48)
+		} else {
+			// oue style: mostly-zero bit vector.
+			rep[i%arity] = 1
+			rep[(i*7)%arity] = 1
+		}
+		reports[i] = rep
+	}
+	return reports
+}
+
+func BenchmarkReportsEncode(b *testing.B) {
+	for _, shape := range []struct {
+		name  string
+		arity int
+	}{{"scalar", 1}, {"fanout24", 24}} {
+		for _, n := range []int{1, 128, 1024} {
+			b.Run(fmt.Sprintf("%s/n=%d", shape.name, n), func(b *testing.B) {
+				reports := benchReports(n, shape.arity)
+				buf := EncodeReports(reports)
+				b.SetBytes(int64(len(buf)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					buf = AppendReports(buf[:0], reports)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkReportsDecode(b *testing.B) {
+	for _, shape := range []struct {
+		name  string
+		arity int
+	}{{"scalar", 1}, {"fanout24", 24}} {
+		for _, n := range []int{1, 128, 1024} {
+			b.Run(fmt.Sprintf("%s/n=%d", shape.name, n), func(b *testing.B) {
+				frame := EncodeReports(benchReports(n, shape.arity))
+				b.SetBytes(int64(len(frame)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := DecodeReports(frame); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReportsJSONBaseline is the JSON equivalent of the binary encode,
+// so the two codecs compare within one bench run.
+func BenchmarkReportsJSONBaseline(b *testing.B) {
+	for _, n := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("scalar/n=%d", n), func(b *testing.B) {
+			reports := benchReports(n, 1)
+			blob, err := json.Marshal(map[string]any{"reports": reports})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(blob)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := json.Marshal(map[string]any{"reports": reports}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+// Package wire is the compact binary codec of the collector's hot ingest
+// path: a length-prefixed, CRC32-trailed framing for batches of perturbed
+// reports, negotiated over HTTP as Content-Type application/x-ldp-binary
+// with JSON as the compatibility fallback. A perturbed report is one or a
+// few float64s that are almost always small non-negative integers (bucket
+// indexes, hash seeds, bit values), so components use a varint fast path —
+// value v>0 encodes float64(v-1) — and fall back to raw IEEE-754 bits only
+// for negatives, fractions, and values ≥ 2^52. The same Reader primitives
+// back package federate's binary push codec.
+//
+// Frame layout:
+//
+//	"LDPR" | version(1) | uvarint count | count × report | crc32(LE, 4)
+//	report  = uvarint arity | arity × component
+//	component = uvarint v      (v > 0: the value is float64(v-1))
+//	          | 0x00 + 8 bytes (raw little-endian IEEE-754 bits)
+//
+// The CRC covers every byte before the trailer. Decoding never panics on
+// hostile input: every length is bounded by the bytes that remain, and a
+// frame must be consumed exactly.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// ContentType is the media type both binary codecs negotiate under.
+const ContentType = "application/x-ldp-binary"
+
+const (
+	reportsMagic   = "LDPR"
+	reportsVersion = 1
+)
+
+// maxArity bounds a single report's component count; fan-out reports carry
+// one component per output bucket, far below this.
+const maxArity = 1 << 20
+
+// IsReports reports whether data starts with the binary report magic —
+// used to sniff a frame without decoding it.
+func IsReports(data []byte) bool {
+	return len(data) >= len(reportsMagic) && string(data[:len(reportsMagic)]) == reportsMagic
+}
+
+// AppendReports appends the binary frame for a batch of reports to dst and
+// returns the extended slice.
+func AppendReports(dst []byte, reports [][]float64) []byte {
+	start := len(dst)
+	dst = append(dst, reportsMagic...)
+	dst = append(dst, reportsVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(reports)))
+	for _, rep := range reports {
+		dst = binary.AppendUvarint(dst, uint64(len(rep)))
+		for _, f := range rep {
+			dst = appendComponent(dst, f)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// EncodeReports is AppendReports into a fresh slice.
+func EncodeReports(reports [][]float64) []byte {
+	return AppendReports(nil, reports)
+}
+
+// appendComponent writes one float64: varint fast path for small
+// non-negative integers, raw bits otherwise. Signbit excludes -0.0 from the
+// fast path so decoding reproduces the exact bits.
+func appendComponent(dst []byte, f float64) []byte {
+	if f == math.Trunc(f) && f >= 0 && f < 1<<52 && !math.Signbit(f) {
+		return binary.AppendUvarint(dst, uint64(f)+1)
+	}
+	dst = append(dst, 0)
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// DecodeReports parses and verifies a binary report frame. Arbitrary bytes
+// never panic: a bad magic, version, CRC, truncation, or trailing garbage
+// is an error.
+func DecodeReports(data []byte) ([][]float64, error) {
+	const overhead = len(reportsMagic) + 1 + 4
+	if len(data) < overhead+1 {
+		return nil, fmt.Errorf("wire: report frame truncated (%d bytes)", len(data))
+	}
+	if !IsReports(data) {
+		return nil, fmt.Errorf("wire: not a binary report frame (bad magic)")
+	}
+	if v := data[len(reportsMagic)]; v != reportsVersion {
+		return nil, fmt.Errorf("wire: report frame version %d not supported (this build speaks %d)", v, reportsVersion)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("wire: report frame checksum mismatch (corrupt in flight?)")
+	}
+	r := NewReader(body[len(reportsMagic)+1:])
+	count := r.Uvarint()
+	if count > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("wire: report frame claims %d reports in %d bytes", count, r.Remaining())
+	}
+	reports := make([][]float64, 0, count)
+	for i := uint64(0); i < count && r.Err() == nil; i++ {
+		arity := r.Uvarint()
+		if arity > maxArity || arity > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("wire: report %d claims arity %d in %d bytes", i, arity, r.Remaining())
+		}
+		rep := make([]float64, arity)
+		for j := range rep {
+			rep[j] = r.Float64Component()
+		}
+		reports = append(reports, rep)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decode reports: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after report frame", r.Remaining())
+	}
+	return reports, nil
+}
+
+// Reader is a bounds-checked cursor over a binary frame. All reads after
+// the first failure return zero values; Err reports the first failure. The
+// zero-allocation primitive layer under both binary codecs.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader returns a Reader over data (the caller keeps ownership; Bytes
+// aliases it).
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining is how many bytes are left to read.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Uvarint reads one unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("truncated or overlong varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads one signed (zigzag) varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("truncated or overlong varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bytes reads exactly n bytes, aliasing the underlying frame.
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.fail("truncated frame: want %d bytes at offset %d, have %d", n, r.off, r.Remaining())
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Float64 reads 8 raw little-endian IEEE-754 bytes.
+func (r *Reader) Float64() float64 {
+	b := r.Bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// Float64Component reads one report component: varint fast path, 0x00
+// escape for raw bits.
+func (r *Reader) Float64Component() float64 {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v == 0 {
+		return r.Float64()
+	}
+	return float64(v - 1)
+}

@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// roundTrip encodes and decodes one report set, failing on any error.
+func roundTrip(t *testing.T, reports [][]float64) [][]float64 {
+	t.Helper()
+	frame := EncodeReports(reports)
+	if !IsReports(frame) {
+		t.Fatalf("IsReports = false on an encoded frame")
+	}
+	got, err := DecodeReports(frame)
+	if err != nil {
+		t.Fatalf("DecodeReports: %v", err)
+	}
+	return got
+}
+
+// sameBits compares float slices bit-for-bit, so NaN payloads and the sign
+// of zero count.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReportsRoundTrip(t *testing.T) {
+	cases := [][][]float64{
+		{},
+		{{}},
+		{{0}},
+		{{1}},
+		{{0.5}},
+		{{-0.25}},
+		{{math.Copysign(0, -1)}}, // -0.0 must keep its sign
+		{{math.NaN()}},           // NaN payload preserved bitwise
+		{{math.Inf(1)}, {math.Inf(-1)}},
+		{{1<<52 - 1}, {1 << 52}, {float64(1 << 53)}}, // integer fast-path boundary
+		{{3, 0, 1, 0, 7, 0}},                         // fan-out (oue-style) report
+		{{0.1, 0.2, 0.3}, {4}, {}, {5, 6}},           // ragged arities
+		{{math.SmallestNonzeroFloat64}, {math.MaxFloat64}},
+	}
+	for _, reports := range cases {
+		got := roundTrip(t, reports)
+		if len(got) != len(reports) {
+			t.Fatalf("round-trip count %d, want %d", len(got), len(reports))
+		}
+		for i := range reports {
+			if !sameBits(got[i], reports[i]) {
+				t.Fatalf("report %d: got %v, want %v (bitwise)", i, got[i], reports[i])
+			}
+		}
+	}
+}
+
+func TestReportsIntegerCompression(t *testing.T) {
+	// The whole point of the codec: small non-negative integers (discrete
+	// mechanism reports) cost one or two bytes, not eight.
+	reports := make([][]float64, 100)
+	for i := range reports {
+		reports[i] = []float64{float64(i % 16)}
+	}
+	frame := EncodeReports(reports)
+	// 4 magic + 1 version + 1 count + 100×(1 arity + 1 value) + 4 CRC.
+	if len(frame) > 4+1+1+200+4 {
+		t.Fatalf("integer frame is %d bytes, want ≤ %d", len(frame), 210)
+	}
+}
+
+func TestReportsRejectsCorruption(t *testing.T) {
+	frame := EncodeReports([][]float64{{0.5}, {1, 2, 3}})
+	// Flip every single byte in turn: decoding must error (the CRC covers
+	// everything before the trailer, and the trailer is the CRC itself) and
+	// never panic.
+	for i := range frame {
+		corrupt := append([]byte(nil), frame...)
+		corrupt[i] ^= 0x01
+		if _, err := DecodeReports(corrupt); err == nil {
+			t.Fatalf("flipping byte %d decoded cleanly", i)
+		}
+	}
+	// Truncations of every length must error cleanly too.
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodeReports(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+	// Trailing garbage after a valid frame is an error, not ignored.
+	if _, err := DecodeReports(append(append([]byte(nil), frame...), 0x00)); err == nil {
+		t.Fatal("frame with trailing garbage decoded cleanly")
+	}
+}
+
+func TestReportsRejectsOversizedClaims(t *testing.T) {
+	// A tiny frame claiming a huge report count (or arity) must fail on the
+	// bounds check, not attempt a giant allocation. Build the inner payload
+	// by hand with a valid CRC so only the bounds check can reject it.
+	seal := func(payload []byte) []byte {
+		return binary.LittleEndian.AppendUint32(payload, crc32.ChecksumIEEE(payload))
+	}
+	var payload []byte
+	payload = append(payload, reportsMagic...)
+	payload = append(payload, reportsVersion)
+	payload = binary.AppendUvarint(payload, 1<<40) // claimed count ≫ remaining bytes
+	if _, err := DecodeReports(seal(payload)); err == nil {
+		t.Fatal("absurd count claim decoded cleanly")
+	}
+
+	payload = payload[:0]
+	payload = append(payload, reportsMagic...)
+	payload = append(payload, reportsVersion)
+	payload = binary.AppendUvarint(payload, 1)          // one report
+	payload = binary.AppendUvarint(payload, maxArity+1) // arity over the cap
+	if _, err := DecodeReports(seal(payload)); err == nil {
+		t.Fatal("over-cap arity decoded cleanly")
+	}
+}
+
+func TestIsReports(t *testing.T) {
+	if IsReports(nil) || IsReports([]byte("LDP")) || IsReports([]byte(`{"reports":[]}`)) {
+		t.Fatal("IsReports accepted a non-frame")
+	}
+	if !IsReports([]byte("LDPRxxxx")) {
+		t.Fatal("IsReports rejected a magic-prefixed buffer")
+	}
+}
+
+func TestReaderPrimitives(t *testing.T) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 300)
+	buf = binary.AppendVarint(buf, -7)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(2.5))
+	buf = append(buf, []byte("ab")...)
+	r := NewReader(buf)
+	if v := r.Uvarint(); v != 300 {
+		t.Fatalf("Uvarint = %d", v)
+	}
+	if v := r.Varint(); v != -7 {
+		t.Fatalf("Varint = %d", v)
+	}
+	if v := r.Float64(); v != 2.5 {
+		t.Fatalf("Float64 = %v", v)
+	}
+	if b := r.Bytes(2); !bytes.Equal(b, []byte("ab")) {
+		t.Fatalf("Bytes = %q", b)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+	// Reading past the end fails sticky, never panics.
+	r.Bytes(1)
+	if r.Err() == nil {
+		t.Fatal("read past end did not error")
+	}
+	r.Uvarint()
+	if r.Err() == nil {
+		t.Fatal("error state not sticky")
+	}
+}
+
+// FuzzBinaryReports is the codec's native fuzz target: any byte string
+// either decodes to reports that re-encode-decode to the same bits, or
+// fails cleanly — never panics, never over-reads.
+func FuzzBinaryReports(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LDPR"))
+	f.Add(EncodeReports(nil))
+	f.Add(EncodeReports([][]float64{{0.5}}))
+	f.Add(EncodeReports([][]float64{{math.NaN(), -0.0, 1 << 52}, {}, {3}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reports, err := DecodeReports(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeReports(EncodeReports(reports))
+		if err != nil {
+			t.Fatalf("re-encode of a decoded frame failed: %v", err)
+		}
+		if len(again) != len(reports) {
+			t.Fatalf("re-encode changed count: %d != %d", len(again), len(reports))
+		}
+		for i := range reports {
+			if !sameBits(again[i], reports[i]) {
+				t.Fatalf("report %d not bit-stable: %v != %v", i, again[i], reports[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/ldphttp"
+)
+
+// reporterCollector spins a collector whose refresh engine stays quiet and
+// returns its base URL plus a probe for the default stream's report count.
+func reporterCollector(t *testing.T) (string, func() int) {
+	t.Helper()
+	s := ldphttp.NewServer(ldphttp.Config{Epsilon: 1, Buckets: 64, RefreshInterval: time.Hour})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	streamN := func() int {
+		resp, err := http.Get(ts.URL + "/v1/streams/default")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info struct {
+			N int `json:"n"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		return info.N
+	}
+	return ts.URL, streamN
+}
+
+func TestReporterShipsBatches(t *testing.T) {
+	for _, binary := range []bool{false, true} {
+		name := "json"
+		if binary {
+			name = "binary"
+		}
+		t.Run(name, func(t *testing.T) {
+			url, streamN := reporterCollector(t)
+			rep, err := repro.NewReporter(repro.ReporterOptions{
+				URL:      url,
+				Options:  repro.Options{Epsilon: 1, Buckets: 64, Seed: 7},
+				Binary:   binary,
+				MaxBatch: 8,
+				MaxDelay: time.Hour, // only size- and Close-triggered flushes
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const reports = 20
+			for i := 0; i < reports; i++ {
+				if err := rep.Report(float64(i) / reports); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Two full batches of 8 have shipped on size; 4 remain queued
+			// until Flush/Close.
+			if err := rep.Flush(); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+			if got := streamN(); got != reports {
+				t.Fatalf("collector has %d reports after Flush, want %d", got, reports)
+			}
+			if err := rep.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := rep.Report(0.5); err == nil {
+				t.Fatal("Report after Close succeeded")
+			}
+		})
+	}
+}
+
+func TestReporterRejectsBadTargets(t *testing.T) {
+	if _, err := repro.NewReporter(repro.ReporterOptions{}); err == nil {
+		t.Fatal("missing URL accepted")
+	}
+	if _, err := repro.NewReporter(repro.ReporterOptions{URL: "ftp://x"}); err == nil {
+		t.Fatal("non-http URL accepted")
+	}
+	if _, err := repro.NewReporter(repro.ReporterOptions{
+		URL: "http://localhost:1", Options: repro.Options{Epsilon: -3},
+	}); err == nil {
+		t.Fatal("invalid randomizer options accepted")
+	}
+}
+
+func TestReporterSurfacesCollectorErrors(t *testing.T) {
+	// A collector refusing the batch (unknown stream) must surface through
+	// Flush, and the reports stay queued rather than vanish.
+	url, _ := reporterCollector(t)
+	rep, err := repro.NewReporter(repro.ReporterOptions{
+		URL:      url,
+		Stream:   "not-declared",
+		Options:  repro.Options{Epsilon: 1, Buckets: 64, Seed: 7},
+		MaxBatch: 64,
+		MaxDelay: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Report(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Flush(); err == nil {
+		t.Fatal("Flush against an unknown stream returned nil")
+	}
+	rep.Close()
+}

@@ -140,10 +140,10 @@ func NewStreams() *Streams {
 // Declare registers a named stream with its own Options and returns its
 // Aggregator. Redeclaring a stream with identical options returns the
 // existing Aggregator; different options are an error. Names are 1–64
-// characters of [A-Za-z0-9._-].
+// bytes with no control characters.
 func (s *Streams) Declare(name string, opts Options) (*Aggregator, error) {
-	if !snapshot.ValidName(name) {
-		return nil, fmt.Errorf("repro: invalid stream name %q (want 1-64 chars of [A-Za-z0-9._-])", name)
+	if !snapshot.ValidStreamName(name) {
+		return nil, fmt.Errorf("repro: invalid stream name %q (want 1-64 bytes with no control characters)", name)
 	}
 	opts, err := opts.validate()
 	if err != nil {
@@ -327,7 +327,7 @@ func (s *Streams) Load(path string) error {
 				}
 			}
 		} else {
-			if !snapshot.ValidName(rec.Name) {
+			if !snapshot.ValidStreamName(rec.Name) {
 				return fmt.Errorf("repro: restore stream: invalid name %q", rec.Name)
 			}
 			opts := Options{

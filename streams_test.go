@@ -43,7 +43,7 @@ func TestStreamsDeclareAndQuery(t *testing.T) {
 	if _, err := s.Declare("age", repro.Options{Epsilon: 9, Buckets: 64}); err == nil {
 		t.Error("conflicting redeclare succeeded")
 	}
-	if _, err := s.Declare("bad name!", ageOpts); err == nil {
+	if _, err := s.Declare("ctrl\x00char", ageOpts); err == nil {
 		t.Error("invalid stream name accepted")
 	}
 	if got := s.Names(); len(got) != 2 || got[0] != "age" || got[1] != "income" {
