@@ -49,7 +49,23 @@
 // completes). -rate-limit and -edge-rate-limit install token-bucket
 // admission control that sheds with 429 + Retry-After before the engine;
 // -max-body bounds request bodies; -log-format kv|json writes structured
-// access logs to stderr; -pprof mounts net/http/pprof under /debug/pprof/.
+// access logs (with request IDs, the negotiated codec, and trace IDs) to
+// stderr.
+//
+// Tracing: every request runs under an in-process span pipeline — route
+// dispatch, decode, bucketize, ingest, epoch rotation, EM refresh,
+// snapshot save/load, federation push/absorb, and query evaluation each
+// record a stage span into a fixed-size flight recorder. Carried W3C
+// traceparent headers (as stamped by repro.Reporter) are continued, so a
+// client batch is traceable end to end across edge and root;
+// -trace-sample tunes head sampling for header-less report traffic,
+// -trace-buffer sizes the recorder, -slow-request logs an annotated line
+// for slow requests, and -no-trace switches the whole subsystem off.
+// -debug-addr binds a separate diagnostics listener serving
+// net/http/pprof under /debug/pprof/ and the flight recorder on
+// GET /v1/debug/traces (filters: stream, trace, route, min_duration,
+// limit), keeping both surfaces off the public port; -pprof alone keeps
+// the historical public-port pprof mounting but is deprecated.
 //
 // Endpoints: the versioned v1 tree (POST/GET /v1/streams,
 // GET/DELETE /v1/streams/{name}, POST .../report, POST .../batch,
@@ -167,6 +183,7 @@ type serverConfig struct {
 	pushBinary   bool
 	edgeID       string
 	pprof        bool
+	debugAddr    string
 }
 
 // parseRateFlag parses -rate-limit / -edge-rate-limit values: "rps" or
@@ -221,7 +238,13 @@ func parseArgs(args []string) (serverConfig, error) {
 		rateLimit = fs.String("rate-limit", "", "global admission rate as rps[:burst]: shed requests beyond it with 429 + Retry-After (\"\" = unlimited)")
 		edgeRate  = fs.String("edge-rate-limit", "", "per-edge federation push rate as rps[:burst] (\"\" = unlimited)")
 		logFormat = fs.String("log-format", "", "structured access log to stderr: kv or json (\"\" = off)")
-		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the public port (deprecated: use -debug-addr)")
+		debugAddr = fs.String("debug-addr", "", "separate diagnostics listener serving net/http/pprof under /debug/pprof/ and the trace flight recorder on GET /v1/debug/traces (\"\" = off; never exposed on the public port)")
+
+		noTrace     = fs.Bool("no-trace", false, "disable request tracing and the flight recorder entirely")
+		traceSample = fs.Int("trace-sample", 0, "trace 1 in N header-less report requests (0 = 128, 1 = every request, negative = none; engine and federation spans are always traced)")
+		traceBuffer = fs.Int("trace-buffer", 0, "flight recorder capacity in spans (0 = 4096)")
+		slowReq     = fs.Duration("slow-request", 0, "log a slow_request line (with trace and request IDs) for requests at least this slow (0 = off; needs -log-format)")
 	)
 	var streamFlags []streamFlag
 	fs.Func("stream", "declare a stream as name:eps:buckets[:bandwidth][:mech=NAME][:epoch=DUR][:retain=N] (repeatable)", func(raw string) error {
@@ -296,6 +319,18 @@ func parseArgs(args []string) (serverConfig, error) {
 	if err != nil {
 		return serverConfig{}, err
 	}
+	if *traceBuffer < 0 {
+		return serverConfig{}, fmt.Errorf("-trace-buffer must not be negative, got %d", *traceBuffer)
+	}
+	if *slowReq < 0 {
+		return serverConfig{}, fmt.Errorf("-slow-request must not be negative, got %v", *slowReq)
+	}
+	if *slowReq > 0 && *logFormat == "" {
+		return serverConfig{}, fmt.Errorf("-slow-request needs -log-format (slow lines go to the access log)")
+	}
+	if *noTrace && (*traceSample != 0 || *traceBuffer != 0) {
+		return serverConfig{}, fmt.Errorf("-no-trace conflicts with -trace-sample/-trace-buffer")
+	}
 	ops := ldphttp.OpsConfig{
 		MaxBodyBytes:  *maxBody,
 		RateLimit:     globalRate,
@@ -303,6 +338,12 @@ func parseArgs(args []string) (serverConfig, error) {
 		EdgeRateLimit: edgeRateV,
 		EdgeRateBurst: edgeBurstV,
 		AwaitRestore:  *snapPath != "",
+		Trace: ldphttp.TraceConfig{
+			Disable:     *noTrace,
+			Capacity:    *traceBuffer,
+			SampleEvery: *traceSample,
+			SlowRequest: *slowReq,
+		},
 	}
 	switch *logFormat {
 	case "":
@@ -340,7 +381,17 @@ func parseArgs(args []string) (serverConfig, error) {
 		pushBinary:   *pushFormat == "binary",
 		edgeID:       edge,
 		pprof:        *pprofFlag,
+		debugAddr:    *debugAddr,
 	}, nil
+}
+
+// mountPprof registers the net/http/pprof handlers on mux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func main() {
@@ -405,17 +456,38 @@ func main() {
 			conf.cfg.Federation.AutoDeclare)
 	}
 
+	// Diagnostics surfaces. -debug-addr binds pprof and the trace flight
+	// recorder on their own listener so they are never reachable through the
+	// public port; -pprof alone keeps the historical public-port mounting
+	// (deprecated) and is redundant once -debug-addr is given.
 	handler := srv.Handler()
-	if conf.pprof {
+	var debugSrv *http.Server
+	if conf.debugAddr != "" {
+		dmux := http.NewServeMux()
+		mountPprof(dmux)
+		dmux.Handle("/v1/debug/traces", srv.DebugHandler())
+		debugSrv = &http.Server{
+			Addr:         conf.debugAddr,
+			Handler:      dmux,
+			ReadTimeout:  10 * time.Second,
+			WriteTimeout: 0, // pprof profile/trace stream for their whole duration
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		fmt.Printf("debug listener on %s: /debug/pprof/ and GET /v1/debug/traces\n", conf.debugAddr)
+		if conf.pprof {
+			fmt.Println("note: -pprof is redundant with -debug-addr; pprof stays off the public port")
+		}
+	} else if conf.pprof {
 		outer := http.NewServeMux()
-		outer.HandleFunc("/debug/pprof/", pprof.Index)
-		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mountPprof(outer)
 		outer.Handle("/", handler)
 		handler = outer
-		fmt.Println("pprof: profiling endpoints mounted under /debug/pprof/")
+		fmt.Println("pprof: profiling endpoints mounted under /debug/pprof/ on the public port")
+		fmt.Println("note: -pprof on the public port is deprecated; prefer -debug-addr for an isolated diagnostics listener")
 	}
 
 	httpSrv := &http.Server{
@@ -480,6 +552,9 @@ func main() {
 	select {
 	case err := <-errc:
 		stop()
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
 		<-saverDone
 		srv.Close()
 		finalSnapshot() // whatever was collected before the server died
@@ -491,6 +566,9 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("drain incomplete: %v", err)
+		}
+		if debugSrv != nil {
+			debugSrv.Close()
 		}
 		<-saverDone
 		srv.Close() // background estimator exits before the final save

@@ -248,6 +248,10 @@ func TestParseArgsOps(t *testing.T) {
 
 	bad := map[string][]string{
 		"negative max-body":  {"-max-body", "-1"},
+		"negative trace buf": {"-trace-buffer", "-1"},
+		"negative slow":      {"-slow-request", "-1s"},
+		"slow without log":   {"-slow-request", "250ms"},
+		"no-trace conflict":  {"-no-trace", "-trace-sample", "4"},
 		"rate not a number":  {"-rate-limit", "fast"},
 		"negative rate":      {"-rate-limit", "-3"},
 		"bad burst":          {"-rate-limit", "10:zero"},
@@ -259,5 +263,44 @@ func TestParseArgsOps(t *testing.T) {
 		if _, err := parseArgs(args); err == nil {
 			t.Errorf("%s: parseArgs(%v) accepted", name, args)
 		}
+	}
+}
+
+func TestParseArgsTrace(t *testing.T) {
+	// Defaults: tracing on with zero-value knobs (library defaults apply),
+	// no debug listener.
+	conf, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := conf.cfg.Ops.Trace
+	if tc.Disable || tc.Capacity != 0 || tc.SampleEvery != 0 || tc.SlowRequest != 0 || conf.debugAddr != "" {
+		t.Errorf("default trace config %+v (debugAddr %q)", tc, conf.debugAddr)
+	}
+
+	conf, err = parseArgs([]string{
+		"-debug-addr", "127.0.0.1:6060",
+		"-trace-sample", "32",
+		"-trace-buffer", "1024",
+		"-slow-request", "250ms",
+		"-log-format", "kv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc = conf.cfg.Ops.Trace
+	if tc.Disable || tc.Capacity != 1024 || tc.SampleEvery != 32 || tc.SlowRequest != 250*time.Millisecond {
+		t.Errorf("trace flags parsed as %+v", tc)
+	}
+	if conf.debugAddr != "127.0.0.1:6060" {
+		t.Errorf("debugAddr parsed as %q", conf.debugAddr)
+	}
+
+	conf, err = parseArgs([]string{"-no-trace"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conf.cfg.Ops.Trace.Disable {
+		t.Error("-no-trace did not disable tracing")
 	}
 }

@@ -166,11 +166,13 @@
 // they answer with "Deprecation: true" and a Link header naming their v1
 // successor. Every non-2xx response, on every route, carries one envelope:
 //
-//	{"error": {"code": "rate_limited", "message": "...", "retry_after_ms": 250}}
+//	{"error": {"code": "rate_limited", "message": "...", "retry_after_ms": 250, "request_id": "9f3ac2d1-00004a"}}
 //
 // with a stable machine-readable code (unknown_stream, stream_conflict,
 // no_reports, estimate_pending, rate_limited, not_ready, ...) and
-// retry_after_ms plus a Retry-After header on anything worth retrying.
+// retry_after_ms plus a Retry-After header on anything worth retrying. The
+// request_id (also echoed as X-Request-Id and as req_id in access logs)
+// names the exact request when reporting a failure.
 //
 // The collector is observable and self-protecting. GET /metrics exposes
 // Prometheus text-format telemetry from a zero-dependency registry:
@@ -184,10 +186,40 @@
 // token-bucket rate (-rate-limit rps[:burst], plus a per-edge
 // -edge-rate-limit tier on /federation/push) with 429s emitted before any
 // engine work; the operational endpoints stay exempt so a drowning server
-// still answers its probes. Structured access logs (-log-format kv|json)
-// and net/http/pprof profiling (-pprof) complete the surface. Watch it all
+// still answers its probes. Structured access logs (-log-format kv|json,
+// recording method, route, status, response bytes, negotiated codec,
+// request ID and trace ID) complete the surface. Watch it all
 // programmatically with FetchServerStats, CheckServerHealth and
 // AwaitServerReady.
+//
+// # Tracing and diagnostics
+//
+// Every request through the collector can carry a trace. The server
+// continues any W3C traceparent header it receives (and head-samples 1 in
+// -trace-sample header-less report requests; engine and federation work is
+// always traced), then threads one span tree through the whole pipeline —
+// route dispatch, payload decode, bucketize, striped ingest, epoch
+// rotation, EM refresh, snapshot save/load, federation push and absorb,
+// and query evaluation. Finished spans land in a fixed-size in-memory ring
+// (the flight recorder, -trace-buffer spans), inspectable at GET
+// /v1/debug/traces with stream=, route=, trace=, min_duration= and limit=
+// filters — served on the public port, or on a separate diagnostics
+// listener with -debug-addr (which also mounts net/http/pprof; the old
+// -pprof flag still mounts pprof on the public port but is deprecated).
+// Requests at least -slow-request slow emit a slow_request access-log
+// line, and the duration histograms keep an exemplar trace ID per
+// endpoint, so a latency spike links directly to a recorded trace.
+//
+// The tracing story crosses processes: Reporter stamps each shipped batch
+// with a sampled traceparent (the last one is readable via
+// Reporter.LastTraceID, or turn stamping off with DisableTracing), the
+// edge records the batch's decode/bucketize/ingest spans under that trace
+// ID, and when the edge's epochs are pushed to a federation root the push
+// carries the trace IDs it aggregates in an X-LDP-Trace-Link header — the
+// root records absorb-link marker spans under those same IDs, so a single
+// client batch is recoverable from the root's flight recorder after the
+// full ingest → seal → push → absorb journey. Fetch recordings
+// programmatically with FetchTraces and a TraceQuery.
 //
 // # Wire formats and the batching Reporter
 //

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -60,6 +61,15 @@ type PusherConfig struct {
 	Binary bool
 	// Logf receives push-loop diagnostics (nil = silent).
 	Logf func(format string, args ...any)
+	// Tracer, when set, records a federation/push span per shipped payload
+	// and propagates its context to the root in the traceparent header
+	// (header-based: the frozen payload bytes and codecs are untouched).
+	Tracer *trace.Tracer
+	// TraceLinks, when set, is drained once per transmission; the returned
+	// trace IDs ride the X-LDP-Trace-Link header so the root can mint link
+	// markers for the edge's sampled ingest traces. Best-effort: IDs
+	// drained into a failed transmission are dropped, not re-queued.
+	TraceLinks func() []string
 }
 
 func (c PusherConfig) filled() (PusherConfig, error) {
@@ -247,7 +257,7 @@ func (p *Pusher) PushOnce() (acked bool, err error) {
 	return acked, nil
 }
 
-func (p *Pusher) pushOnce() (bool, error) {
+func (p *Pusher) pushOnce() (acked bool, err error) {
 	hadPending := p.tracker.Pending() != nil
 	pending, err := p.tracker.PrepareFormat(p.cfg.Edge, p.filteredStates(), p.cfg.Binary)
 	if err != nil {
@@ -256,6 +266,16 @@ func (p *Pusher) pushOnce() (bool, error) {
 	if pending == nil {
 		return false, nil
 	}
+	// The push span starts only once there is a payload, so idle cycles
+	// leave no trace. Its context travels in the traceparent header.
+	sp := p.cfg.Tracer.NewTrace("federation/push")
+	sp.Attr("edge", p.cfg.Edge).Attr("seq", fmt.Sprintf("%d", pending.Seq))
+	defer func() {
+		if err != nil {
+			sp.Fail("push_failed")
+		}
+		sp.End()
+	}()
 	if !hadPending && p.cfg.Persist != nil {
 		// Write-ahead: the frozen payload must survive a crash before it
 		// may travel, or a restart could rebuild a different payload under
@@ -266,7 +286,7 @@ func (p *Pusher) pushOnce() (bool, error) {
 		}
 	}
 
-	resp, err := p.transmit(pending)
+	resp, err := p.transmit(pending, sp)
 	if err != nil {
 		return false, err
 	}
@@ -354,7 +374,7 @@ func (p *Pusher) filteredStates() []StreamState {
 // transmit POSTs the frozen payload and decodes the root's answer. HTTP 200
 // and 409 both carry a PushResponse; anything else is a transport-level
 // error to be retried.
-func (p *Pusher) transmit(pending *Pending) (PushResponse, error) {
+func (p *Pusher) transmit(pending *Pending, sp *trace.Span) (PushResponse, error) {
 	req, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(p.cfg.URL, "/")+"/federation/push",
 		bytes.NewReader(pending.Body))
 	if err != nil {
@@ -368,6 +388,14 @@ func (p *Pusher) transmit(pending *Pending) (PushResponse, error) {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("Accept", "application/json")
+	if sc := sp.Context(); sc.Valid() {
+		req.Header.Set("traceparent", sc.Header())
+	}
+	if p.cfg.TraceLinks != nil {
+		if links := p.cfg.TraceLinks(); len(links) > 0 {
+			req.Header.Set("X-LDP-Trace-Link", strings.Join(links, ","))
+		}
+	}
 	resp, err := p.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return PushResponse{}, fmt.Errorf("federate: POST /federation/push: %w", err)

@@ -70,12 +70,21 @@ type ErrorBody struct {
 	// before retrying (429 and 503 responses; mirrored in the Retry-After
 	// header, which rounds up to whole seconds).
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// RequestID identifies this request in the access log (req_id field)
+	// and the X-Request-Id response header — quote it when reporting an
+	// error so the operator can find the matching log line and trace.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // writeEnvelope writes a non-2xx envelope with optional extra top-level
 // fields. A RetryAfterMS also sets the Retry-After header (ceiling of whole
 // seconds, minimum 1 — the header has no sub-second syntax).
 func writeEnvelope(w http.ResponseWriter, status int, body ErrorBody, extra map[string]any) {
+	// Stamp the request ID when the middleware's writer is underneath;
+	// minting here (not per request) keeps the 2xx path free of IDs.
+	if rw, ok := w.(interface{ requestID() string }); ok {
+		body.RequestID = rw.requestID()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if body.RetryAfterMS > 0 {
 		secs := (body.RetryAfterMS + 999) / 1000
@@ -125,24 +134,30 @@ func methodNotAllowed(w http.ResponseWriter, r *http.Request, allowed ...string)
 // silently ignored, so a concatenated or corrupted payload can never be
 // half-accepted.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dsp := spanOf(w).Child("decode").Attr("codec", codecJSON)
+	defer dsp.End()
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
+			dsp.Fail(CodeBodyTooLarge)
 			errorJSON(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				"request body exceeds the %d-byte admission bound", tooBig.Limit)
 			return false
 		}
+		dsp.Fail(CodeBadRequest)
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
 		return false
 	}
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
+			dsp.Fail(CodeBodyTooLarge)
 			errorJSON(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				"request body exceeds the %d-byte admission bound", tooBig.Limit)
 			return false
 		}
+		dsp.Fail(CodeBadRequest)
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest,
 			"bad request: trailing data after JSON body")
 		return false

@@ -181,10 +181,30 @@ func (s *Server) handleFederationPush(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	asp := spanOf(w).Child("absorb").Attr("edge", push.Edge).Attr("seq", fmt.Sprintf("%d", push.Seq))
 	s.fedMu.Lock()
 	resp, status := s.applyPushLocked(push)
 	s.fedMu.Unlock()
+	switch {
+	case resp.Applied:
+		asp.Attr("reports", fmt.Sprintf("%d", resp.Reports))
+	case resp.Duplicate:
+		asp.Attr("duplicate", "true")
+	default:
+		code := resp.Reason
+		if code == "" {
+			code = CodeBadRequest
+		}
+		asp.Fail(code)
+	}
+	asp.End()
 	if resp.Applied {
+		// Mint link markers for the sampled edge ingest traces this push
+		// carried: the edge's trace IDs become findable in the root's
+		// flight recorder even though the reports arrive pre-aggregated.
+		for _, id := range parseTraceLinks(r.Header.Get("X-LDP-Trace-Link")) {
+			s.tracer.Link(id, "federation/absorb-link").Attr("edge", push.Edge).End()
+		}
 		s.wake() // the engine re-estimates the touched streams
 	}
 	if m := s.metrics; m != nil {
@@ -509,6 +529,8 @@ func (s *Server) EnablePush(opts PushOptions) error {
 		Persist:    opts.Persist,
 		Binary:     opts.Binary,
 		Logf:       opts.Logf,
+		Tracer:     s.tracer,
+		TraceLinks: s.drainTraceLinks,
 	}, tracker)
 	if err != nil {
 		s.fedMu.Unlock()

@@ -138,6 +138,7 @@ import (
 	"repro/internal/snapshot"
 	"repro/internal/sw"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/window"
 )
 
@@ -219,6 +220,9 @@ type OpsConfig struct {
 	// not_ready until LoadSnapshot succeeds or MarkReady is called.
 	// cmd/ldpserver sets it when a -snapshot path is configured.
 	AwaitRestore bool
+	// Trace configures the tracing subsystem (on by default; see
+	// TraceConfig).
+	Trace TraceConfig
 }
 
 // FederationConfig is the root-side federation surface. Both knobs are
@@ -297,6 +301,10 @@ type stream struct {
 	// comparison alone is not enough). Atomic because both the engine and
 	// the federation push handler rotate rings.
 	mustRefresh atomic.Bool
+	// links holds recent sampled ingest trace IDs for the federation
+	// pusher to forward (X-LDP-Trace-Link), so a Reporter-stamped trace
+	// stays findable at the root after aggregation.
+	links traceLinkRing
 }
 
 // add, addBatch, addN and reports dispatch ingestion and counting to the
@@ -385,6 +393,8 @@ type Server struct {
 	// Operational state: telemetry registry and handles (nil when
 	// disabled), admission buckets (nil when unlimited), probe state.
 	metrics   *serverMetrics
+	tracer    *trace.Tracer // flight recorder (nil when tracing is disabled)
+	slowReq   time.Duration // slow-request log threshold (0 = off)
 	limiter   *ratelimit.Bucket
 	edgeLim   *ratelimit.Keyed
 	maxBody   int64
@@ -436,6 +446,10 @@ func NewServer(cfg Config) *Server {
 	}
 	if !cfg.Ops.DisableTelemetry {
 		s.metrics = newServerMetrics(s)
+	}
+	if tc := cfg.Ops.Trace; !tc.Disable {
+		s.tracer = trace.New(trace.Config{Capacity: tc.Capacity, SampleEvery: tc.SampleEvery})
+		s.slowReq = tc.SlowRequest
 	}
 	if err := s.CreateStream(DefaultStream, StreamConfig{
 		Epsilon:   cfg.Epsilon,
@@ -847,6 +861,11 @@ func (s *Server) refreshStream(st *stream) {
 			if st.mRotations != nil {
 				st.mRotations.Add(uint64(rotated))
 			}
+			epoch, _ := st.ring.Current()
+			rsp := s.tracer.NewTrace("epoch/rotate")
+			rsp.SetStream(st.name)
+			rsp.Attr("rotated", fmt.Sprintf("%d", rotated)).
+				Attr("epoch", fmt.Sprintf("%d", epoch)).End()
 		}
 		defer s.refreshWindows(st)
 	}
@@ -867,10 +886,14 @@ func (s *Server) refreshStream(st *stream) {
 			init = prev.Distribution
 		}
 	}
+	esp := s.tracer.NewTrace("em/refresh")
+	esp.SetStream(st.name)
+	esp.Attr("n", fmt.Sprintf("%d", n))
 	emStart := time.Now()
 	res := st.agg.EstimateFrom(st.scratch, init)
+	esp.Attr("iterations", fmt.Sprintf("%d", res.Iterations)).End()
 	if st.mRefresh != nil {
-		st.mRefresh.Observe(time.Since(emStart).Seconds())
+		st.mRefresh.ObserveExemplar(time.Since(emStart).Seconds(), esp.TraceID())
 	}
 	st.lastRefresh.Store(time.Now().UnixNano())
 	st.init = append(st.init[:0], res.Estimate...)
@@ -995,22 +1018,32 @@ func (s *Server) serveReport(w http.ResponseWriter, name string, rep WireReport)
 	if st == nil {
 		return
 	}
+	sp := spanOf(w)
+	sp.SetStream(st.name)
+	bsp := sp.Child("bucketize")
 	bufp := cellPool.Get().(*[]int)
 	cells, err := st.agg.Bucketize((*bufp)[:0], mechanism.Report(rep))
 	*bufp = cells[:0]
+	bsp.End()
 	if err != nil {
 		cellPool.Put(bufp)
+		sp.Fail(CodeBadRequest)
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
+	isp := sp.Child("ingest")
 	if len(cells) == 1 {
 		st.add(cells[0])
 	} else {
 		st.addBatch(cells)
 	}
+	isp.End()
 	cellPool.Put(bufp)
 	if st.mReports != nil {
 		st.mReports.Inc()
+	}
+	if sp != nil {
+		st.links.add(sp.TraceID())
 	}
 	writeJSON(w, map[string]any{"accepted": true, "stream": st.name, "n": st.users()})
 }
@@ -1048,8 +1081,11 @@ func (s *Server) serveBatch(w http.ResponseWriter, name string, reports []WireRe
 	if st == nil {
 		return
 	}
+	sp := spanOf(w)
+	sp.SetStream(st.name)
 	// Validate the whole batch before ingesting anything, so a bad report
 	// in the middle cannot leave a half-applied batch behind.
+	bsp := sp.Child("bucketize").Attr("reports", fmt.Sprintf("%d", len(reports)))
 	bufp := cellPool.Get().(*[]int)
 	buckets := (*bufp)[:0]
 	defer func() {
@@ -1059,13 +1095,20 @@ func (s *Server) serveBatch(w http.ResponseWriter, name string, reports []WireRe
 	var err error
 	for i, rep := range reports {
 		if buckets, err = st.agg.Bucketize(buckets, mechanism.Report(rep)); err != nil {
+			bsp.Fail(CodeBadRequest).End()
 			errorJSON(w, http.StatusBadRequest, CodeBadRequest, "report %d: %v", i, err)
 			return
 		}
 	}
+	bsp.End()
+	isp := sp.Child("ingest")
 	st.addBatch(buckets)
+	isp.End()
 	if st.mReports != nil {
 		st.mReports.Add(uint64(len(reports)))
+	}
+	if sp != nil {
+		st.links.add(sp.TraceID())
 	}
 	writeJSON(w, map[string]any{"accepted": len(reports), "stream": st.name, "n": st.users()})
 }

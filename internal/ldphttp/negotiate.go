@@ -51,6 +51,9 @@ func (s *Server) negotiateCodec(w http.ResponseWriter, r *http.Request, endpoint
 	if m := s.metrics; m != nil {
 		m.codecSel.With(endpoint, codec).Inc()
 	}
+	if sw, isSW := w.(*statusWriter); isSW {
+		sw.codec = codec
+	}
 	return codec, true
 }
 
@@ -58,19 +61,24 @@ func (s *Server) negotiateCodec(w http.ResponseWriter, r *http.Request, endpoint
 // wire reports, writing the uniform envelope on failure — 413 when the
 // admission body cap truncated the read, 400 for any malformed frame.
 func readBinaryReports(w http.ResponseWriter, r *http.Request) ([]WireReport, bool) {
+	dsp := spanOf(w).Child("decode").Attr("codec", codecBinary)
+	defer dsp.End()
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
+			dsp.Fail(CodeBodyTooLarge)
 			errorJSON(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				"request body exceeds the %d-byte admission bound", tooBig.Limit)
 			return nil, false
 		}
+		dsp.Fail(CodeBadRequest)
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
 		return nil, false
 	}
 	raw, err := wire.DecodeReports(body)
 	if err != nil {
+		dsp.Fail(CodeBadRequest)
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return nil, false
 	}

@@ -246,6 +246,8 @@ func TestMetricsExposition(t *testing.T) {
 		"ldp_up":                          telemetry.KindGauge,
 		"ldp_ready":                       telemetry.KindGauge,
 		"ldp_healthy":                     telemetry.KindGauge,
+		"ldp_scrape_duration_seconds":     telemetry.KindHistogram,
+		"ldp_scrape_errors_total":         telemetry.KindCounter,
 	}
 	for name, kind := range families {
 		fam, ok := sc.Families[name]
@@ -282,6 +284,15 @@ func TestMetricsExposition(t *testing.T) {
 	// Requests were counted under stable route-template labels.
 	if v, _ := sc.Value("ldp_requests_total", "endpoint=/v1/streams/{name}/report", "method=POST", "code=200"); v != 3 {
 		t.Errorf("ldp_requests_total{endpoint=/v1/streams/{name}/report} = %v, want 3", v)
+	}
+	// Scrape self-metrics: the second exposition carries the first one's
+	// duration observation and a zero error count.
+	sc2 := scrape(t, ts.URL)
+	if v, _ := sc2.Value("ldp_scrape_duration_seconds_count"); v < 1 {
+		t.Errorf("ldp_scrape_duration_seconds_count = %v, want >= 1", v)
+	}
+	if v, ok := sc2.Value("ldp_scrape_errors_total"); !ok || v != 0 {
+		t.Errorf("ldp_scrape_errors_total = %v (present %v), want 0", v, ok)
 	}
 }
 
@@ -626,12 +637,15 @@ func (sw *syncWriter) Write(b []byte) (int, error) {
 	return sw.w.Write(b)
 }
 
-// BenchmarkTelemetryOverhead compares the /report hot path with telemetry on
-// and off; the CI contract is under 5% regression.
+// BenchmarkTelemetryOverhead compares the /report hot path across the
+// observability configurations; the CI contract is under 5% regression for
+// both telemetry (instrumented vs disabled) and tracing at the default
+// sampling rate (traced vs untraced). traced-always is the worst case —
+// every request allocating and recording spans — and is informational.
 func BenchmarkTelemetryOverhead(b *testing.B) {
-	run := func(b *testing.B, disable bool) {
+	run := func(b *testing.B, ops OpsConfig) {
 		s := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: time.Hour,
-			Ops: OpsConfig{DisableTelemetry: disable}})
+			Ops: ops})
 		defer s.Close()
 		h := s.Handler()
 		body := []byte(`{"report": 0.5}`)
@@ -647,6 +661,13 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 		}
 	}
-	b.Run("instrumented", func(b *testing.B) { run(b, false) })
-	b.Run("disabled", func(b *testing.B) { run(b, true) })
+	// traced: telemetry plus tracing at the default 1-in-128 sampling — the
+	// shipped configuration. untraced: telemetry on, tracing fully off.
+	b.Run("traced", func(b *testing.B) { run(b, OpsConfig{}) })
+	b.Run("untraced", func(b *testing.B) { run(b, OpsConfig{Trace: TraceConfig{Disable: true}}) })
+	b.Run("traced-always", func(b *testing.B) { run(b, OpsConfig{Trace: TraceConfig{SampleEvery: 1}}) })
+	b.Run("instrumented", func(b *testing.B) { run(b, OpsConfig{}) })
+	b.Run("disabled", func(b *testing.B) {
+		run(b, OpsConfig{DisableTelemetry: true, Trace: TraceConfig{Disable: true}})
+	})
 }

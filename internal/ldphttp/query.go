@@ -72,7 +72,10 @@ func (s *Server) serveQueryGet(w http.ResponseWriter, r *http.Request, name stri
 	if !ok {
 		return
 	}
+	qsp := spanOf(w).Child("query/eval")
+	qsp.SetStream(st.name)
 	resp, err := query.Eval(cached.Distribution, cached.N, req)
+	qsp.End()
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
@@ -122,15 +125,19 @@ func (s *Server) serveQueryPost(w http.ResponseWriter, name string, req batchQue
 	}
 	// Every query in the batch reads the same cached estimate, so the
 	// answers are mutually consistent even under concurrent ingestion.
+	qsp := spanOf(w).Child("query/eval").Attr("queries", fmt.Sprintf("%d", len(req.Queries)))
+	qsp.SetStream(st.name)
 	results := make([]query.Response, len(req.Queries))
 	for i, q := range req.Queries {
 		resp, err := query.Eval(cached.Distribution, cached.N, q)
 		if err != nil {
+			qsp.Fail(CodeBadRequest).End()
 			errorJSON(w, http.StatusBadRequest, CodeBadRequest, "query %d: %v", i, err)
 			return
 		}
 		results[i] = resp
 	}
+	qsp.End()
 	writeJSON(w, BatchQueryResponse{
 		Stream:         st.name,
 		N:              cached.N,

@@ -17,6 +17,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // routeOpts configures the middleware for one endpoint.
@@ -31,13 +33,20 @@ type routeOpts struct {
 	// successor, when set, marks the endpoint deprecated and names the v1
 	// route that replaces it.
 	successor string
+	// trace is the endpoint's tracing policy: off for operational probes,
+	// sampled for the per-report ingest hot path, always-on elsewhere.
+	trace traceMode
 }
 
-// statusWriter captures the status code and body size for metrics and logs.
+// statusWriter captures the status code, body size, request span, the
+// negotiated codec, and the lazily-minted request ID for metrics and logs.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	span   *trace.Span
+	codec  string
+	reqID  string
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
@@ -64,6 +73,13 @@ func (s *Server) route(endpoint string, opts routeOpts, h http.HandlerFunc) http
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		if t := s.tracer; t != nil && opts.trace != traceOff {
+			if parent, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				sw.span = t.StartSpan(parent, "http "+endpoint)
+			} else if opts.trace == traceAlways || t.SampleReport() {
+				sw.span = t.NewTrace("http " + endpoint)
+			}
+		}
 		if opts.successor != "" {
 			sw.Header().Set("Deprecation", "true")
 			sw.Header().Set("Link", "<"+opts.successor+`>; rel="successor-version"`)
@@ -91,7 +107,26 @@ func (s *Server) route(endpoint string, opts routeOpts, h http.HandlerFunc) http
 		dur := time.Since(start)
 		if m := s.metrics; m != nil {
 			m.requests.With(endpoint, r.Method, fmt.Sprintf("%d", sw.status)).Inc()
-			m.reqDur.With(endpoint).Observe(dur.Seconds())
+			if sw.span != nil {
+				m.reqDur.With(endpoint).ObserveExemplar(dur.Seconds(), sw.span.TraceID())
+			} else {
+				m.reqDur.With(endpoint).Observe(dur.Seconds())
+			}
+		}
+		if sp := sw.span; sp != nil {
+			sp.Attr("status", fmt.Sprintf("%d", sw.status))
+			if sw.codec != "" {
+				sp.Attr("codec", sw.codec)
+			}
+			if shed {
+				sp.Fail(CodeRateLimited)
+			} else if sw.status >= 500 {
+				sp.Fail(fmt.Sprintf("http_%d", sw.status))
+			}
+			sp.End()
+		}
+		if s.slowReq > 0 && dur >= s.slowReq {
+			s.logSlow(r, sw, endpoint, dur)
 		}
 		s.logRequest(r, sw, dur)
 	}
@@ -103,24 +138,38 @@ func (s *Server) logRequest(r *http.Request, sw *statusWriter, dur time.Duration
 		return
 	}
 	ts := time.Now().UTC().Format(time.RFC3339Nano)
+	codec := sw.codec
+	if codec == "" {
+		codec = "-"
+	}
 	var line string
 	if s.logJSON {
-		b, err := json.Marshal(map[string]any{
+		fields := map[string]any{
 			"ts":     ts,
 			"method": r.Method,
 			"path":   r.URL.RequestURI(),
 			"status": sw.status,
 			"dur_ms": float64(dur.Microseconds()) / 1000,
 			"bytes":  sw.bytes,
+			"codec":  codec,
+			"req_id": sw.requestID(),
 			"remote": r.RemoteAddr,
-		})
+		}
+		if id := sw.span.TraceID(); id != "" {
+			fields["trace"] = id
+		}
+		b, err := json.Marshal(fields)
 		if err != nil {
 			return
 		}
 		line = string(b) + "\n"
 	} else {
-		line = fmt.Sprintf("ts=%s method=%s path=%q status=%d dur_ms=%.3f bytes=%d remote=%s\n",
-			ts, r.Method, r.URL.RequestURI(), sw.status, float64(dur.Microseconds())/1000, sw.bytes, r.RemoteAddr)
+		traceField := ""
+		if id := sw.span.TraceID(); id != "" {
+			traceField = " trace=" + id
+		}
+		line = fmt.Sprintf("ts=%s method=%s path=%q status=%d dur_ms=%.3f bytes=%d codec=%s req_id=%s%s remote=%s\n",
+			ts, r.Method, r.URL.RequestURI(), sw.status, float64(dur.Microseconds())/1000, sw.bytes, codec, sw.requestID(), traceField, r.RemoteAddr)
 	}
 	s.logMu.Lock()
 	s.accessLog.Write([]byte(line))
@@ -130,28 +179,29 @@ func (s *Server) logRequest(r *http.Request, sw *statusWriter, dur time.Duration
 // Handler returns the HTTP routes: the v1 tree, the legacy aliases, the
 // federation surface, and the operational endpoints.
 func (s *Server) Handler() http.Handler {
-	engine := routeOpts{admit: true, capBody: true}
+	engine := routeOpts{admit: true, capBody: true, trace: traceAlways}
 	ops := routeOpts{}
-	dep := func(successor string) routeOpts {
-		return routeOpts{admit: true, capBody: true, successor: successor}
+	dep := func(successor string, mode traceMode) routeOpts {
+		return routeOpts{admit: true, capBody: true, successor: successor, trace: mode}
 	}
 
 	mux := http.NewServeMux()
-	// Legacy flat surface: same cores as v1, marked deprecated.
-	mux.HandleFunc("/streams", s.route("/streams", dep("/v1/streams"), s.handleStreams))
-	mux.HandleFunc("/streams/", s.route("/streams/{name}", dep("/v1/streams/{name}"), s.handleStreamItem))
-	mux.HandleFunc("/report", s.route("/report", dep("/v1/streams/{name}/report"), s.handleReport))
-	mux.HandleFunc("/batch", s.route("/batch", dep("/v1/streams/{name}/batch"), s.handleBatch))
-	mux.HandleFunc("/estimate", s.route("/estimate", dep("/v1/streams/{name}/estimate"), s.handleEstimate))
-	mux.HandleFunc("/query", s.route("/query", dep("/v1/streams/{name}/query"), s.handleQuery))
-	mux.HandleFunc("/config", s.route("/config", dep("/v1/streams/{name}/config"), s.handleConfig))
+	// Legacy flat surface: same cores as v1, marked deprecated. The ingest
+	// hot paths (/report, /batch) sample; the rest trace always-on.
+	mux.HandleFunc("/streams", s.route("/streams", dep("/v1/streams", traceAlways), s.handleStreams))
+	mux.HandleFunc("/streams/", s.route("/streams/{name}", dep("/v1/streams/{name}", traceAlways), s.handleStreamItem))
+	mux.HandleFunc("/report", s.route("/report", dep("/v1/streams/{name}/report", traceSampled), s.handleReport))
+	mux.HandleFunc("/batch", s.route("/batch", dep("/v1/streams/{name}/batch", traceSampled), s.handleBatch))
+	mux.HandleFunc("/estimate", s.route("/estimate", dep("/v1/streams/{name}/estimate", traceAlways), s.handleEstimate))
+	mux.HandleFunc("/query", s.route("/query", dep("/v1/streams/{name}/query", traceAlways), s.handleQuery))
+	mux.HandleFunc("/config", s.route("/config", dep("/v1/streams/{name}/config", traceAlways), s.handleConfig))
 
 	// Versioned v1 resource tree.
 	mux.HandleFunc("/v1/streams", s.route("/v1/streams", engine, s.handleStreams))
 	mux.HandleFunc("/v1/streams/", s.v1StreamRoutes())
 
 	// Federation: push carries its own body cap and the per-edge tier.
-	mux.HandleFunc("/federation/push", s.route("/federation/push", routeOpts{admit: true}, s.handleFederationPush))
+	mux.HandleFunc("/federation/push", s.route("/federation/push", routeOpts{admit: true, trace: traceAlways}, s.handleFederationPush))
 	mux.HandleFunc("/federation/peers", s.route("/federation/peers", engine, s.handleFederationPeers))
 
 	// Operational surface: exempt from admission control.
@@ -169,7 +219,8 @@ func (s *Server) Handler() http.Handler {
 // v1StreamRoutes dispatches /v1/streams/{name}[/{action}]. Middleware is
 // pre-built per action so every endpoint label is a stable route template.
 func (s *Server) v1StreamRoutes() http.HandlerFunc {
-	engine := routeOpts{admit: true, capBody: true}
+	engine := routeOpts{admit: true, capBody: true, trace: traceAlways}
+	ingest := routeOpts{admit: true, capBody: true, trace: traceSampled}
 	item := s.route("/v1/streams/{name}", engine, func(w http.ResponseWriter, r *http.Request) {
 		name, _, _ := v1StreamPath(r)
 		switch r.Method {
@@ -182,7 +233,7 @@ func (s *Server) v1StreamRoutes() http.HandlerFunc {
 		}
 	})
 	actions := map[string]http.HandlerFunc{
-		"report": s.route("/v1/streams/{name}/report", engine, func(w http.ResponseWriter, r *http.Request) {
+		"report": s.route("/v1/streams/{name}/report", ingest, func(w http.ResponseWriter, r *http.Request) {
 			name, _, _ := v1StreamPath(r)
 			if r.Method != http.MethodPost {
 				methodNotAllowed(w, r, http.MethodPost)
@@ -205,7 +256,7 @@ func (s *Server) v1StreamRoutes() http.HandlerFunc {
 			}
 			s.serveReport(w, name, req.Report)
 		}),
-		"batch": s.route("/v1/streams/{name}/batch", engine, func(w http.ResponseWriter, r *http.Request) {
+		"batch": s.route("/v1/streams/{name}/batch", ingest, func(w http.ResponseWriter, r *http.Request) {
 			name, _, _ := v1StreamPath(r)
 			if r.Method != http.MethodPost {
 				methodNotAllowed(w, r, http.MethodPost)

@@ -33,9 +33,14 @@ import (
 // watermarks and histograms always agree — a restored root skips exactly
 // the replays whose increments its histograms already contain.
 func (s *Server) SaveSnapshot(path string) error {
+	sp := s.tracer.NewTrace("snapshot/save")
 	start := time.Now()
 	err := s.saveSnapshot(path)
 	s.observeSnapshot("save", start, err)
+	if err != nil {
+		sp.Fail("save_failed")
+	}
+	sp.End()
 	return err
 }
 
@@ -135,9 +140,14 @@ func windowState(rec snapshot.Stream) window.State {
 // takes the registry read-lock) can slip between validation and apply, and
 // no error path leaves a partial merge behind.
 func (s *Server) LoadSnapshot(path string) error {
+	sp := s.tracer.NewTrace("snapshot/load")
 	start := time.Now()
 	err := s.loadSnapshot(path)
 	s.observeSnapshot("load", start, err)
+	if err != nil {
+		sp.Fail("load_failed")
+	}
+	sp.End()
 	if err == nil {
 		// Restore completed: a server started with Ops.AwaitRestore is now
 		// safe to serve from (readiness probe flips to 200).

@@ -59,6 +59,11 @@ type serverMetrics struct {
 	up      *telemetry.GaugeVec
 	ready   *telemetry.GaugeVec
 	healthy *telemetry.GaugeVec
+
+	// Scrape self-metrics: how long /metrics itself takes, and how many
+	// expositions failed mid-write (client gone, broken pipe).
+	scrapeDur  *telemetry.HistogramVec
+	scrapeErrs *telemetry.CounterVec
 }
 
 // newServerMetrics registers every family and installs the scrape hook.
@@ -120,7 +125,14 @@ func newServerMetrics(s *Server) *serverMetrics {
 		up:      r.Gauge("ldp_up", "Process uptime indicator, always 1 while serving."),
 		ready:   r.Gauge("ldp_ready", "Readiness probe state (1 = ready)."),
 		healthy: r.Gauge("ldp_healthy", "Liveness probe state (1 = engine ticking)."),
+		scrapeDur: r.Histogram("ldp_scrape_duration_seconds",
+			"Wall time spent rendering the /metrics exposition.", telemetry.DefBuckets),
+		scrapeErrs: r.Counter("ldp_scrape_errors_total",
+			"Metric expositions that failed mid-write."),
 	}
+	// The scrape error counter should read 0, not be absent, on a healthy
+	// server — dashboards alert on increase(), which needs a base sample.
+	m.scrapeErrs.With().Add(0)
 	r.OnScrape(func() { s.scrapeRefresh(m) })
 	return m
 }
@@ -143,9 +155,13 @@ func (s *Server) scrapeRefresh(m *serverMetrics) {
 		}
 	}
 	s.fedMu.Lock()
+	// Push lag compares against watermarks stamped with the server clock
+	// (applyPushLocked uses s.now()), so it must read the same clock — a
+	// mock-clock test would otherwise see wall time leak into the gauge.
+	fedNow := s.now()
 	for edge, p := range s.peers {
 		if !p.lastPush.IsZero() {
-			m.fedLag.With(edge).Set(now.Sub(p.lastPush).Seconds())
+			m.fedLag.With(edge).Set(fedNow.Sub(p.lastPush).Seconds())
 		}
 	}
 	pusher := s.pusher
@@ -246,7 +262,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.reg.WriteText(w)
+	start := time.Now()
+	err := s.metrics.reg.WriteText(w)
+	// Self-observations land after the exposition is rendered, so this
+	// scrape's own duration shows up on the next one — the exposition
+	// itself stays a consistent point-in-time snapshot.
+	s.metrics.scrapeDur.With().Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.metrics.scrapeErrs.With().Inc()
+	}
 }
 
 // handleHealthz is the liveness probe: 200 while the estimation engine is

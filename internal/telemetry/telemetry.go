@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind is a metric family's type as exposed on the TYPE line.
@@ -74,6 +75,26 @@ type series struct {
 	bits  atomic.Uint64 // gauge value, or histogram sum (float64 bits)
 
 	buckets []atomic.Uint64 // histogram only: cumulative-by-render counts
+
+	// exemplar is the most recent trace-annotated observation (histogram
+	// series only; nil until one is attached). Exemplars never render in
+	// the text exposition — format 0.0.4 has no syntax for them, and the
+	// byte-for-byte golden scrapes must stay stable — they are served
+	// through the Exemplar accessors (the trace debug surface).
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one observation annotated with the trace that produced it —
+// the bridge from a latency histogram to the flight recorder: see the tail
+// in ldp_request_duration_seconds, pull its exemplar, look the trace up.
+type Exemplar struct {
+	// Value is the observed value (same unit as the histogram).
+	Value float64 `json:"value"`
+	// TraceID is the 32-hex trace identifier of the request that produced
+	// the observation.
+	TraceID string `json:"trace_id"`
+	// Time is when the observation was recorded.
+	Time time.Time `json:"time"`
 }
 
 // New returns an empty registry.
@@ -233,6 +254,41 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value like Observe and, when traceID is
+// non-empty, attaches it as the series' exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.s.exemplar.Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// Exemplar returns the series' most recent exemplar, if one was attached.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if e := h.s.exemplar.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
+}
+
+// Exemplars returns the most recent exemplar of every series that has one,
+// keyed by the series' label values joined with ",".
+func (v *HistogramVec) Exemplars() map[string]Exemplar {
+	v.f.mu.Lock()
+	list := make([]*series, 0, len(v.f.series))
+	for _, s := range v.f.series {
+		list = append(list, s)
+	}
+	v.f.mu.Unlock()
+	out := make(map[string]Exemplar)
+	for _, s := range list {
+		if e := s.exemplar.Load(); e != nil {
+			out[strings.Join(s.labelValues, ",")] = *e
+		}
+	}
+	return out
 }
 
 // Count reads the number of observations.

@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewContext()
+	if !sc.Valid() {
+		t.Fatalf("NewContext produced invalid context: %+v", sc)
+	}
+	h := sc.Header()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("header = %q, want 00-...-01", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected own header", h)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestTraceparentUnsampledFlag(t *testing.T) {
+	sc := SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)}
+	got, ok := ParseTraceparent(sc.Header())
+	if !ok || got.Sampled {
+		t.Fatalf("flags 00 should parse as unsampled, got ok=%v sampled=%v", ok, got.Sampled)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-short-span-01",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("ab", 8) + "-01",  // all-zero trace id
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
+		"00-" + strings.Repeat("zz", 16) + "-" + strings.Repeat("ab", 8) + "-01", // non-hex
+		"ff-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("ab", 8) + "-01", // forbidden version
+		"0g-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("ab", 8) + "-01", // non-hex version
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("ab", 8) + "-x",  // bad flags
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed header", h)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Per the W3C forward-compat rule, an unknown version with the v00
+	// field layout still parses.
+	h := "42-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01-extrafield"
+	sc, ok := ParseTraceparent(h)
+	if !ok || !sc.Sampled {
+		t.Fatalf("future-version header rejected: ok=%v sc=%+v", ok, sc)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.SampleReport() {
+		t.Fatal("nil tracer sampled")
+	}
+	if got := tr.NewTrace("x"); got != nil {
+		t.Fatal("nil tracer returned span")
+	}
+	if got := tr.StartSpan(NewContext(), "x"); got != nil {
+		t.Fatal("nil tracer returned span")
+	}
+	if got := tr.Link(strings.Repeat("ab", 16), "x"); got != nil {
+		t.Fatal("nil tracer returned link span")
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Fatal("nil tracer returned records")
+	}
+	if tr.Capacity() != 0 || tr.Recorded() != 0 {
+		t.Fatal("nil tracer reported capacity/recorded")
+	}
+
+	var sp *Span
+	sp.SetStream("s")
+	sp.Attr("k", "v").Fail("oops").End()
+	if sp.Child("c") != nil {
+		t.Fatal("nil span produced child")
+	}
+	if sp.Context().Valid() || sp.TraceID() != "" {
+		t.Fatal("nil span has identity")
+	}
+}
+
+func TestSpanRecordingAndLineage(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	root := tr.NewTrace("http /report")
+	root.SetStream("default")
+	child := root.Child("decode")
+	child.Attr("codec", "json")
+	grand := child.Child("bucketize")
+	grand.End()
+	child.End()
+	child.End() // idempotent
+	root.Fail("shed").End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	// Oldest first: grand, child, root.
+	g, c, r := recs[0], recs[1], recs[2]
+	if g.Stage != "bucketize" || c.Stage != "decode" || r.Stage != "http /report" {
+		t.Fatalf("order wrong: %q %q %q", g.Stage, c.Stage, r.Stage)
+	}
+	if r.TraceID != c.TraceID || c.TraceID != g.TraceID {
+		t.Fatal("trace IDs differ across one trace")
+	}
+	if c.ParentID != r.SpanID || g.ParentID != c.SpanID {
+		t.Fatal("parent links wrong")
+	}
+	if c.Stream != "default" || g.Stream != "default" {
+		t.Fatal("stream did not inherit to children")
+	}
+	if r.Err != "shed" {
+		t.Fatalf("root error = %q, want shed", r.Err)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0] != (Attr{"codec", "json"}) {
+		t.Fatalf("child attrs = %+v", c.Attrs)
+	}
+	if tr.Recorded() != 3 {
+		t.Fatalf("Recorded = %d, want 3", tr.Recorded())
+	}
+}
+
+func TestStartSpanContinuesContext(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	parent := NewContext()
+	sp := tr.StartSpan(parent, "ingest")
+	if sp == nil {
+		t.Fatal("sampled parent produced nil span")
+	}
+	if sp.TraceID() != parent.TraceID {
+		t.Fatal("span did not join parent trace")
+	}
+	sp.End()
+	recs := tr.Snapshot()
+	if len(recs) != 1 || recs[0].ParentID != parent.SpanID {
+		t.Fatalf("recs = %+v", recs)
+	}
+
+	unsampled := parent
+	unsampled.Sampled = false
+	if tr.StartSpan(unsampled, "ingest") != nil {
+		t.Fatal("unsampled parent produced a span")
+	}
+	if tr.StartSpan(SpanContext{Sampled: true}, "ingest") != nil {
+		t.Fatal("invalid parent produced a span")
+	}
+}
+
+func TestLink(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	id := strings.Repeat("AB", 16)
+	sp := tr.Link(id, "federation/absorb-link")
+	if sp == nil {
+		t.Fatal("valid link id produced nil span")
+	}
+	sp.Attr("edge", "edge-1").End()
+	recs := tr.Snapshot()
+	if len(recs) != 1 || recs[0].TraceID != strings.ToLower(id) {
+		t.Fatalf("link record = %+v", recs)
+	}
+	if tr.Link("nothex", "x") != nil {
+		t.Fatal("invalid link id produced span")
+	}
+}
+
+func TestSampleReport(t *testing.T) {
+	tr := New(Config{SampleEvery: 4})
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if tr.SampleReport() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("SampleEvery=4 over 400 calls hit %d times, want 100", hits)
+	}
+
+	always := New(Config{SampleEvery: 1})
+	for i := 0; i < 5; i++ {
+		if !always.SampleReport() {
+			t.Fatal("SampleEvery=1 skipped a request")
+		}
+	}
+
+	never := New(Config{SampleEvery: -1})
+	for i := 0; i < 5; i++ {
+		if never.SampleReport() {
+			t.Fatal("SampleEvery<0 sampled a request")
+		}
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	for i := 0; i < 200; i++ {
+		sp := tr.NewTrace(fmt.Sprintf("stage-%d", i))
+		sp.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 64 {
+		t.Fatalf("snapshot len = %d, want capacity 64", len(recs))
+	}
+	if recs[0].Stage != "stage-136" || recs[63].Stage != "stage-199" {
+		t.Fatalf("window wrong: first=%q last=%q", recs[0].Stage, recs[63].Stage)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Start.After(recs[i].Start) && recs[i-1].Stage > recs[i].Stage {
+			t.Fatal("snapshot not oldest-first")
+		}
+	}
+}
+
+func TestDefaultsAndFloors(t *testing.T) {
+	tr := New(Config{})
+	if tr.Capacity() != 4096 {
+		t.Fatalf("default capacity = %d, want 4096", tr.Capacity())
+	}
+	small := New(Config{Capacity: 1})
+	if small.Capacity() != 64 {
+		t.Fatalf("capacity floor = %d, want 64", small.Capacity())
+	}
+}
+
+func TestDurationIsMonotonic(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	sp := tr.NewTrace("sleepy")
+	time.Sleep(5 * time.Millisecond)
+	sp.End()
+	recs := tr.Snapshot()
+	if len(recs) != 1 || recs[0].Duration < 5*time.Millisecond {
+		t.Fatalf("duration = %v, want ≥ 5ms", recs[0].Duration)
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	tr := New(Config{Capacity: 128, SampleEvery: 1})
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.NewTrace("worker")
+				sp.Attr("w", fmt.Sprint(w))
+				sp.Child("inner").End()
+				sp.End()
+				tr.SampleReport()
+			}
+		}(w)
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, r := range tr.Snapshot() {
+					if r.TraceID == "" || r.SpanID == "" {
+						t.Error("snapshot returned torn record")
+						return
+					}
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if tr.Recorded() != 8*500*2 {
+		t.Fatalf("Recorded = %d, want %d", tr.Recorded(), 8*500*2)
+	}
+}

@@ -220,6 +220,102 @@ func opsGet(baseURL, path string, hc *http.Client) ([]byte, error) {
 	return body, nil
 }
 
+// TraceSpan is one span of a collector's flight recorder as served by GET
+// /v1/debug/traces: a stage of one traced request (or engine cycle), with
+// its lineage and duration.
+type TraceSpan struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	// Stage names the pipeline step ("http /v1/streams/{name}/report",
+	// "decode", "bucketize", "ingest", "federation/push", "absorb", ...).
+	Stage  string    `json:"stage"`
+	Stream string    `json:"stream,omitempty"`
+	Start  time.Time `json:"start"`
+	// DurationNS is the span's monotonic duration in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// Attrs are the span's key/value annotations; Error is the failure code
+	// ("" on success).
+	Attrs []TraceAttr `json:"attrs,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// TraceAttr is one key/value annotation of a TraceSpan.
+type TraceAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// TraceQuery filters FetchTraces. The zero value returns everything the
+// flight recorder holds.
+type TraceQuery struct {
+	// Stream keeps spans of one stream; TraceID one trace (32 hex chars);
+	// Route whole traces rooted at one route template
+	// ("/v1/streams/{name}/report").
+	Stream  string
+	TraceID string
+	Route   string
+	// MinDuration drops spans faster than this.
+	MinDuration time.Duration
+	// Limit keeps only the most recent N matching spans (0 = all).
+	Limit int
+}
+
+// Traces is FetchTraces' answer: the recorder's geometry plus the matching
+// spans, oldest first.
+type Traces struct {
+	// Capacity is the flight recorder's span capacity; Recorded counts
+	// spans ever recorded (at most Capacity are still held).
+	Capacity int         `json:"capacity"`
+	Recorded uint64      `json:"recorded"`
+	Spans    []TraceSpan `json:"spans"`
+	// Exemplars maps endpoint to the most recent trace-annotated request
+	// duration — the bridge from a latency tail on /metrics to a trace ID.
+	Exemplars map[string]TraceExemplar `json:"exemplars,omitempty"`
+}
+
+// TraceExemplar is one trace-annotated histogram observation.
+type TraceExemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
+}
+
+// FetchTraces queries GET {baseURL}/v1/debug/traces on a collector's debug
+// listener (cmd/ldpserver -debug-addr; the route is not mounted on the
+// public port). nil hc uses http.DefaultClient.
+func FetchTraces(baseURL string, q TraceQuery, hc *http.Client) (*Traces, error) {
+	params := url.Values{}
+	if q.Stream != "" {
+		params.Set("stream", q.Stream)
+	}
+	if q.TraceID != "" {
+		params.Set("trace", q.TraceID)
+	}
+	if q.Route != "" {
+		params.Set("route", q.Route)
+	}
+	if q.MinDuration > 0 {
+		params.Set("min_duration", q.MinDuration.String())
+	}
+	if q.Limit > 0 {
+		params.Set("limit", fmt.Sprintf("%d", q.Limit))
+	}
+	path := "/v1/debug/traces"
+	if len(params) > 0 {
+		path += "?" + params.Encode()
+	}
+	body, err := opsGet(baseURL, path, hc)
+	if err != nil {
+		return nil, fmt.Errorf("repro: fetch traces: %w", err)
+	}
+	var out Traces
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("repro: fetch traces: undecodable response: %w", err)
+	}
+	return &out, nil
+}
+
 // AwaitServerReady polls GET {baseURL}/readyz until it answers 200 or the
 // deadline passes — the programmatic version of "wait for the snapshot
 // restore before pointing traffic at it".

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mechanism"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -45,6 +46,11 @@ type ReporterOptions struct {
 	QueueCap int
 	// HTTPClient overrides http.DefaultClient.
 	HTTPClient *http.Client
+	// DisableTracing stops the reporter from stamping each shipped batch
+	// with a W3C traceparent header. Stamped batches are traced end to end:
+	// the collector continues the trace through decode/bucketize/ingest,
+	// and LastTraceID exposes the most recent ID for correlation.
+	DisableTracing bool
 }
 
 // Reporter perturbs and ships reports. Create with NewReporter; Report,
@@ -53,6 +59,9 @@ type Reporter struct {
 	mu      sync.Mutex // guards client (its rng is single-threaded)
 	client  *Client
 	batcher *core.Batcher
+
+	traceMu     sync.Mutex
+	lastTraceID string
 }
 
 // NewReporter builds the randomizer and starts the batching loop.
@@ -83,7 +92,14 @@ func NewReporter(opts ReporterOptions) (*Reporter, error) {
 		MaxDelay: opts.MaxDelay,
 		QueueCap: opts.QueueCap,
 		Flush: func(reports []mechanism.Report) error {
-			return postBatch(httpClient, endpoint, reports, opts.Binary)
+			var sc trace.SpanContext
+			if !opts.DisableTracing {
+				sc = trace.NewContext()
+				r.traceMu.Lock()
+				r.lastTraceID = sc.TraceID
+				r.traceMu.Unlock()
+			}
+			return postBatch(httpClient, endpoint, reports, opts.Binary, sc)
 		},
 	})
 	if err != nil {
@@ -104,12 +120,22 @@ func (r *Reporter) Report(v float64) error {
 // Flush synchronously ships everything queued.
 func (r *Reporter) Flush() error { return r.batcher.Flush() }
 
+// LastTraceID returns the trace ID stamped on the most recently shipped
+// batch ("" before the first ship, or with DisableTracing set). The same ID
+// is queryable on the collector's debug listener (GET /v1/debug/traces) —
+// and, after the edge federates, on the root's, as an absorb-link marker.
+func (r *Reporter) LastTraceID() string {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	return r.lastTraceID
+}
+
 // Close flushes what remains and stops the batching loop.
 func (r *Reporter) Close() error { return r.batcher.Close() }
 
 // postBatch ships one batch in the negotiated codec and verifies the
 // collector accepted it.
-func postBatch(client *http.Client, endpoint string, reports []mechanism.Report, binary bool) error {
+func postBatch(client *http.Client, endpoint string, reports []mechanism.Report, binary bool, sc trace.SpanContext) error {
 	var body []byte
 	contentType := "application/json"
 	if binary {
@@ -131,6 +157,9 @@ func postBatch(client *http.Client, endpoint string, reports []mechanism.Report,
 	}
 	req.Header.Set("Content-Type", contentType)
 	req.Header.Set("Accept", "application/json")
+	if sc.Valid() {
+		req.Header.Set("traceparent", sc.Header())
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("repro: POST batch: %w", err)

@@ -1,0 +1,129 @@
+package repro_test
+
+// The PR's acceptance criterion through the public API alone: a Reporter
+// ships a stamped batch to an edge collector, the edge federates into a
+// root, and the trace ID the Reporter exposes is recoverable from the
+// root's debug listener with repro.FetchTraces — the reports themselves
+// dissolved into histogram deltas long before.
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/ldphttp"
+)
+
+// traceCollector boots a quiet collector plus its debug listener.
+func traceCollector(t *testing.T, fed ldphttp.FederationConfig) (*ldphttp.Server, *httptest.Server, *httptest.Server) {
+	t.Helper()
+	s := ldphttp.NewServer(ldphttp.Config{Epsilon: 1, Buckets: 64,
+		RefreshInterval: time.Hour, Federation: fed})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	dts := httptest.NewServer(s.DebugHandler())
+	t.Cleanup(dts.Close)
+	return s, ts, dts
+}
+
+func stagesOf(spans []repro.TraceSpan) map[string]int {
+	out := make(map[string]int)
+	for _, sp := range spans {
+		out[sp.Stage]++
+	}
+	return out
+}
+
+func TestReporterTraceRecoverableAtRoot(t *testing.T) {
+	_, rootTS, rootDbg := traceCollector(t, ldphttp.FederationConfig{Accept: true})
+	edge, edgeTS, edgeDbg := traceCollector(t, ldphttp.FederationConfig{})
+
+	rep, err := repro.NewReporter(repro.ReporterOptions{
+		URL:      edgeTS.URL,
+		Options:  repro.Options{Epsilon: 1, Buckets: 64, Seed: 7},
+		MaxBatch: 8,
+		MaxDelay: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	for i := 0; i < 8; i++ {
+		if err := rep.Report(float64(i) / 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	id := rep.LastTraceID()
+	if len(id) != 32 {
+		t.Fatalf("LastTraceID %q, want a 32-hex trace ID", id)
+	}
+
+	// The edge holds the full ingest pipeline under the Reporter's trace.
+	edgeTraces, err := repro.FetchTraces(edgeDbg.URL, repro.TraceQuery{TraceID: id}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := stagesOf(edgeTraces.Spans)
+	for _, stage := range []string{"http /v1/streams/{name}/batch", "decode", "bucketize", "ingest"} {
+		if stages[stage] != 1 {
+			t.Errorf("edge trace %s: stage %q count %d, want 1 (stages %v)", id, stage, stages[stage], stages)
+		}
+	}
+
+	// Federate, then recover the same ID at the root as an absorb-link
+	// marker, with the absorb stage span on the push route beside it.
+	if err := edge.EnablePush(ldphttp.PushOptions{URL: rootTS.URL, Edge: "api-edge", Interval: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if acked, err := edge.PushNow(); err != nil || !acked {
+		t.Fatalf("push: acked=%v err=%v", acked, err)
+	}
+	rootTraces, err := repro.FetchTraces(rootDbg.URL, repro.TraceQuery{TraceID: id}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootTraces.Spans) == 0 {
+		t.Fatalf("Reporter trace %s not recoverable at the root", id)
+	}
+	for _, sp := range rootTraces.Spans {
+		if sp.Stage != "federation/absorb-link" {
+			t.Errorf("root span under the Reporter trace has stage %q", sp.Stage)
+		}
+	}
+	pushRoute, err := repro.FetchTraces(rootDbg.URL, repro.TraceQuery{Route: "/federation/push"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stagesOf(pushRoute.Spans)["absorb"] == 0 {
+		t.Error("root recorded no absorb span for the push")
+	}
+
+	// DisableTracing keeps the wire clean and LastTraceID empty.
+	quiet, err := repro.NewReporter(repro.ReporterOptions{
+		URL:            edgeTS.URL,
+		Options:        repro.Options{Epsilon: 1, Buckets: 64, Seed: 9},
+		MaxBatch:       4,
+		MaxDelay:       time.Hour,
+		DisableTracing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quiet.Close()
+	for i := 0; i < 4; i++ {
+		if err := quiet.Report(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := quiet.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := quiet.LastTraceID(); got != "" {
+		t.Errorf("LastTraceID with DisableTracing = %q, want empty", got)
+	}
+}
