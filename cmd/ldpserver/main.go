@@ -213,16 +213,17 @@ func parseRateFlag(flagName, raw string) (rate, burst float64, err error) {
 func parseArgs(args []string) (serverConfig, error) {
 	fs := flag.NewFlagSet("ldpserver", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
-		eps     = fs.Float64("eps", 1.0, "default stream LDP privacy budget ε")
-		buckets = fs.Int("buckets", 512, "default stream reconstruction granularity")
-		mech    = fs.String("mechanism", "", "default stream reporting mechanism (sw, sw-discrete, grr, oue, sue, olh, hrr, or auto; \"\" = sw)")
-		band    = fs.Float64("bandwidth", 0, "wave half-width override (0 = optimal)")
-		shards  = fs.Int("shards", 0, "ingestion stripe count (0 = one per CPU)")
-		workers = fs.Int("em-workers", 0, "EM parallelism (0 = all CPUs, 1 = serial)")
-		refresh = fs.Duration("refresh", 500*time.Millisecond, "background re-estimation cadence")
-		epoch   = fs.Duration("epoch", 0, "window the default stream: rotate its histogram every epoch (0 = no windowing)")
-		retain  = fs.Int("retain", 0, "sealed epochs kept on the default stream (0 = 8; needs -epoch)")
+		addr           = fs.String("addr", "127.0.0.1:8080", "listen address")
+		eps            = fs.Float64("eps", 1.0, "default stream LDP privacy budget ε")
+		buckets        = fs.Int("buckets", 512, "default stream reconstruction granularity")
+		mech           = fs.String("mechanism", "", "default stream reporting mechanism (sw, sw-discrete, grr, oue, sue, olh, hrr, or auto; \"\" = sw)")
+		band           = fs.Float64("bandwidth", 0, "wave half-width override (0 = optimal)")
+		shards         = fs.Int("shards", 0, "ingestion stripe count (0 = one per CPU)")
+		workers        = fs.Int("em-workers", 0, "EM parallelism (0 = all CPUs, 1 = serial)")
+		refreshWorkers = fs.Int("refresh-workers", 0, "concurrent background refresh workers (0 = GOMAXPROCS, negative = 1)")
+		refresh        = fs.Duration("refresh", 500*time.Millisecond, "background re-estimation cadence")
+		epoch          = fs.Duration("epoch", 0, "window the default stream: rotate its histogram every epoch (0 = no windowing)")
+		retain         = fs.Int("retain", 0, "sealed epochs kept on the default stream (0 = 8; needs -epoch)")
 
 		snapPath     = fs.String("snapshot", "", "snapshot file: restore at boot, persist on an interval and at shutdown")
 		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "cadence of periodic snapshots (with -snapshot)")
@@ -364,6 +365,7 @@ func parseArgs(args []string) (serverConfig, error) {
 			Bandwidth:       *band,
 			Shards:          *shards,
 			EMWorkers:       *workers,
+			RefreshWorkers:  *refreshWorkers,
 			RefreshInterval: *refresh,
 			Epoch:           *epoch,
 			Retain:          *retain,

@@ -118,10 +118,12 @@
 // /streams, DELETE /streams/{name}, POST /report, POST /batch, GET
 // /estimate, GET /query, POST /query and GET /config: each stream runs its
 // declared mechanism ({"mechanism": "oue"} on POST /streams, mech=oue in
-// the -stream flag), ingestion is lock-free per stream, and a shared
-// background goroutine round-robins warm-started refreshes (EM/EMS for
-// channel mechanisms, direct debiased estimates for the oracles) — and
-// rotates windowed streams' epochs — so
+// the -stream flag), ingestion is lock-free per stream, and a pool of
+// refresh workers (-refresh-workers, default GOMAXPROCS) drains a
+// staleness-ordered dirty queue of warm-started refreshes (EM/EMS for
+// channel mechanisms into per-stream zero-allocation workspaces, direct
+// debiased estimates for the oracles) — and rotates windowed streams'
+// epochs — so
 // estimation cost never lands on a request goroutine (a not-yet-computed
 // estimate answers 503 with pending_reports instead of blocking; window
 // selectors ride the same contract via window=last:K and

@@ -290,15 +290,32 @@ func (a *Aggregator) Estimate() em.Result {
 // ignore init and always report convergence. EstimateFrom does not touch
 // mutable aggregator state and is safe to call concurrently with Bucket.
 func (a *Aggregator) EstimateFrom(counts, init []float64) em.Result {
+	return a.EstimateInto(nil, counts, init)
+}
+
+// EstimateInto is EstimateFrom running out of a reusable em.Workspace: once
+// the workspace is warm for this aggregator's shape, a re-estimation
+// allocates nothing on either the EM or the oracle path. A nil workspace
+// falls back to per-call buffers. Result.Estimate aliases workspace memory
+// and is only valid until the workspace's next use; callers that retain it
+// must copy it out. The workspace (unlike the aggregator itself) is NOT safe
+// for concurrent use.
+func (a *Aggregator) EstimateInto(w *em.Workspace, counts, init []float64) em.Result {
+	if w == nil {
+		w = new(em.Workspace)
+	}
 	if ch := a.mech.Channel(); ch != nil {
 		opts := a.cfg.EM
 		if init != nil {
 			opts.Init = init
 		}
-		return em.Reconstruct(ch, counts, opts)
+		return w.Reconstruct(ch, counts, opts)
 	}
+	est, scratch := w.OracleBuffers(len(counts))
+	est = a.mech.EstimateInto(est, counts)
+	postprocess.NormSubInPlace(est, scratch[:len(est)])
 	return em.Result{
-		Estimate:   postprocess.NormSub(a.mech.Estimate(counts)),
+		Estimate:   est,
 		Iterations: 1,
 		Converged:  true,
 	}

@@ -55,11 +55,62 @@ type Options struct {
 	OnIteration func(iter int, estimate []float64, ll float64)
 	// Workers partitions the E-step matrix–vector products across the
 	// shared worker pool: 0 or 1 run serially, n > 1 uses n partitions,
-	// negative selects runtime.NumCPU(). Both dense and banded channels
-	// accumulate every output element in the same order under any
-	// partition, so parallel reconstructions are bit-identical to serial
-	// ones.
+	// negative selects runtime.NumCPU(). Channels whose per-product work
+	// is under the measured fan-out threshold run serially regardless (see
+	// matrixx.Parallelize). Both dense and banded channels accumulate every
+	// output element in the same order under any partition, so parallel
+	// reconstructions are bit-identical to serial ones.
 	Workers int
+}
+
+// Workspace holds every buffer a reconstruction needs — the estimate,
+// denominator, ratio, log-likelihood, back-projection and smoothing vectors,
+// plus the cached parallel channel wrapper — so a warm (*Workspace).Reconstruct
+// allocates nothing. The zero value is ready to use; buffers grow to the
+// largest channel seen and are reused across calls. A Workspace is NOT safe
+// for concurrent use: concurrent reconstructions need one workspace each
+// (the package-level Reconstruct, which uses a private workspace per call,
+// stays safe for concurrent use).
+type Workspace struct {
+	x, denom, ratio, llv, back, scratch []float64
+
+	// Cached matrixx.Parallelize result, keyed on (channel, workers), so
+	// the warm path does not re-wrap — and therefore does not allocate —
+	// on every call.
+	par        matrixx.Channel
+	parInner   matrixx.Channel
+	parWorkers int
+}
+
+// grow reslices buf to n, reallocating only when the capacity is exceeded.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// channel resolves the (possibly parallelized) channel for this run through
+// the workspace cache.
+func (w *Workspace) channel(m matrixx.Channel, workers int) matrixx.Channel {
+	if workers == 0 || workers == 1 {
+		return m
+	}
+	if w.parInner != m || w.parWorkers != workers {
+		w.par = matrixx.Parallelize(m, workers)
+		w.parInner, w.parWorkers = m, workers
+	}
+	return w.par
+}
+
+// OracleBuffers returns two reusable length-n buffers for the matrix-free
+// reconstruction path: the estimate target and a scratch (for the simplex
+// projection's sort). They alias workspace state the EM path does not use
+// concurrently and are valid until the next use of the workspace.
+func (w *Workspace) OracleBuffers(n int) (est, scratch []float64) {
+	w.x = grow(w.x, n)
+	w.scratch = grow(w.scratch, n)
+	return w.x, w.scratch
 }
 
 // EMOptions returns the paper's EM configuration: τ = 1e-3·e^ε, which scales
@@ -107,23 +158,35 @@ func (o *Options) fillDefaults() {
 // Reconstruct runs EM (or EMS) on the aggregated counts. m is the dt×d
 // transition channel of the reporting mechanism (a dense *matrixx.Matrix or
 // the banded compression of one) and counts the length-dt vector of observed
-// report counts. It panics on dimension mismatches or negative counts.
+// report counts. It panics on dimension mismatches or negative counts. The
+// returned estimate is freshly allocated; hot paths that reconstruct
+// repeatedly should hold a Workspace and call its Reconstruct method
+// instead.
 func Reconstruct(m matrixx.Channel, counts []float64, opts Options) Result {
+	return new(Workspace).Reconstruct(m, counts, opts)
+}
+
+// Reconstruct runs EM (or EMS) exactly as the package-level Reconstruct —
+// same results, bit for bit — but out of the workspace's reusable buffers:
+// once the workspace is warm for the channel's shape, a reconstruction
+// allocates nothing. Result.Estimate aliases workspace memory and is only
+// valid until the next use of the workspace; callers that retain it must
+// copy it out.
+func (w *Workspace) Reconstruct(m matrixx.Channel, counts []float64, opts Options) Result {
 	opts.fillDefaults()
 	dt, d := m.Rows(), m.Cols()
 	if len(counts) != dt {
 		panic(fmt.Sprintf("em: counts length %d does not match matrix rows %d", len(counts), dt))
 	}
-	if opts.Workers != 0 && opts.Workers != 1 {
-		m = matrixx.Parallelize(m, opts.Workers)
-	}
+	m = w.channel(m, opts.Workers)
 	for _, c := range counts {
 		if c < 0 || math.IsNaN(c) {
 			panic("em: counts must be non-negative")
 		}
 	}
 
-	x := make([]float64, d)
+	w.x = grow(w.x, d)
+	x := w.x
 	if opts.Init != nil {
 		if len(opts.Init) != d {
 			panic(fmt.Sprintf("em: init length %d does not match matrix cols %d", len(opts.Init), d))
@@ -142,10 +205,18 @@ func Reconstruct(m matrixx.Channel, counts []float64, opts Options) Result {
 		}
 	}
 
-	denom := make([]float64, dt)  // (M·x)_j
-	ratio := make([]float64, dt)  // n_j / (M·x)_j
-	back := make([]float64, d)    // Mᵀ·ratio
-	scratch := make([]float64, d) // smoothing buffer
+	w.denom = grow(w.denom, dt) // (M·x)_j (unfused channels only)
+	w.ratio = grow(w.ratio, dt) // n_j / (M·x)_j
+	w.llv = grow(w.llv, dt)     // per-row log-likelihood terms (fused path)
+	w.back = grow(w.back, d)    // Mᵀ·ratio
+	w.scratch = grow(w.scratch, d)
+	denom, ratio, llv, back, scratch := w.denom, w.ratio, w.llv, w.back, w.scratch
+
+	// The concrete channels (and their parallel wrapper) fuse the E-step
+	// into the forward product: one sweep computes denom, ratio and the
+	// per-row log-likelihood terms. Foreign channels run the unfused
+	// two-pass form; both produce identical bits (see matrixx.RatioChannel).
+	fused, hasFused := m.(matrixx.RatioChannel)
 
 	prevLL := math.Inf(-1)
 	res := Result{}
@@ -154,19 +225,28 @@ func Reconstruct(m matrixx.Channel, counts []float64, opts Options) Result {
 
 		// E step: denom_j = Σ_i M[j][i]·x_i, then the expected count
 		// attribution P_i = x_i · Σ_j n_j·M[j][i]/denom_j.
-		m.MulVec(denom, x)
 		ll := 0.0
-		for j := 0; j < dt; j++ {
-			if counts[j] == 0 {
-				ratio[j] = 0
-				continue
+		if hasFused {
+			fused.MulVecRatio(ratio, llv, x, counts)
+			// Serial fold in increasing row order: bit-identical to the
+			// unfused accumulation (the zero terms change nothing).
+			for _, t := range llv {
+				ll += t
 			}
-			dj := denom[j]
-			if dj < 1e-300 {
-				dj = 1e-300
+		} else {
+			m.MulVec(denom, x)
+			for j := 0; j < dt; j++ {
+				if counts[j] == 0 {
+					ratio[j] = 0
+					continue
+				}
+				dj := denom[j]
+				if dj < matrixx.DenomFloor {
+					dj = matrixx.DenomFloor
+				}
+				ratio[j] = counts[j] / dj
+				ll += counts[j] * math.Log(dj)
 			}
-			ratio[j] = counts[j] / dj
-			ll += counts[j] * math.Log(dj)
 		}
 		m.MulVecT(back, ratio)
 

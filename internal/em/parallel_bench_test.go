@@ -44,3 +44,32 @@ func BenchmarkReconstruct(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReconstructWorkspace is the warm steady state the collector's
+// refresh workers run in: the same Workspace re-reconstructs the same
+// channel shape over and over. The allocs/op column is the contract — once
+// warm, a full reconstruction allocates nothing.
+func BenchmarkReconstructWorkspace(b *testing.B) {
+	for _, d := range []int{256, 1024, 4096} {
+		dense, counts := swChannel(d, 1.0, uint64(d))
+		banded := matrixx.CompressBanded(dense, 1e-15)
+		for _, bc := range []struct {
+			name string
+			ch   matrixx.Channel
+		}{{"dense", dense}, {"banded", banded}} {
+			b.Run(fmt.Sprintf("%s/B=%d/warm", bc.name, d), func(b *testing.B) {
+				opts := benchOpts(1)
+				w := new(Workspace)
+				w.Reconstruct(bc.ch, counts, opts)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := w.Reconstruct(bc.ch, counts, opts)
+					if len(res.Estimate) != d {
+						b.Fatal("bad estimate")
+					}
+				}
+			})
+		}
+	}
+}

@@ -77,12 +77,18 @@
 // ages, incomes and session lengths at once. Ingestion and estimation are
 // decoupled so neither blocks the other: each stream's reports land in its
 // own striped atomic histogram (package aggregate) — no lock on the request
-// path — while a single background goroutine round-robins over the streams,
-// re-running the EMS reconstruction for every stream whose histogram has
-// grown, warm-started from that stream's previous estimate. GET /estimate
-// and /query never run EM on a request goroutine: they serve the cached
-// reconstruction (503 with pending_reports while the very first one is still
-// being computed) and report how many reports arrived after it.
+// path — while a pool of refresh workers (Config.RefreshWorkers, default
+// GOMAXPROCS) drains a staleness-ordered dirty queue: every tick the
+// scheduler enqueues the streams whose histograms have grown, rotation-due
+// and forced refreshes jump the queue, and otherwise the stream with the
+// most unpublished reports goes first. Each worker re-runs the EMS
+// reconstruction warm-started from that stream's previous estimate into a
+// per-stream reusable workspace (zero allocations once warm); a per-stream
+// busy flag keeps refreshes of one stream serialized, so results are
+// bit-identical to the old single-goroutine engine regardless of pool size.
+// GET /estimate and /query never run EM on a request goroutine: they serve
+// the cached reconstruction (503 with pending_reports while the very first
+// one is still being computed) and report how many reports arrived after it.
 //
 // # Windowed collection
 //
@@ -124,6 +130,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -168,6 +175,11 @@ type Config struct {
 	// unlike em.Options.Workers and repro.Options.Workers, whose zero
 	// value is the library's conservative serial default.
 	EMWorkers int `json:"em_workers,omitempty"`
+	// RefreshWorkers sets how many background refresh workers drain the
+	// staleness-ordered refresh queue concurrently — streams re-estimate
+	// in parallel, each stream still strictly serialized. 0 uses
+	// runtime.GOMAXPROCS(0); negative forces a single worker.
+	RefreshWorkers int `json:"-"`
 	// RefreshInterval is the cadence at which the background estimator
 	// re-checks every stream for new reports (0 = 500ms). Estimate and
 	// query requests that find a cache missing also wake it immediately.
@@ -281,18 +293,31 @@ type stream struct {
 	winMu sync.Mutex
 	wins  map[window.Range]*windowCache
 
-	// Engine-owned scratch (single goroutine): warm-start vector and
-	// snapshot/merge buffers.
+	// Refresh-scheduler state: queued dedupes queue entries, busy
+	// serializes refresh work per stream (one worker at a time — the
+	// acquire/release pair on busy also publishes the scratch buffers
+	// below between workers).
+	queued atomic.Bool
+	busy   atomic.Bool
+
+	// Worker-owned scratch (guarded by busy): warm-start vector,
+	// snapshot/merge buffers, and the reusable EM workspace — a warm
+	// refresh allocates only the published estimate copy.
 	init       []float64
 	scratch    []float64
 	winScratch []float64
+	ws         em.Workspace
 	// Telemetry handles, resolved once at stream creation so the ingest
 	// hot path is a single atomic add. All nil when telemetry is disabled.
 	mReports    *telemetry.Counter
 	mRefresh    *telemetry.Histogram
+	mIters      *telemetry.Histogram
 	mStaleness  *telemetry.Gauge
 	mRefreshAge *telemetry.Gauge
 	mRotations  *telemetry.Counter
+	// mRefreshes counts published refreshes by trigger, pre-resolved per
+	// reason (indexed by refreshGrowth/refreshRotation/refreshForced).
+	mRefreshes [3]*telemetry.Counter
 	// lastRefresh is the wall-clock nanos of the last published estimate
 	// (0 = none yet); the scrape hook derives refresh age from it.
 	lastRefresh atomic.Int64
@@ -368,9 +393,10 @@ type Server struct {
 
 	mu      sync.RWMutex
 	streams map[string]*stream
-	order   []*stream // declaration order, for fair round-robin
+	order   []*stream // declaration order
 
-	rr int // engine-owned rotation cursor
+	rq             refreshQueue // staleness-ordered dirty-stream queue
+	refreshWorkers int          // resolved refresh pool size
 
 	kick      chan struct{}
 	done      chan struct{}
@@ -407,12 +433,19 @@ type Server struct {
 }
 
 // NewServer builds a collection server with its default stream and starts
-// the background estimator. Call Close when done with the server to stop the
-// estimator goroutine.
+// the background refresh scheduler and its worker pool. Call Close when done
+// with the server to stop them.
 func NewServer(cfg Config) *Server {
 	workers := cfg.EMWorkers
 	if workers == 0 {
 		workers = -1 // em semantics: negative = all CPUs
+	}
+	refreshWorkers := cfg.RefreshWorkers
+	if refreshWorkers == 0 {
+		refreshWorkers = runtime.GOMAXPROCS(0)
+	}
+	if refreshWorkers < 1 {
+		refreshWorkers = 1
 	}
 	refresh := cfg.RefreshInterval
 	if refresh <= 0 {
@@ -423,19 +456,21 @@ func NewServer(cfg Config) *Server {
 		clock = time.Now
 	}
 	s := &Server{
-		cfg:       cfg,
-		refresh:   refresh,
-		workers:   workers,
-		now:       clock,
-		streams:   make(map[string]*stream),
-		peers:     make(map[string]*peerState),
-		kick:      make(chan struct{}, 1),
-		done:      make(chan struct{}),
-		maxBody:   cfg.Ops.MaxBodyBytes,
-		accessLog: cfg.Ops.AccessLog,
-		logJSON:   cfg.Ops.LogJSON,
-		started:   time.Now(),
+		cfg:            cfg,
+		refresh:        refresh,
+		workers:        workers,
+		refreshWorkers: refreshWorkers,
+		now:            clock,
+		streams:        make(map[string]*stream),
+		peers:          make(map[string]*peerState),
+		kick:           make(chan struct{}, 1),
+		done:           make(chan struct{}),
+		maxBody:        cfg.Ops.MaxBodyBytes,
+		accessLog:      cfg.Ops.AccessLog,
+		logJSON:        cfg.Ops.LogJSON,
+		started:        time.Now(),
 	}
+	s.rq.cond = sync.NewCond(&s.rq.mu)
 	s.ready.Store(!cfg.Ops.AwaitRestore)
 	s.lastTick.Store(time.Now().UnixNano())
 	if lim := cfg.Ops.RateLimit; lim > 0 {
@@ -465,8 +500,11 @@ func NewServer(cfg Config) *Server {
 		// the same contract core.Config has always had.
 		panic(err)
 	}
-	s.wg.Add(1)
-	go s.estimator()
+	s.wg.Add(1 + refreshWorkers)
+	go s.scheduler()
+	for i := 0; i < refreshWorkers; i++ {
+		go s.refreshWorker()
+	}
 	return s
 }
 
@@ -499,9 +537,13 @@ func (s *Server) newStream(name string, cfg StreamConfig) *stream {
 	if m := s.metrics; m != nil {
 		st.mReports = m.reports.With(name, cfg.Mechanism)
 		st.mRefresh = m.emRefresh.With(name)
+		st.mIters = m.emIters.With(name)
 		st.mStaleness = m.emStaleness.With(name)
 		st.mRefreshAge = m.emRefreshAge.With(name)
 		st.mRotations = m.rotations.With(name)
+		for r, reason := range refreshReasons {
+			st.mRefreshes[r] = m.refreshes.With(name, reason)
+		}
 	}
 	return st
 }
@@ -794,15 +836,18 @@ func (s *Server) StreamN(name string) int {
 	return st.users()
 }
 
-// Close stops the background estimator and waits for it to exit. The
-// handler keeps accepting reports after Close, but estimates are no longer
-// refreshed.
+// Close stops the refresh scheduler and its worker pool and waits for them
+// to exit. The handler keeps accepting reports after Close, but estimates
+// are no longer refreshed.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.done) })
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.rq.close()
+	})
 	s.wg.Wait()
 }
 
-// wake nudges the background estimator without blocking.
+// wake nudges the refresh scheduler without blocking.
 func (s *Server) wake() {
 	select {
 	case s.kick <- struct{}{}:
@@ -810,11 +855,99 @@ func (s *Server) wake() {
 	}
 }
 
-// estimator is the shared background estimation engine: on every tick (or
-// wake) it walks the streams round-robin — a rotating start index keeps one
-// hot stream from starving the rest — and, for each stream with new reports,
-// re-runs EMS warm-started from that stream's previous estimate.
-func (s *Server) estimator() {
+// Refresh trigger taxonomy, exported as the reason label of
+// ldp_em_refreshes_total. Indexes into stream.mRefreshes.
+const (
+	refreshGrowth   = iota // the visible histogram grew
+	refreshRotation        // an epoch rotated during this pass
+	refreshForced          // mustRefresh was set externally (federation, age-out)
+)
+
+var refreshReasons = [3]string{"growth", "rotation", "forced"}
+
+// refreshQueue is the dirty-stream queue between the scheduler and the
+// worker pool. Entries are deduped by stream.queued; workers pop the
+// highest-priority entry (see popLocked), not FIFO.
+type refreshQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*stream
+	closed bool
+}
+
+func (q *refreshQueue) push(st *stream) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, st)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+func (q *refreshQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth reports the number of queued streams (the scrape-time gauge).
+func (q *refreshQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// pop blocks for the next stream to refresh, false when the queue is
+// closed. The most urgent entry wins: streams that must refresh (rotation
+// due, or an external mustRefresh) beat the rest, then larger staleness
+// (reports not yet covered by the published estimate) beats smaller.
+func (q *refreshQueue) pop(s *Server) (*stream, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	best, bestBoost, bestStale := 0, false, int64(0)
+	for i, st := range q.items {
+		boost, stale := s.refreshPriority(st)
+		if i == 0 || (boost && !bestBoost) || (boost == bestBoost && stale > bestStale) {
+			best, bestBoost, bestStale = i, boost, stale
+		}
+	}
+	st := q.items[best]
+	last := len(q.items) - 1
+	q.items[best] = q.items[last]
+	q.items[last] = nil
+	q.items = q.items[:last]
+	return st, true
+}
+
+// refreshPriority ranks one queued stream: a boolean urgency boost (an
+// epoch rotation is due, or something forced the next refresh) and the
+// staleness in histogram increments.
+func (s *Server) refreshPriority(st *stream) (boost bool, staleness int64) {
+	if st.mustRefresh.Load() {
+		boost = true
+	} else if st.ring != nil {
+		_, start := st.ring.Current()
+		if !s.now().Before(start.Add(time.Duration(st.cfg.Epoch))) {
+			boost = true // rotation due: the pass will seal an epoch
+		}
+	}
+	return boost, int64(st.reports()) - st.published.Load()
+}
+
+// scheduler is the refresh pacemaker: on every tick (or wake) it stamps the
+// liveness clock and enqueues every stream not already queued; the worker
+// pool does the actual re-estimation. Every stream is enqueued — not just
+// visibly-dirty ones — because rotation clocks and window caches advance
+// inside the refresh pass itself, exactly as the old single-goroutine
+// engine walked all streams each tick.
+func (s *Server) scheduler() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.refresh)
 	defer ticker.Stop()
@@ -826,28 +959,41 @@ func (s *Server) estimator() {
 		case <-ticker.C:
 		}
 		s.lastTick.Store(time.Now().UnixNano())
-		list := s.streamList()
-		if len(list) == 0 {
+		for _, st := range s.streamList() {
+			if st.queued.CompareAndSwap(false, true) {
+				s.rq.push(st)
+			}
+		}
+	}
+}
+
+// refreshWorker drains the refresh queue. Per-stream work is serialized by
+// the busy flag: a stream already being refreshed is skipped (the next tick
+// re-enqueues it), so workers parallelize across streams, never within one.
+func (s *Server) refreshWorker() {
+	defer s.wg.Done()
+	for {
+		st, ok := s.rq.pop(s)
+		if !ok {
+			return
+		}
+		st.queued.Store(false)
+		if !st.busy.CompareAndSwap(false, true) {
 			continue
 		}
-		start := s.rr % len(list)
-		s.rr++
-		for i := range list {
-			select {
-			case <-s.done:
-				return
-			default:
-			}
-			s.refreshStream(list[(start+i)%len(list)])
-		}
+		s.refreshStream(st)
+		st.busy.Store(false)
 	}
 }
 
 // refreshStream advances a windowed stream's rotation clock, re-estimates
 // the stream if its visible histogram changed since the last published
 // estimate (growth, or epochs aging out), and refreshes any requested
-// window estimates. Engine goroutine only.
+// window estimates. Refresh workers only, one per stream at a time (the
+// busy flag): the stream's scratch buffers and EM workspace are theirs for
+// the duration.
 func (s *Server) refreshStream(st *stream) {
+	reason := refreshGrowth
 	if st.ring != nil {
 		// Rotation holds the registry read-lock: LoadSnapshot (exclusive
 		// lock) can therefore never observe a ring rotating between its
@@ -856,6 +1002,7 @@ func (s *Server) refreshStream(st *stream) {
 		rotated := st.ring.Advance(s.now())
 		s.mu.RUnlock()
 		if rotated > 0 {
+			reason = refreshRotation
 			st.evictAgedWindows()
 			st.mustRefresh.Store(true)
 			if st.mRotations != nil {
@@ -875,8 +1022,12 @@ func (s *Server) refreshStream(st *stream) {
 	} else {
 		st.scratch, n = st.counts.Snapshot(st.scratch)
 	}
-	if n == 0 || (int64(n) == st.published.Load() && !st.mustRefresh.Load()) {
+	forced := st.mustRefresh.Load()
+	if n == 0 || (int64(n) == st.published.Load() && !forced) {
 		return
+	}
+	if forced && reason == refreshGrowth {
+		reason = refreshForced
 	}
 	st.mustRefresh.Store(false)
 	init := st.init
@@ -890,22 +1041,31 @@ func (s *Server) refreshStream(st *stream) {
 	esp.SetStream(st.name)
 	esp.Attr("n", fmt.Sprintf("%d", n))
 	emStart := time.Now()
-	res := st.agg.EstimateFrom(st.scratch, init)
+	res := st.agg.EstimateInto(&st.ws, st.scratch, init)
 	esp.Attr("iterations", fmt.Sprintf("%d", res.Iterations)).End()
 	if st.mRefresh != nil {
 		st.mRefresh.ObserveExemplar(time.Since(emStart).Seconds(), esp.TraceID())
 	}
+	if st.mIters != nil {
+		st.mIters.Observe(float64(res.Iterations))
+	}
+	if c := st.mRefreshes[reason]; c != nil {
+		c.Inc()
+	}
 	st.lastRefresh.Store(time.Now().UnixNano())
 	st.init = append(st.init[:0], res.Estimate...)
+	// res.Estimate aliases the stream's workspace; the published response
+	// needs its own immutable copy.
+	dist := append([]float64(nil), res.Estimate...)
 	st.est.Store(&EstimateResponse{
 		Stream:       st.name,
 		N:            st.agg.Users(st.scratch, n),
 		Epsilon:      st.cfg.Epsilon,
 		Mechanism:    st.cfg.Mechanism,
-		Distribution: res.Estimate,
-		Mean:         histogram.Mean(res.Estimate),
-		Variance:     histogram.Variance(res.Estimate),
-		Median:       histogram.Quantile(res.Estimate, 0.5),
+		Distribution: dist,
+		Mean:         histogram.Mean(dist),
+		Variance:     histogram.Variance(dist),
+		Median:       histogram.Quantile(dist, 0.5),
 		Iterations:   res.Iterations,
 		Converged:    res.Converged,
 		WarmStart:    init != nil && st.agg.Channel() != nil,

@@ -235,6 +235,9 @@ func TestMetricsExposition(t *testing.T) {
 		"ldp_shed_total":                  telemetry.KindCounter,
 		"ldp_reports_total":               telemetry.KindCounter,
 		"ldp_em_refresh_seconds":          telemetry.KindHistogram,
+		"ldp_em_iterations":               telemetry.KindHistogram,
+		"ldp_em_refreshes_total":          telemetry.KindCounter,
+		"ldp_em_refresh_queue_depth":      telemetry.KindGauge,
 		"ldp_em_staleness_reports":        telemetry.KindGauge,
 		"ldp_em_refresh_age_seconds":      telemetry.KindGauge,
 		"ldp_epoch_rotations_total":       telemetry.KindCounter,
@@ -273,9 +276,17 @@ func TestMetricsExposition(t *testing.T) {
 			t.Errorf("%s = %v, want 1", probe, v)
 		}
 	}
-	// The EM refresh histogram observed at least the first reconstruction.
+	// The EM refresh histogram observed at least the first reconstruction,
+	// the iteration histogram observed its iteration count, and the refresh
+	// was attributed to histogram growth.
 	if v, _ := sc.Value("ldp_em_refresh_seconds_count", "stream=default"); v < 1 {
 		t.Errorf("ldp_em_refresh_seconds_count{stream=default} = %v, want >= 1", v)
+	}
+	if v, _ := sc.Value("ldp_em_iterations_count", "stream=default"); v < 1 {
+		t.Errorf("ldp_em_iterations_count{stream=default} = %v, want >= 1", v)
+	}
+	if v, _ := sc.Value("ldp_em_refreshes_total", "stream=default", "reason=growth"); v < 1 {
+		t.Errorf("ldp_em_refreshes_total{stream=default,reason=growth} = %v, want >= 1", v)
 	}
 	// Staleness is zero right after a fresh estimate.
 	if v, ok := sc.Value("ldp_em_staleness_reports", "stream=default"); !ok || v != 0 {

@@ -486,3 +486,203 @@ func TestStressWindowRotation(t *testing.T) {
 		t.Fatalf("restored windowed stream N = %d, want %d", got, wantN)
 	}
 }
+
+// TestStressRefreshPoolConcurrency drives the concurrent refresh scheduler
+// with everything that can race it at once: many streams refreshed by a
+// multi-worker pool, concurrent batch ingestion, epoch rotation on a mock
+// clock, federation pushes absorbing into a dedicated stream (the forced
+// refresh path), live SaveSnapshot, and estimate pollers reading published
+// snapshots. Run with -race: the per-stream busy serialization, the queue,
+// and the copy-on-publish contract are all on trial here.
+func TestStressRefreshPoolConcurrency(t *testing.T) {
+	clock := newMockClock()
+	s := NewServer(Config{
+		Epsilon: 1, Buckets: 32,
+		RefreshInterval: 2 * time.Millisecond,
+		RefreshWorkers:  4,
+		Clock:           clock.Now,
+		Federation:      FederationConfig{Accept: true},
+	})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	plain := []string{"s0", "s1", "s2", "s3", "s4"}
+	for _, name := range plain {
+		if err := s.CreateStream(name, StreamConfig{Epsilon: 1, Buckets: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CreateStream("win", StreamConfig{
+		Epsilon: 1, Buckets: 32, Epoch: Duration(time.Minute), Retain: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateStream("fed", StreamConfig{Epsilon: 1, Buckets: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writersPerStream = 2
+		batchesPerWriter = 5
+		batchSize        = 40
+		pushes           = 10
+		perPush          = 8
+		rotations        = 8
+	)
+	ingestStreams := append(append([]string(nil), plain...), "win")
+	wantPerStream := writersPerStream * batchesPerWriter * batchSize
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ingestStreams)*writersPerStream+8)
+
+	for si, name := range ingestStreams {
+		for w := 0; w < writersPerStream; w++ {
+			wg.Add(1)
+			go func(stream string, seed uint64) {
+				defer wg.Done()
+				client := core.NewClient(core.Config{Epsilon: 1, Buckets: 32, Smoothing: true})
+				rng := randx.New(seed)
+				for b := 0; b < batchesPerWriter; b++ {
+					reports := make([]float64, batchSize)
+					for i := range reports {
+						reports[i] = client.Report(rng.Beta(5, 2), rng)
+					}
+					blob, _ := json.Marshal(map[string]any{"stream": stream, "reports": reports})
+					resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(blob))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("batch to %s status %d", stream, resp.StatusCode)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}(name, uint64(si*37+w+1))
+		}
+	}
+
+	// Federation edge: sequential seq numbers, each push absorbing counts
+	// into the fed stream and forcing its next refresh.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seq := int64(1); seq <= pushes; seq++ {
+			counts := make([]uint64, 32)
+			for i := 0; i < perPush; i++ {
+				counts[(int(seq)*7+i*5)%32]++
+			}
+			body := encodePush(t, s, "edge-1", seq, "fed", 0, counts)
+			if _, status := pushBody(t, ts.URL, body); status != http.StatusOK {
+				errs <- fmt.Errorf("push seq %d status %d", seq, status)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Snapshotter against the live, concurrently-refreshing server.
+	snapPath := filepath.Join(t.TempDir(), "pool.snap")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := s.SaveSnapshot(snapPath); err != nil {
+				errs <- fmt.Errorf("snapshot %d: %w", i, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Estimate pollers across all streams.
+	stop := make(chan struct{})
+	var bgWG sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		bgWG.Add(1)
+		go func(id int) {
+			defer bgWG.Done()
+			all := append(append([]string(nil), ingestStreams...), "fed")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/estimate?stream=" + all[(i+id)%len(all)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				var est EstimateResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&est)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if decErr != nil {
+						errs <- decErr
+						return
+					}
+					if len(est.Distribution) != 32 {
+						errs <- fmt.Errorf("estimate has %d buckets", len(est.Distribution))
+						return
+					}
+					var sum float64
+					for _, p := range est.Distribution {
+						if p < 0 {
+							errs <- fmt.Errorf("negative probability %v in published estimate", p)
+							return
+						}
+						sum += p
+					}
+					if sum < 0.999 || sum > 1.001 {
+						errs <- fmt.Errorf("published distribution sums to %v", sum)
+						return
+					}
+				case http.StatusConflict, http.StatusServiceUnavailable:
+				default:
+					errs <- fmt.Errorf("estimate status %d", resp.StatusCode)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	// The clock: rotate the windowed stream while everything else runs.
+	for r := 0; r < rotations; r++ {
+		clock.Advance(time.Minute)
+		s.wake()
+		time.Sleep(3 * time.Millisecond)
+	}
+
+	wg.Wait()
+	close(stop)
+	bgWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, name := range ingestStreams {
+		if n := s.StreamN(name); n != wantPerStream {
+			t.Errorf("stream %s lost reports: N = %d, want %d", name, n, wantPerStream)
+		}
+	}
+	if n := s.StreamN("fed"); n != pushes*perPush {
+		t.Errorf("fed stream N = %d, want %d", n, pushes*perPush)
+	}
+	for _, name := range ingestStreams {
+		est := getFreshStreamEstimate(t, ts.URL, name, wantPerStream)
+		if len(est.Distribution) != 32 {
+			t.Errorf("stream %s estimate has %d buckets", name, len(est.Distribution))
+		}
+	}
+	est := getFreshStreamEstimate(t, ts.URL, "fed", pushes*perPush)
+	if est.Iterations == 0 {
+		t.Error("fed estimate looks uncomputed")
+	}
+}

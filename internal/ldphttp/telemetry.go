@@ -31,9 +31,12 @@ type serverMetrics struct {
 	// Ingestion and estimation engine.
 	reports      *telemetry.CounterVec   // stream, mechanism
 	emRefresh    *telemetry.HistogramVec // stream
+	emIters      *telemetry.HistogramVec // stream
 	emStaleness  *telemetry.GaugeVec     // stream
 	emRefreshAge *telemetry.GaugeVec     // stream
 	rotations    *telemetry.CounterVec   // stream
+	refreshes    *telemetry.CounterVec   // stream, reason (growth|rotation|forced)
+	queueDepth   *telemetry.GaugeVec     // scrape-derived refresh queue depth
 	streams      *telemetry.GaugeVec
 
 	// Snapshots.
@@ -89,12 +92,20 @@ func newServerMetrics(s *Server) *serverMetrics {
 		emRefresh: r.Histogram("ldp_em_refresh_seconds",
 			"Background EM/EMS reconstruction latency per refresh.",
 			telemetry.DefBuckets, "stream"),
+		emIters: r.Histogram("ldp_em_iterations",
+			"EM/EMS iterations per published refresh (warm starts converge in few).",
+			[]float64{1, 2, 5, 10, 20, 50, 100, 200}, "stream"),
 		emStaleness: r.Gauge("ldp_em_staleness_reports",
 			"Histogram increments ingested after the published estimate.", "stream"),
 		emRefreshAge: r.Gauge("ldp_em_refresh_age_seconds",
 			"Seconds since the stream's estimate was last refreshed.", "stream"),
 		rotations: r.Counter("ldp_epoch_rotations_total",
 			"Epoch rotations performed on windowed streams.", "stream"),
+		refreshes: r.Counter("ldp_em_refreshes_total",
+			"Published estimate refreshes, by stream and trigger (growth|rotation|forced).",
+			"stream", "reason"),
+		queueDepth: r.Gauge("ldp_em_refresh_queue_depth",
+			"Streams waiting in the refresh queue for a worker."),
 		streams: r.Gauge("ldp_streams", "Streams currently declared."),
 		snapshots: r.Counter("ldp_snapshots_total",
 			"Snapshot operations, by op (save|load) and outcome.", "op", "status"),
@@ -142,6 +153,7 @@ func (s *Server) scrapeRefresh(m *serverMetrics) {
 	now := time.Now()
 	list := s.streamList()
 	m.streams.With().Set(float64(len(list)))
+	m.queueDepth.With().Set(float64(s.rq.depth()))
 	for _, st := range list {
 		n := st.reports()
 		pub := int(st.published.Load())

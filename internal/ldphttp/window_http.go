@@ -139,9 +139,10 @@ func (st *stream) neighborInit(g window.Range) []float64 {
 }
 
 // refreshWindows re-estimates every stale requested window of one windowed
-// stream. Engine goroutine only. Fully-sealed ranges compute once and are
-// then skipped forever (published matches and sealed counts are frozen);
-// live-inclusive ranges recompute whenever their report count moves.
+// stream. Refresh workers only, under the stream's busy flag. Fully-sealed
+// ranges compute once and are then skipped forever (published matches and
+// sealed counts are frozen); live-inclusive ranges recompute whenever their
+// report count moves.
 func (s *Server) refreshWindows(st *stream) {
 	for _, wc := range st.windowCaches() {
 		select {
@@ -170,11 +171,13 @@ func (s *Server) refreshWindows(st *stream) {
 				init = prev.Distribution // the stream's full-range estimate
 			}
 		}
-		res := st.agg.EstimateFrom(st.winScratch, init)
+		res := st.agg.EstimateInto(&st.ws, st.winScratch, init)
 		wc.init = append(wc.init[:0], res.Estimate...)
 		users := st.agg.Users(st.winScratch, n)
 		warm := init != nil && st.agg.Channel() != nil
-		resp := s.windowEstimateResponse(st, wc.rng, users, res.Estimate, res.Iterations, res.Converged, warm, false)
+		// res.Estimate aliases the stream's workspace; publish a copy.
+		dist := append([]float64(nil), res.Estimate...)
+		resp := s.windowEstimateResponse(st, wc.rng, users, dist, res.Iterations, res.Converged, warm, false)
 		resp.raw = n
 		wc.est.Store(resp)
 		wc.published.Store(int64(n))

@@ -145,6 +145,20 @@ func (b *Banded) MulVec(dst, x []float64) []float64 {
 		panic(fmt.Sprintf("matrixx: Banded.MulVec dimension mismatch (%d,%d) vs (%d,%d)",
 			len(dst), len(x), b.rows, b.cols))
 	}
+	b.scatterMulVec(dst, x)
+	return dst
+}
+
+// scatterMulVec is the forward-product core: dst = base·Σx, then every
+// column's excess band scattered in increasing column order. It lives in
+// its own call-free function so the register allocator keeps the scatter
+// loop entirely in registers regardless of what the caller does with the
+// result (a trailing call in the same function demotes the loop's
+// induction variable to the stack; //go:noinline keeps it that way, since
+// inlining would merge it back into exactly such callers).
+//
+//go:noinline
+func (b *Banded) scatterMulVec(dst, x []float64) {
 	var sum float64
 	for _, v := range x {
 		sum += v
@@ -163,7 +177,28 @@ func (b *Banded) MulVec(dst, x []float64) []float64 {
 			dst[lo+k] += e * xi
 		}
 	}
-	return dst
+}
+
+// gatherRow accumulates one output row of the forward product from the
+// transpose index: the constant floor first, then the band contributions in
+// increasing column order — exactly the order scatterMulVec produces for
+// that row, so gather and scatter are bit-identical. Call-free for the same
+// regalloc reason as scatterMulVec.
+//
+//go:noinline
+func (b *Banded) gatherRow(x []float64, j int, floor float64) float64 {
+	acc := floor
+	s, e := b.tptr[j], b.tptr[j+1]
+	cols := b.tcol[s:e]
+	vals := b.tval[s:e]
+	for k, i := range cols {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		acc += vals[k] * xi
+	}
+	return acc
 }
 
 // MulVecT implements Channel: dst_i = base·Σy + excess_i·y[band_i].
@@ -203,18 +238,7 @@ func (b *Banded) MulVecRows(dst, x []float64, lo, hi int) {
 	}
 	floor := b.base * sum
 	for j := lo; j < hi; j++ {
-		acc := floor
-		s, e := b.tptr[j], b.tptr[j+1]
-		cols := b.tcol[s:e]
-		vals := b.tval[s:e]
-		for k, i := range cols {
-			xi := x[i]
-			if xi == 0 {
-				continue
-			}
-			acc += vals[k] * xi
-		}
-		dst[j] = acc
+		dst[j] = b.gatherRow(x, j, floor)
 	}
 }
 

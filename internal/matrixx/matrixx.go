@@ -81,18 +81,53 @@ func (m *Matrix) MulVec(dst, x []float64) []float64 {
 // untouched. Disjoint row ranges are independent, so a row partition across
 // goroutines reproduces MulVec bit for bit (each dst entry is accumulated in
 // the same order as the serial product).
+//
+// Rows are processed four at a time: each row keeps its own accumulator and
+// adds its terms in exactly the serial left-to-right order, so the result is
+// bit-identical to the one-row loop — but the four independent accumulator
+// chains hide the floating-point add latency that a single dependent chain
+// is bound by, which is where the dense product's time actually goes.
 func (m *Matrix) MulVecRows(dst, x []float64, lo, hi int) {
 	if len(x) != m.cols || len(dst) != m.rows || lo < 0 || hi > m.rows || lo > hi {
 		panic("matrixx: MulVecRows dimension mismatch")
 	}
-	for i := lo; i < hi; i++ {
-		row := m.Row(i)
-		var acc float64
-		for j, v := range row {
-			acc += v * x[j]
-		}
-		dst[i] = acc
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		d0, d1, d2, d3 := m.dot4(x, i)
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
 	}
+	for ; i < hi; i++ {
+		dst[i] = dotRow(m.Row(i), x)
+	}
+}
+
+// dot4 computes the dot products of rows i..i+3 against x, each accumulated
+// in serial order on its own chain.
+func (m *Matrix) dot4(x []float64, i int) (d0, d1, d2, d3 float64) {
+	c := m.cols
+	r0 := m.data[(i+0)*c : (i+1)*c : (i+1)*c]
+	r1 := m.data[(i+1)*c : (i+2)*c : (i+2)*c]
+	r2 := m.data[(i+2)*c : (i+3)*c : (i+3)*c]
+	r3 := m.data[(i+3)*c : (i+4)*c : (i+4)*c]
+	// Reslicing to len(x) lets the compiler drop the bounds checks in the
+	// inner loop (len(x) == cols == len(rk) is established by the caller).
+	r0, r1, r2, r3 = r0[:len(x)], r1[:len(x)], r2[:len(x)], r3[:len(x)]
+	for j, xj := range x {
+		d0 += r0[j] * xj
+		d1 += r1[j] * xj
+		d2 += r2[j] * xj
+		d3 += r3[j] * xj
+	}
+	return d0, d1, d2, d3
+}
+
+// dotRow is the single-row serial dot product.
+func dotRow(row, x []float64) float64 {
+	var acc float64
+	for j, v := range row {
+		acc += v * x[j]
+	}
+	return acc
 }
 
 // MulVecT computes dst = Mᵀ·x (x over rows, dst over columns) without
@@ -109,6 +144,13 @@ func (m *Matrix) MulVecT(dst, x []float64) []float64 {
 // dst untouched. Each output column still accumulates over rows in
 // increasing order, so a column partition across goroutines reproduces
 // MulVecT bit for bit.
+//
+// Rows are consumed four at a time when all four weights are non-zero: each
+// output entry receives its four contributions as separate adds in the same
+// increasing-row order the one-row loop uses (bit-identical), but one pass
+// over the output segment replaces four. Blocks containing a zero weight
+// fall back to the one-row loop so the serial skip-zero semantics are
+// preserved exactly.
 func (m *Matrix) MulVecTCols(dst, x []float64, lo, hi int) {
 	if len(x) != m.rows || len(dst) != m.cols || lo < 0 || hi > m.cols || lo > hi {
 		panic("matrixx: MulVecTCols dimension mismatch")
@@ -117,12 +159,41 @@ func (m *Matrix) MulVecTCols(dst, x []float64, lo, hi int) {
 	for j := range seg {
 		seg[j] = 0
 	}
-	for i := 0; i < m.rows; i++ {
+	i := 0
+	for ; i+4 <= m.rows; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		if x0 == 0 || x1 == 0 || x2 == 0 || x3 == 0 {
+			m.scatterRows(seg, x, i, i+4, lo, hi)
+			continue
+		}
+		c := m.cols
+		r0 := m.data[(i+0)*c+lo : (i+0)*c+hi : (i+0)*c+hi]
+		r1 := m.data[(i+1)*c+lo : (i+1)*c+hi : (i+1)*c+hi]
+		r2 := m.data[(i+2)*c+lo : (i+2)*c+hi : (i+2)*c+hi]
+		r3 := m.data[(i+3)*c+lo : (i+3)*c+hi : (i+3)*c+hi]
+		r0, r1, r2, r3 = r0[:len(seg)], r1[:len(seg)], r2[:len(seg)], r3[:len(seg)]
+		for j := range seg {
+			s := seg[j]
+			s += r0[j] * x0
+			s += r1[j] * x1
+			s += r2[j] * x2
+			s += r3[j] * x3
+			seg[j] = s
+		}
+	}
+	m.scatterRows(seg, x, i, m.rows, lo, hi)
+}
+
+// scatterRows adds rows [i0, i1) of the transpose product into seg one row
+// at a time — the serial loop, with its skip of zero weights.
+func (m *Matrix) scatterRows(seg, x []float64, i0, i1, lo, hi int) {
+	for i := i0; i < i1; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
 		row := m.data[i*m.cols+lo : i*m.cols+hi : i*m.cols+hi]
+		row = row[:len(seg)]
 		for j, v := range row {
 			seg[j] += v * xi
 		}

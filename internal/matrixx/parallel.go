@@ -7,24 +7,45 @@ import (
 )
 
 // RangeChannel is a Channel whose products can be computed over contiguous
-// output sub-ranges: rows of M·x, columns of Mᵀ·x. Both *Matrix and *Banded
-// satisfy it, and both guarantee that a partitioned product accumulates each
-// output element in the same order as the serial one — partitioning changes
-// wall-clock time, never bits.
+// output sub-ranges: rows of M·x (plain or fused with the EM ratio/ll
+// epilogue), columns of Mᵀ·x. Both *Matrix and *Banded satisfy it, and both
+// guarantee that a partitioned product accumulates each output element in
+// the same order as the serial one — partitioning changes wall-clock time,
+// never bits.
 type RangeChannel interface {
 	Channel
 	MulVecRows(dst, x []float64, lo, hi int)
 	MulVecTCols(dst, x []float64, lo, hi int)
+	MulVecRatioRows(ratio, ll, x, counts []float64, lo, hi int)
 }
 
-// parallelThreshold is the rows×cols size below which fan-out overhead
-// (one channel handoff per chunk) exceeds the compute being split.
-const parallelThreshold = 1 << 14
+// MulVecWork estimates the flops of one forward product — the quantity the
+// fan-out decision must be made on. rows·cols for the dense layout.
+func (m *Matrix) MulVecWork() int { return m.rows * m.cols }
 
-// ParallelChannel wraps a RangeChannel so MulVec row-partitions and MulVecT
-// column-partitions across the shared worker pool. Products remain
-// bit-identical to the wrapped channel's serial ones. Small matrices are
-// executed serially regardless.
+// MulVecWork estimates the flops of one forward banded product: the stored
+// excess entries plus the constant-floor pass — NOT rows·cols, which for a
+// narrow band overstates the work by orders of magnitude (the bug behind
+// the historical banded B=1024 parallel regression).
+func (b *Banded) MulVecWork() int { return len(b.tval) + b.rows + b.cols }
+
+// workEstimator is satisfied by channels that can report their per-product
+// flops; channels without an estimate are assumed dense.
+type workEstimator interface{ MulVecWork() int }
+
+// parallelMinWork is the per-product flops floor below which fan-out
+// overhead exceeds the compute being split, measured on the recorded
+// BENCH_em.json baselines: the banded B=1024 channel (≈0.35 Mflops per
+// product) regressed 12% under the old wrapper while dense B=1024
+// (≈1 Mflop) broke even, so the threshold sits between the two. Parallelize
+// returns the channel unwrapped below it — the serial kernel IS the fast
+// path there.
+const parallelMinWork = 1 << 19
+
+// ParallelChannel wraps a RangeChannel so MulVec (and its fused E-step
+// variant) row-partitions and MulVecT column-partitions across the shared
+// worker pool. Products remain bit-identical to the wrapped channel's
+// serial ones.
 type ParallelChannel struct {
 	inner  RangeChannel
 	chunks int
@@ -33,13 +54,23 @@ type ParallelChannel struct {
 
 // Parallelize wraps c for parallel products over `workers` partitions.
 // workers == 0 or 1 (or a channel without range kernels) returns c
-// unchanged; workers < 0 selects runtime.NumCPU().
+// unchanged; workers < 0 selects runtime.NumCPU(). Channels whose
+// per-product work is under the measured fan-out threshold are also
+// returned unchanged — for a banded channel that decision is made on the
+// band's true flops, not the dense rows·cols.
 func Parallelize(c Channel, workers int) Channel {
 	if workers == 0 || workers == 1 {
 		return c
 	}
 	rc, ok := c.(RangeChannel)
 	if !ok {
+		return c
+	}
+	work := c.Rows() * c.Cols()
+	if we, ok := c.(workEstimator); ok {
+		work = we.MulVecWork()
+	}
+	if work < parallelMinWork {
 		return c
 	}
 	if workers < 0 {
@@ -67,9 +98,6 @@ func (p *ParallelChannel) MulVec(dst, x []float64) []float64 {
 		// Fail on the caller's goroutine, not inside a pool worker.
 		panic("matrixx: ParallelChannel.MulVec dimension mismatch")
 	}
-	if rows*cols < parallelThreshold {
-		return p.inner.MulVec(dst, x)
-	}
 	p.pool.For(rows, p.chunks, func(lo, hi int) {
 		p.inner.MulVecRows(dst, x, lo, hi)
 	})
@@ -82,19 +110,32 @@ func (p *ParallelChannel) MulVecT(dst, x []float64) []float64 {
 	if len(dst) != cols || len(x) != rows {
 		panic("matrixx: ParallelChannel.MulVecT dimension mismatch")
 	}
-	if rows*cols < parallelThreshold {
-		return p.inner.MulVecT(dst, x)
-	}
 	p.pool.For(cols, p.chunks, func(lo, hi int) {
 		p.inner.MulVecTCols(dst, x, lo, hi)
 	})
 	return dst
 }
 
+// MulVecRatio implements RatioChannel, row-partitioned across the pool.
+// Every output of the fused E-step is per-row (the caller folds ll
+// serially), so the partition is bit-identical to the serial fused pass.
+func (p *ParallelChannel) MulVecRatio(ratio, ll, x, counts []float64) {
+	rows, cols := p.inner.Rows(), p.inner.Cols()
+	if len(ratio) != rows || len(ll) != rows || len(counts) != rows || len(x) != cols {
+		panic("matrixx: ParallelChannel.MulVecRatio dimension mismatch")
+	}
+	p.pool.For(rows, p.chunks, func(lo, hi int) {
+		p.inner.MulVecRatioRows(ratio, ll, x, counts, lo, hi)
+	})
+}
+
 // Compile-time checks: the concrete channels support range partitioning and
-// the wrapper remains a Channel.
+// the wrapper speaks both the plain and the fused product surfaces.
 var (
 	_ RangeChannel = (*Matrix)(nil)
 	_ RangeChannel = (*Banded)(nil)
 	_ Channel      = (*ParallelChannel)(nil)
+	_ RatioChannel = (*Matrix)(nil)
+	_ RatioChannel = (*Banded)(nil)
+	_ RatioChannel = (*ParallelChannel)(nil)
 )

@@ -112,16 +112,23 @@ func TestRangeKernelsMatchSerialBanded(t *testing.T) {
 
 func TestParallelizeBitIdentical(t *testing.T) {
 	rng := randx.New(9)
-	rows, cols := 300, 280 // above parallelThreshold
-	dense := waveMatrix(rows, cols, 60)
+	rows, cols := 1024, 1024 // dense and banded work both above parallelMinWork
+	dense := waveMatrix(rows, cols, 600)
 	banded := CompressBanded(dense, 1e-15)
 	x := randVec(cols, rng)
 	y := randVec(rows, rng)
+	counts := make([]float64, rows)
+	for j := range counts {
+		counts[j] = float64((j * 7) % 23) // zeros included: the ll skip path
+	}
 
 	for _, tc := range []struct {
 		name   string
-		serial Channel
+		serial RatioChannel
 	}{{"dense", dense}, {"banded", banded}} {
+		if tc.serial.(workEstimator).MulVecWork() < parallelMinWork {
+			t.Fatalf("%s: test channel under parallelMinWork; grow it", tc.name)
+		}
 		for _, workers := range []int{2, 3, 8, -1} {
 			par := Parallelize(tc.serial, workers)
 			if _, ok := par.(*ParallelChannel); !ok && workers != -1 {
@@ -133,6 +140,62 @@ func TestParallelizeBitIdentical(t *testing.T) {
 			bitsEqual(t, tc.name+" parallel MulVecT",
 				par.MulVecT(make([]float64, cols), y),
 				tc.serial.MulVecT(make([]float64, cols), y))
+			if rc, ok := par.(RatioChannel); ok {
+				wantR, wantL := make([]float64, rows), make([]float64, rows)
+				gotR, gotL := make([]float64, rows), make([]float64, rows)
+				tc.serial.MulVecRatio(wantR, wantL, x, counts)
+				rc.MulVecRatio(gotR, gotL, x, counts)
+				bitsEqual(t, tc.name+" parallel MulVecRatio ratio", gotR, wantR)
+				bitsEqual(t, tc.name+" parallel MulVecRatio ll", gotL, wantL)
+			} else {
+				t.Fatalf("%s: Parallelize result lost the fused kernel", tc.name)
+			}
+		}
+	}
+}
+
+func TestFusedRatioMatchesUnfused(t *testing.T) {
+	rng := randx.New(10)
+	for _, shape := range [][2]int{{64, 64}, {200, 128}, {257, 255}} {
+		rows, cols := shape[0], shape[1]
+		dense := waveMatrix(rows, cols, maxInt(rows/4, 1))
+		banded := CompressBanded(dense, 1e-15)
+		x := randVec(cols, rng)
+		counts := make([]float64, rows)
+		for j := range counts {
+			counts[j] = float64((j * 13) % 17)
+		}
+		for _, tc := range []struct {
+			name string
+			ch   RatioChannel
+		}{{"dense", dense}, {"banded", banded}} {
+			// Reference: the unfused E-step exactly as package em ran it.
+			denom := tc.ch.MulVec(make([]float64, rows), x)
+			wantR, wantL := make([]float64, rows), make([]float64, rows)
+			for j := range denom {
+				if counts[j] == 0 {
+					continue
+				}
+				dj := denom[j]
+				if dj < DenomFloor {
+					dj = DenomFloor
+				}
+				wantR[j] = counts[j] / dj
+				wantL[j] = counts[j] * math.Log(dj)
+			}
+			gotR, gotL := make([]float64, rows), make([]float64, rows)
+			tc.ch.MulVecRatio(gotR, gotL, x, counts)
+			bitsEqual(t, tc.name+" fused ratio", gotR, wantR)
+			bitsEqual(t, tc.name+" fused ll", gotL, wantL)
+
+			// Partitioned fused rows reproduce the one-shot fused pass.
+			gotR2, gotL2 := make([]float64, rows), make([]float64, rows)
+			for p := 0; p < 5; p++ {
+				lo, hi := rows*p/5, rows*(p+1)/5
+				tc.ch.(RangeChannel).MulVecRatioRows(gotR2, gotL2, x, counts, lo, hi)
+			}
+			bitsEqual(t, tc.name+" fused ratio rows", gotR2, wantR)
+			bitsEqual(t, tc.name+" fused ll rows", gotL2, wantL)
 		}
 	}
 }
@@ -145,11 +208,31 @@ func TestParallelizeDegenerate(t *testing.T) {
 	if Parallelize(m, 1) != Channel(m) {
 		t.Error("workers=1 should return the channel unchanged")
 	}
-	// Small matrix goes through the serial fallback inside the wrapper.
-	par := Parallelize(m, 4)
-	x := make([]float64, 32)
-	x[3] = 1
-	bitsEqual(t, "small-matrix fallback",
-		par.MulVec(make([]float64, 32), x),
-		m.MulVec(make([]float64, 32), x))
+	// A channel under the flops threshold comes back unwrapped: the serial
+	// kernel IS its fast path, whatever the requested parallelism.
+	if Parallelize(m, 4) != Channel(m) {
+		t.Error("small matrix should be returned unwrapped")
+	}
+}
+
+func TestParallelizeWorkThreshold(t *testing.T) {
+	// A big-but-narrow wave: the dense rows·cols estimate clears the
+	// threshold, the banded nnz-based one does not — so the dense channel
+	// wraps and its banded compression of the SAME matrix does not. This is
+	// the fix for the recorded banded B=1024 parallel regression.
+	rows, cols := 1024, 1024
+	dense := waveMatrix(rows, cols, 16)
+	banded := CompressBanded(dense, 1e-15)
+	if dense.MulVecWork() < parallelMinWork {
+		t.Fatalf("dense work %d unexpectedly under threshold", dense.MulVecWork())
+	}
+	if banded.MulVecWork() >= parallelMinWork {
+		t.Fatalf("banded work %d unexpectedly over threshold", banded.MulVecWork())
+	}
+	if _, ok := Parallelize(dense, 4).(*ParallelChannel); !ok {
+		t.Error("dense channel above threshold should wrap")
+	}
+	if Parallelize(banded, 4) != Channel(banded) {
+		t.Error("narrow banded channel should be returned unwrapped")
+	}
 }

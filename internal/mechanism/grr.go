@@ -63,6 +63,8 @@ func (m *grrMech) Channel() matrixx.Channel { return m.ch }
 
 func (m *grrMech) Estimate(counts []float64) []float64 { return nil }
 
+func (m *grrMech) EstimateInto(dst, counts []float64) []float64 { return nil }
+
 // flatDiagChannel is the structured GRR transition matrix: a constant base
 // everywhere plus a diagonal excess,
 //

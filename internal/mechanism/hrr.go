@@ -79,9 +79,14 @@ func (m *hrrMech) Users(counts []float64, increments int) int { return increment
 func (m *hrrMech) Channel() matrixx.Channel { return nil }
 
 func (m *hrrMech) Estimate(counts []float64) []float64 {
+	return m.EstimateInto(nil, counts)
+}
+
+func (m *hrrMech) EstimateInto(dst, counts []float64) []float64 {
 	// Per-row signed bit sums and the total report count, straight from the
-	// (row, bit) table.
-	sums := make([]float64, m.n2)
+	// (row, bit) table. The n2-long working spectrum fits in any dst with
+	// cap ≥ len(counts) (= 2·n2).
+	sums := intoBuf(dst, m.n2)
 	var n float64
 	for j := 0; j < m.n2; j++ {
 		neg, pos := counts[2*j], counts[2*j+1]
@@ -89,7 +94,11 @@ func (m *hrrMech) Estimate(counts []float64) []float64 {
 		n += pos + neg
 	}
 	if n == 0 {
-		return make([]float64, m.p.Buckets)
+		est := sums[:m.p.Buckets:m.p.Buckets]
+		for i := range est {
+			est[i] = 0
+		}
+		return est
 	}
 	// Unbiased spectrum estimate, then invert with the fast WHT — the same
 	// arithmetic as fo.HRR.Estimate.

@@ -100,9 +100,25 @@ type Mechanism interface {
 	// package postprocess before serving. Channel-based mechanisms return
 	// nil.
 	Estimate(counts []float64) []float64
+	// EstimateInto is Estimate writing into dst when its capacity suffices
+	// (allocating only otherwise), for refresh loops that re-estimate the
+	// same stream repeatedly: a dst with cap ≥ len(counts) is always large
+	// enough, whatever the mechanism. It returns the estimate, which may
+	// alias dst. Channel-based mechanisms return nil and ignore dst.
+	EstimateInto(dst, counts []float64) []float64
 	// Params returns the JSON-stable configuration that rebuilds this
 	// mechanism via New — the codec streams, snapshots and /config share.
 	Params() Params
+}
+
+// intoBuf returns dst resliced to n entries when its capacity allows,
+// allocating a fresh slice otherwise. The contents are not cleared; callers
+// overwrite every entry.
+func intoBuf(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
 }
 
 // Params is the JSON-stable configuration codec of a mechanism: New(p) for

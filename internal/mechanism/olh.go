@@ -91,10 +91,17 @@ func (m *olhMech) Users(counts []float64, increments int) int {
 func (m *olhMech) Channel() matrixx.Channel { return nil }
 
 func (m *olhMech) Estimate(counts []float64) []float64 {
+	return m.EstimateInto(nil, counts)
+}
+
+func (m *olhMech) EstimateInto(dst, counts []float64) []float64 {
 	d := m.p.Buckets
 	n := counts[d]
-	est := make([]float64, d)
+	est := intoBuf(dst, d)
 	if n == 0 {
+		for i := range est {
+			est[i] = 0
+		}
 		return est
 	}
 	invG := 1 / float64(m.g)

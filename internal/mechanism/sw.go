@@ -94,6 +94,8 @@ func (m *swMech) Channel() matrixx.Channel {
 
 func (m *swMech) Estimate(counts []float64) []float64 { return nil }
 
+func (m *swMech) EstimateInto(dst, counts []float64) []float64 { return nil }
+
 // discreteSW adapts the bucketize-before-randomize Square Wave of Section
 // 5.4. Wire reports are output bucket indices in {0..d+2b−1}; Params.
 // Bandwidth is the half-width as a fraction of the domain (the integer
@@ -153,3 +155,5 @@ func (m *discreteSW) Channel() matrixx.Channel {
 }
 
 func (m *discreteSW) Estimate(counts []float64) []float64 { return nil }
+
+func (m *discreteSW) EstimateInto(dst, counts []float64) []float64 { return nil }

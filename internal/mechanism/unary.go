@@ -88,10 +88,17 @@ func (m *unaryMech) Users(counts []float64, increments int) int {
 func (m *unaryMech) Channel() matrixx.Channel { return nil }
 
 func (m *unaryMech) Estimate(counts []float64) []float64 {
+	return m.EstimateInto(nil, counts)
+}
+
+func (m *unaryMech) EstimateInto(dst, counts []float64) []float64 {
 	d := m.p.Buckets
 	n := counts[d]
-	est := make([]float64, d)
+	est := intoBuf(dst, d)
 	if n == 0 {
+		for i := range est {
+			est[i] = 0
+		}
 		return est
 	}
 	denom := m.pr - m.q

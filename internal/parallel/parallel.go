@@ -9,13 +9,47 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// chunk is one contiguous range of a For call.
-type chunk struct {
-	lo, hi int
+// chunksPerWorker is how many claimable grains each participant of a For
+// call gets on average. Finer grains than 1 per participant let a fast
+// worker steal work from a slow one (chunked dispatch instead of fixed
+// slabs), at the cost of one atomic add per grain — noise next to any
+// kernel worth parallelizing.
+const chunksPerWorker = 4
+
+// forJob is the shared state of one For call: participants claim disjoint
+// [lo, hi) grains off the atomic cursor until the range is exhausted. Jobs
+// are pooled so a warm For call allocates nothing.
+type forJob struct {
 	fn     func(lo, hi int)
-	wg     *sync.WaitGroup
+	cursor atomic.Int64
+	n      int64
+	grain  int64
+	wg     sync.WaitGroup
+}
+
+// run claims and executes grains until the cursor passes n.
+func (j *forJob) run() {
+	for {
+		hi := j.cursor.Add(j.grain)
+		lo := hi - j.grain
+		if lo >= j.n {
+			return
+		}
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(int(lo), int(hi))
+	}
+}
+
+var jobPool = sync.Pool{New: func() any { return new(forJob) }}
+
+// chunk is one worker's participation ticket in a For call.
+type chunk struct {
+	job *forJob
 }
 
 // Pool is a fixed-size set of persistent workers executing range chunks.
@@ -49,8 +83,8 @@ func (p *Pool) run() {
 	for {
 		select {
 		case c := <-p.tasks:
-			c.fn(c.lo, c.hi)
-			c.wg.Done()
+			c.job.run()
+			c.job.wg.Done()
 		case <-p.stop:
 			return
 		}
@@ -67,12 +101,17 @@ func (p *Pool) Close() {
 	p.stopOnce.Do(func() { close(p.stop) })
 }
 
-// For splits [0, n) into at most `chunks` contiguous ranges and runs fn on
-// each concurrently, returning once every range has completed. fn must be
-// safe to call concurrently on disjoint ranges. The calling goroutine always
-// executes the first range itself, so For makes progress even when every
-// worker is busy with other callers. chunks <= 1 (or n <= 1) degenerates to
-// a plain serial call; ranges never overlap and cover [0, n) exactly.
+// For runs fn over [0, n) with up to `chunks` goroutines working
+// concurrently, returning once the whole range has completed. The range is
+// NOT split into fixed slabs: participants repeatedly claim small contiguous
+// grains off a shared cursor, so a participant that is descheduled (or lands
+// on slower rows) holds back one grain, not 1/chunks of the work. fn must be
+// safe to call concurrently on disjoint ranges and must not assume how many
+// sub-ranges it is handed. The calling goroutine always participates, so For
+// makes progress even when every worker is busy with other callers.
+// chunks <= 1 (or n <= 1) degenerates to a plain serial call; ranges never
+// overlap and cover [0, n) exactly. A warm For call allocates nothing: the
+// per-call job state is pooled.
 func (p *Pool) For(n, chunks int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -87,24 +126,29 @@ func (p *Pool) For(n, chunks int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	size := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for lo := size; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
+	job := jobPool.Get().(*forJob)
+	job.fn = fn
+	job.n = int64(n)
+	grain := n / (chunks * chunksPerWorker)
+	if grain < 1 {
+		grain = 1
+	}
+	job.grain = int64(grain)
+	job.cursor.Store(0)
+	for i := 1; i < chunks; i++ {
+		job.wg.Add(1)
 		select {
-		case p.tasks <- chunk{lo: lo, hi: hi, fn: fn, wg: &wg}:
+		case p.tasks <- chunk{job: job}:
 		case <-p.stop:
 			// Pool closed: degrade to inline execution.
-			fn(lo, hi)
-			wg.Done()
+			job.run()
+			job.wg.Done()
 		}
 	}
-	fn(0, size)
-	wg.Wait()
+	job.run()
+	job.wg.Wait()
+	job.fn = nil
+	jobPool.Put(job)
 }
 
 var (

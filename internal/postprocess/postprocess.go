@@ -55,6 +55,40 @@ func NormSub(est []float64) []float64 {
 	return out
 }
 
+// NormSubInPlace applies the same Norm-Sub projection as NormSub — identical
+// results, bit for bit — but writes the projection into est itself and uses
+// scratch (which must have the same length as est) for the sorted working
+// copy, so the hot oracle-refresh path allocates nothing. The scratch
+// contents are destroyed.
+func NormSubInPlace(est, scratch []float64) []float64 {
+	d := len(est)
+	if len(scratch) != d {
+		panic("postprocess: NormSubInPlace scratch length mismatch")
+	}
+	if d == 0 {
+		return est
+	}
+	copy(scratch, est)
+	// sort.Float64s is ascending; walking it from the end reproduces the
+	// descending delta scan of NormSub term for term.
+	sort.Float64s(scratch)
+	var cum float64
+	var delta float64
+	for i := 0; i < d; i++ {
+		v := scratch[d-1-i]
+		cum += v
+		dd := (cum - 1) / float64(i+1)
+		if v-dd > 0 {
+			delta = dd
+		}
+	}
+	for i := range est {
+		est[i] = math.Max(est[i]-delta, 0)
+	}
+	mathx.Normalize(est)
+	return est
+}
+
 // NormSubTo applies Norm-Sub with a target total other than 1 (used per
 // hierarchy level where each level must sum to the level total). target must
 // be positive.

@@ -100,23 +100,33 @@ func DecodeReports(data []byte) ([][]float64, error) {
 	if count > uint64(r.Remaining()) {
 		return nil, fmt.Errorf("wire: report frame claims %d reports in %d bytes", count, r.Remaining())
 	}
-	reports := make([][]float64, 0, count)
+	// All components land in one grown-once backing array — one allocation
+	// for the whole batch instead of one per report. Headers are carved out
+	// only after the parse loop: an append that grows the backing mid-loop
+	// would strand earlier subslices on the old array.
+	arities := make([]int, 0, count)
+	components := make([]float64, 0, count) // ≥ 1 byte per component on the wire
 	for i := uint64(0); i < count && r.Err() == nil; i++ {
 		arity := r.Uvarint()
 		if arity > maxArity || arity > uint64(r.Remaining()) {
 			return nil, fmt.Errorf("wire: report %d claims arity %d in %d bytes", i, arity, r.Remaining())
 		}
-		rep := make([]float64, arity)
-		for j := range rep {
-			rep[j] = r.Float64Component()
+		for j := uint64(0); j < arity; j++ {
+			components = append(components, r.Float64Component())
 		}
-		reports = append(reports, rep)
+		arities = append(arities, int(arity))
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("wire: decode reports: %w", err)
 	}
 	if r.Remaining() != 0 {
 		return nil, fmt.Errorf("wire: %d trailing bytes after report frame", r.Remaining())
+	}
+	reports := make([][]float64, len(arities))
+	off := 0
+	for i, arity := range arities {
+		reports[i] = components[off : off+arity : off+arity]
+		off += arity
 	}
 	return reports, nil
 }
