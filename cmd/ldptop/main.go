@@ -1,0 +1,192 @@
+// Command ldptop is a zero-dependency live terminal dashboard for a running
+// collector: it polls GET /metrics and GET /v1/diagnostics on an interval
+// and redraws one screen with the fleet's estimate quality — per-stream
+// ingest rate, staleness, EM iterations and log-likelihood, confidence
+// half-width, drift scores and alert state — plus a federation lag panel.
+// It is the operator's answer to "is the published histogram any good,
+// right now", built entirely on the repro public API (FetchServerStats,
+// FetchFleetDiagnostics), so everything it shows is available to any
+// embedding program too.
+//
+// Usage:
+//
+//	ldptop -addr http://localhost:8080 -interval 2s
+//	ldptop -addr http://localhost:8080 -once   # one frame, no redraw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "collector base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll and redraw interval")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	flag.Parse()
+
+	hc := &http.Client{Timeout: 10 * time.Second}
+	var prev *frame
+	for {
+		cur, err := fetchFrame(*addr, hc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldptop: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		if !*once {
+			// Clear screen and home the cursor between frames.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		render(os.Stdout, prev, cur)
+		if *once {
+			return
+		}
+		prev = cur
+		time.Sleep(*interval)
+	}
+}
+
+// frame is one polled snapshot of the collector.
+type frame struct {
+	stats *repro.ServerStats
+	diags []repro.StreamDiagnostics
+	at    time.Time
+}
+
+// fetchFrame polls both surfaces.
+func fetchFrame(baseURL string, hc *http.Client) (*frame, error) {
+	stats, err := repro.FetchServerStats(baseURL, hc)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := repro.FetchFleetDiagnostics(baseURL, repro.DiagnosticsQuery{}, hc)
+	if err != nil {
+		return nil, err
+	}
+	return &frame{stats: stats, diags: diags, at: time.Now()}, nil
+}
+
+// render draws one dashboard frame. prev, when non-nil, supplies the deltas
+// behind the per-stream ingest rate column.
+func render(w io.Writer, prev, cur *frame) {
+	st := cur.stats
+	fmt.Fprintf(w, "ldp collector  up=%s ready=%s healthy=%s  streams=%d  requests=%d  shed=%d",
+		onOff(st.Up), onOff(st.Ready), onOff(st.Healthy), st.Streams, st.Requests, st.Shed)
+	if series, ok := st.Raw["ldp_telemetry_series"]; ok {
+		fmt.Fprintf(w, "  series=%.0f", series)
+		if dropped := st.Raw["ldp_telemetry_dropped_series_total"]; dropped > 0 {
+			fmt.Fprintf(w, " (dropped %.0f)", dropped)
+		}
+	}
+	fmt.Fprintf(w, "  %s\n\n", cur.at.Format("15:04:05"))
+
+	fmt.Fprintf(w, "%-12s %-11s %8s %9s %7s %6s %12s %9s %8s %8s %6s\n",
+		"STREAM", "MECH", "USERS", "RATE/s", "STALE", "ITERS", "LOGLIK", "CI±", "W1", "KS", "ALERT")
+	for _, d := range cur.diags {
+		rate := "-"
+		if prev != nil {
+			dt := cur.at.Sub(prev.at).Seconds()
+			if dt > 0 {
+				delta := float64(cur.stats.Reports[d.Stream]) - float64(prev.stats.Reports[d.Stream])
+				rate = fmt.Sprintf("%.1f", delta/dt)
+			}
+		}
+		loglik := "-"
+		if d.EMBased && d.Refreshes > 0 {
+			loglik = fmt.Sprintf("%.1f", d.Convergence.LogLikelihood)
+		}
+		ci := "-"
+		if d.Refreshes > 0 {
+			ci = fmt.Sprintf("%.2e", d.Confidence.HalfWidth)
+		}
+		w1, ks, alert := "-", "-", "-"
+		if d.Drift != nil {
+			if d.Drift.EpochsScored > 0 {
+				w1 = fmt.Sprintf("%.4f", d.Drift.W1)
+				ks = fmt.Sprintf("%.4f", d.Drift.KS)
+			}
+			if d.Drift.Alerting {
+				alert = fmt.Sprintf("DRIFT!%d", d.Drift.AlertsTotal)
+			} else {
+				alert = "ok"
+			}
+		}
+		fmt.Fprintf(w, "%-12s %-11s %8d %9s %7d %6d %12s %9s %8s %8s %6s\n",
+			clip(d.Stream, 12), d.Mechanism, d.Users, rate, d.PendingReports,
+			d.Convergence.Iterations, loglik, ci, w1, ks, alert)
+	}
+
+	// Federation panel: root-side per-edge push lag plus the edge pusher's
+	// own cursor, whichever sides this collector plays.
+	lags := collectEdges(st.Raw, "ldp_federation_push_lag_seconds")
+	if len(lags) > 0 {
+		fmt.Fprintf(w, "\nfederation (root): ")
+		for i, e := range lags {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%s lag=%.1fs", e.name, e.value)
+		}
+		fmt.Fprintln(w)
+	}
+	if pushes := collectEdges(st.Raw, "ldp_push_last_success_age_seconds"); len(pushes) > 0 {
+		fmt.Fprintf(w, "\nfederation (edge): ")
+		for i, e := range pushes {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%s acked_age=%.1fs", e.name, e.value)
+			if backoff := st.Raw[fmt.Sprintf(`ldp_push_backoff_seconds{edge=%q}`, e.name)]; backoff > 0 {
+				fmt.Fprintf(w, " backoff=%.1fs", backoff)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+type edgeSample struct {
+	name  string
+	value float64
+}
+
+// collectEdges pulls every {edge="..."} sample of one family out of the raw
+// scrape map, sorted by edge name.
+func collectEdges(raw map[string]float64, family string) []edgeSample {
+	var out []edgeSample
+	prefix := family + `{edge="`
+	for key, v := range raw {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(key, prefix), `"}`)
+		out = append(out, edgeSample{name: name, value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

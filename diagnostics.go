@@ -1,0 +1,159 @@
+package repro
+
+// Typed access to a collector's estimate-quality diagnostics (GET
+// /v1/streams/{name}/diagnostics and GET /v1/diagnostics): EM convergence
+// trajectory, analytic confidence intervals, warm-start effectiveness, and
+// the drift-alert state of windowed streams. The types mirror the server's
+// JSON exactly, so tooling embedding this library gets the same answer an
+// operator sees with curl.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+)
+
+// DiagConvergence is the EM trajectory block of a stream's diagnostics.
+type DiagConvergence struct {
+	// Iterations, LogLikelihood and LastDelta describe the most recent
+	// published reconstruction; LogLikelihood is count-weighted and only
+	// meaningful when the record's EMBased flag is set.
+	Iterations    int     `json:"iterations"`
+	LogLikelihood float64 `json:"log_likelihood"`
+	LastDelta     float64 `json:"last_delta"`
+	// Converged reports that the EM stopping rule fired; HitMaxIters that
+	// the run exhausted its iteration budget instead.
+	Converged   bool `json:"converged"`
+	HitMaxIters bool `json:"hit_max_iters"`
+}
+
+// DiagWarmStart is the warm-start effectiveness block.
+type DiagWarmStart struct {
+	ColdIterations     int     `json:"cold_iterations"`
+	WarmRefreshes      uint64  `json:"warm_refreshes"`
+	MeanWarmIterations float64 `json:"mean_warm_iterations"`
+	LastWarm           bool    `json:"last_warm"`
+	// Speedup is ColdIterations / MeanWarmIterations — how many times fewer
+	// iterations a warm-started reconstruction needs.
+	Speedup float64 `json:"speedup"`
+}
+
+// DiagConfidence is the analytic-uncertainty block: the per-frequency
+// estimator variance at the current user count and the matching two-sided
+// confidence half-width.
+type DiagConfidence struct {
+	Level     float64 `json:"level"`
+	Variance  float64 `json:"variance"`
+	HalfWidth float64 `json:"half_width"`
+	// Approximate marks the sw family, whose EM estimator has no closed
+	// variance form — the value is the better categorical oracle's proxy.
+	Approximate bool `json:"approximate"`
+}
+
+// DiagDrift is the epoch-over-epoch drift block (windowed streams only).
+type DiagDrift struct {
+	// W1 and KS score the two most recent consecutive sealed epochs
+	// (normalized Wasserstein-1 and Kolmogorov–Smirnov distance).
+	W1           float64 `json:"w1"`
+	KS           float64 `json:"ks"`
+	EpochsScored int     `json:"epochs_scored"`
+	LastEpoch    int     `json:"last_epoch"`
+	// Alerting is the hysteresis state machine's current state;
+	// AlertsTotal counts raises; StateSinceEpoch the epoch of the last
+	// state change.
+	Alerting        bool   `json:"alerting"`
+	AlertsTotal     uint64 `json:"alerts_total"`
+	StateSinceEpoch int    `json:"state_since_epoch"`
+}
+
+// StreamDiagnostics is one stream's quality record as served by GET
+// /v1/streams/{name}/diagnostics (and one row of GET /v1/diagnostics).
+type StreamDiagnostics struct {
+	Stream         string  `json:"stream"`
+	Mechanism      string  `json:"mechanism"`
+	Epsilon        float64 `json:"epsilon"`
+	Buckets        int     `json:"buckets"`
+	Users          int     `json:"users"`
+	PendingReports int     `json:"pending_reports"`
+	// LastRefreshAgeSeconds is -1 until the first refresh publishes.
+	LastRefreshAgeSeconds float64 `json:"last_refresh_age_seconds"`
+	// Refreshes counts published reconstructions; every quality block is
+	// zero-valued until the first one.
+	Refreshes   uint64          `json:"refreshes"`
+	EMBased     bool            `json:"em_based"`
+	Convergence DiagConvergence `json:"convergence"`
+	WarmStart   DiagWarmStart   `json:"warm_start"`
+	Confidence  DiagConfidence  `json:"confidence"`
+	Drift       *DiagDrift      `json:"drift,omitempty"`
+	// Window carries the epoch-rotation state of a windowed stream.
+	Window *StreamWindowInfo `json:"window,omitempty"`
+}
+
+// StreamWindowInfo is the epoch-rotation state echoed by the diagnostics
+// endpoints for windowed streams.
+type StreamWindowInfo struct {
+	CurrentEpoch int `json:"current_epoch"`
+	OldestEpoch  int `json:"oldest_epoch"`
+	SealedEpochs int `json:"sealed_epochs"`
+	LiveN        int `json:"live_n"`
+}
+
+// FetchDiagnostics queries GET {baseURL}/v1/streams/{stream}/diagnostics
+// ("" addresses the default stream). nil hc uses http.DefaultClient.
+func FetchDiagnostics(baseURL, stream string, hc *http.Client) (*StreamDiagnostics, error) {
+	if stream == "" {
+		stream = "default"
+	}
+	body, err := opsGet(baseURL, "/v1/streams/"+url.PathEscape(stream)+"/diagnostics", hc)
+	if err != nil {
+		return nil, fmt.Errorf("repro: fetch diagnostics: %w", err)
+	}
+	var out StreamDiagnostics
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("repro: fetch diagnostics: undecodable response: %w", err)
+	}
+	return &out, nil
+}
+
+// DiagnosticsQuery filters FetchFleetDiagnostics. The zero value returns
+// every stream.
+type DiagnosticsQuery struct {
+	// Stream keeps one stream by exact name; Mechanism every stream of one
+	// mechanism.
+	Stream    string
+	Mechanism string
+	// Alerting, when non-nil, keeps only streams whose drift alert state
+	// matches.
+	Alerting *bool
+}
+
+// FetchFleetDiagnostics queries GET {baseURL}/v1/diagnostics and returns
+// every matching stream's record in declaration order.
+func FetchFleetDiagnostics(baseURL string, q DiagnosticsQuery, hc *http.Client) ([]StreamDiagnostics, error) {
+	params := url.Values{}
+	if q.Stream != "" {
+		params.Set("stream", q.Stream)
+	}
+	if q.Mechanism != "" {
+		params.Set("mechanism", q.Mechanism)
+	}
+	if q.Alerting != nil {
+		params.Set("alerting", fmt.Sprintf("%t", *q.Alerting))
+	}
+	path := "/v1/diagnostics"
+	if len(params) > 0 {
+		path += "?" + params.Encode()
+	}
+	body, err := opsGet(baseURL, path, hc)
+	if err != nil {
+		return nil, fmt.Errorf("repro: fetch fleet diagnostics: %w", err)
+	}
+	var out struct {
+		Streams []StreamDiagnostics `json:"streams"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("repro: fetch fleet diagnostics: undecodable response: %w", err)
+	}
+	return out.Streams, nil
+}

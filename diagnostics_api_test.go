@@ -1,0 +1,161 @@
+package repro_test
+
+// The observability PR's acceptance criterion through the public API alone:
+// a seeded cohort shift on a windowed stream is visible as a drift alert via
+// repro.FetchDiagnostics and the FetchFleetDiagnostics alerting filter,
+// while a stationary control stream ingesting the same volume stays quiet.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/ldphttp"
+	"repro/internal/randx"
+)
+
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestDriftAlertThroughPublicAPI(t *testing.T) {
+	clock := &manualClock{now: time.Date(2026, 8, 1, 9, 0, 0, 0, time.UTC)}
+	s := ldphttp.NewServer(ldphttp.Config{
+		Epsilon: 1, Buckets: 32, RefreshInterval: 5 * time.Millisecond, Clock: clock.Now,
+	})
+	t.Cleanup(s.Close)
+	for _, name := range []string{"shift", "control"} {
+		if err := s.CreateStream(name, ldphttp.StreamConfig{
+			Epsilon: 1, Buckets: 32, Epoch: ldphttp.Duration(time.Minute), Retain: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	client, err := repro.NewClient(repro.Options{Epsilon: 1, Buckets: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(stream string, seed uint64, a, b float64) {
+		t.Helper()
+		rng := randx.New(seed)
+		reports := make([]float64, 1200)
+		for i := range reports {
+			reports[i] = client.Report(rng.Beta(a, b))
+		}
+		blob, _ := json.Marshal(map[string]any{"reports": reports})
+		resp, err := http.Post(ts.URL+"/v1/streams/"+stream+"/batch", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch status %d", resp.StatusCode)
+		}
+	}
+	rotate := func(epoch int) {
+		t.Helper()
+		clock.Advance(time.Minute)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			d, err := repro.FetchDiagnostics(ts.URL, "shift", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Window != nil && d.Window.CurrentEpoch >= epoch {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("stream never rotated to epoch %d", epoch)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Two stationary epochs prime the baseline and a quiet score, then the
+	// shift cohort jumps from Beta(5, 2) to Beta(2, 5).
+	for e := 0; e < 2; e++ {
+		post("shift", uint64(10+e), 5, 2)
+		post("control", uint64(20+e), 5, 2)
+		rotate(e + 1)
+	}
+	post("shift", 12, 2, 5)
+	post("control", 22, 5, 2)
+	rotate(3)
+
+	var d *repro.StreamDiagnostics
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		d, err = repro.FetchDiagnostics(ts.URL, "shift", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Drift != nil && d.Drift.Alerting {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shift stream never alerted (drift: %+v)", d.Drift)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.Drift.AlertsTotal != 1 {
+		t.Errorf("alerts_total = %d, want 1", d.Drift.AlertsTotal)
+	}
+	if d.Drift.W1 < 0.08 && d.Drift.KS < 0.2 {
+		t.Errorf("alerting with sub-threshold scores: %+v", d.Drift)
+	}
+	if !d.EMBased || d.Refreshes == 0 || d.Confidence.HalfWidth <= 0 {
+		t.Errorf("quality record incomplete: em_based=%v refreshes=%d confidence=%+v",
+			d.EMBased, d.Refreshes, d.Confidence)
+	}
+
+	// The control stream stays quiet, and the fleet filter isolates the
+	// alerting stream.
+	cd, err := repro.FetchDiagnostics(ts.URL, "control", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Drift == nil || cd.Drift.Alerting || cd.Drift.AlertsTotal != 0 {
+		t.Errorf("control drift = %+v, want quiet", cd.Drift)
+	}
+	alerting := true
+	fleet, err := repro.FetchFleetDiagnostics(ts.URL, repro.DiagnosticsQuery{Alerting: &alerting}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 1 || fleet[0].Stream != "shift" {
+		t.Fatalf("alerting fleet = %+v, want exactly [shift]", fleet)
+	}
+
+	// The same alert is visible in the scrape through FetchServerStats.
+	stats, err := repro.FetchServerStats(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := stats.Raw[`ldp_drift_alerts_total{stream="shift"}`]; v != 1 {
+		t.Errorf(`ldp_drift_alerts_total{stream="shift"} = %v, want 1`, v)
+	}
+	if v := stats.Raw[`ldp_drift_alerts_total{stream="control"}`]; v != 0 {
+		t.Errorf(`ldp_drift_alerts_total{stream="control"} = %v, want 0`, v)
+	}
+}

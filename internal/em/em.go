@@ -133,6 +133,11 @@ type Result struct {
 	Iterations int
 	// LogLikelihood is the final count-weighted log-likelihood L(x̂).
 	LogLikelihood float64
+	// LastDelta is the absolute log-likelihood improvement of the final
+	// iteration — the quantity the stopping rule compares against Tau. It
+	// stays 0 for runs of a single iteration, where no previous likelihood
+	// exists to difference against.
+	LastDelta float64
 	// Converged reports whether the stopping rule fired before MaxIters.
 	Converged bool
 }
@@ -270,6 +275,9 @@ func (w *Workspace) Reconstruct(m matrixx.Channel, counts []float64, opts Option
 		res.LogLikelihood = ll
 		if opts.OnIteration != nil {
 			opts.OnIteration(iter, x, ll)
+		}
+		if iter > 1 {
+			res.LastDelta = math.Abs(ll - prevLL)
 		}
 		if iter >= opts.MinIters && math.Abs(ll-prevLL) < opts.Tau {
 			res.Converged = true

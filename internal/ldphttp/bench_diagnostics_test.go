@@ -1,0 +1,118 @@
+package ldphttp
+
+// Benchmarks for the observability additions: the diagnostics bookkeeping
+// riding on the refresh path (the <5% overhead contract), and the /metrics
+// scrape at fleet scale, identity vs gzip.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/diagnose"
+)
+
+// BenchmarkRefreshWithDiagnostics is the full forced-refresh path of one
+// 2000-report stream — EM reconstruction, publication, and the diagnostics
+// bookkeeping (ObserveRefresh + quality gauge writes) this PR added. The
+// bookkeeping itself is measured in isolation by
+// BenchmarkDiagnosticsBookkeeping; the ratio of the two is the refresh-path
+// overhead.
+func BenchmarkRefreshWithDiagnostics(b *testing.B) {
+	s := NewServer(Config{Epsilon: 1, Buckets: 256, RefreshInterval: time.Hour})
+	defer s.Close()
+	st := s.lookup(DefaultStream)
+	for r := 0; r < 2000; r++ {
+		st.add((r * 37) % 256)
+	}
+	st.mustRefresh.Store(true)
+	s.refreshStream(st) // cold reconstruction outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.mustRefresh.Store(true)
+		s.refreshStream(st)
+	}
+}
+
+// BenchmarkDiagnosticsBookkeeping is the per-refresh diagnostics cost alone:
+// one ObserveRefresh plus the Snapshot a diagnostics poll would take.
+func BenchmarkDiagnosticsBookkeeping(b *testing.B) {
+	tr := diagnose.NewTracker(diagnose.TrackerConfig{
+		Mechanism: "sw", Epsilon: 1, Buckets: 256, EMBased: true,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ObserveRefresh(diagnose.Refresh{
+			Iterations: 12, LogLikelihood: -15000, LastDelta: 0.004,
+			Converged: true, Warm: true, Users: 2000,
+		})
+		_ = tr.Snapshot(0)
+	}
+}
+
+// BenchmarkScrapeMetrics64Streams renders the /metrics exposition of a
+// 64-stream fleet through the full HTTP handler, identity vs gzip.
+func BenchmarkScrapeMetrics64Streams(b *testing.B) {
+	s := NewServer(Config{Epsilon: 1, Buckets: 64, RefreshInterval: time.Hour})
+	defer s.Close()
+	for i := 0; i < 63; i++ {
+		if err := s.CreateStream(fmt.Sprintf("s%02d", i), StreamConfig{Epsilon: 1, Buckets: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, st := range s.streamList() {
+		for r := 0; r < 100; r++ {
+			st.add(r % 64)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+
+	for _, enc := range []string{"identity", "gzip"} {
+		b.Run(enc, func(b *testing.B) {
+			var wire, decoded int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				req.Header.Set("Accept-Encoding", enc)
+				resp, err := client.Do(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				wire = int64(len(body))
+				decoded = wire
+				if enc == "gzip" {
+					if resp.Header.Get("Content-Encoding") != "gzip" {
+						b.Fatal("gzip not negotiated")
+					}
+					gz, err := gzip.NewReader(bytes.NewReader(body))
+					if err != nil {
+						b.Fatal(err)
+					}
+					plain, err := io.ReadAll(gz)
+					if err != nil {
+						b.Fatal(err)
+					}
+					decoded = int64(len(plain))
+				}
+			}
+			b.ReportMetric(float64(wire), "wire-B/op")
+			b.ReportMetric(float64(decoded), "exposition-B/op")
+		})
+	}
+}

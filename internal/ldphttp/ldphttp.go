@@ -137,6 +137,7 @@ import (
 
 	"repro/internal/aggregate"
 	"repro/internal/core"
+	"repro/internal/diagnose"
 	"repro/internal/em"
 	"repro/internal/federate"
 	"repro/internal/histogram"
@@ -232,6 +233,15 @@ type OpsConfig struct {
 	// not_ready until LoadSnapshot succeeds or MarkReady is called.
 	// cmd/ldpserver sets it when a -snapshot path is configured.
 	AwaitRestore bool
+	// MaxSeriesPerFamily caps the label-set count of every metric family,
+	// so a stream-declaration storm cannot grow /metrics memory and
+	// scrape latency without bound; over-cap series fold into a
+	// "~overflow" bucket (see telemetry.Options). 0 = the default of
+	// 1024; negative = unbounded.
+	MaxSeriesPerFamily int
+	// Drift tunes the per-stream drift-alert state machine (zero value =
+	// the diagnose package defaults).
+	Drift diagnose.DriftConfig
 	// Trace configures the tracing subsystem (on by default; see
 	// TraceConfig).
 	Trace TraceConfig
@@ -318,6 +328,23 @@ type stream struct {
 	// mRefreshes counts published refreshes by trigger, pre-resolved per
 	// reason (indexed by refreshGrowth/refreshRotation/refreshForced).
 	mRefreshes [3]*telemetry.Counter
+	// diag accumulates the stream's estimate-quality record; the engine
+	// writes it at refresh/seal time, the diagnostics endpoints and the
+	// quality gauges below read it. Never nil.
+	diag *diagnose.Tracker
+	// Quality gauges, written at publish time so scrapes stay O(series):
+	// mLoglik only for EM-reconstructed streams, the drift pair and the
+	// alert counter only for windowed ones; nil otherwise (and when
+	// telemetry is disabled).
+	mLoglik      *telemetry.Gauge
+	mCIHalf      *telemetry.Gauge
+	mConverged   *telemetry.Gauge
+	mDriftW1     *telemetry.Gauge
+	mDriftKS     *telemetry.Gauge
+	mDriftAlerts *telemetry.Counter
+	// driftScratch is the engine-owned merge buffer for sealed-epoch
+	// drift reconstructions (guarded by busy, like the buffers above).
+	driftScratch []float64
 	// lastRefresh is the wall-clock nanos of the last published estimate
 	// (0 = none yet); the scrape hook derives refresh age from it.
 	lastRefresh atomic.Int64
@@ -534,6 +561,14 @@ func (s *Server) newStream(name string, cfg StreamConfig) *stream {
 		st.counts = aggregate.New(agg.OutputBuckets(), cfg.Shards)
 	}
 	st.cfg = cfg
+	st.diag = diagnose.NewTracker(diagnose.TrackerConfig{
+		Mechanism: cfg.Mechanism,
+		Epsilon:   cfg.Epsilon,
+		Buckets:   cfg.Buckets,
+		EMBased:   agg.Channel() != nil,
+		Windowed:  cfg.windowed(),
+		Drift:     s.cfg.Ops.Drift,
+	})
 	if m := s.metrics; m != nil {
 		st.mReports = m.reports.With(name, cfg.Mechanism)
 		st.mRefresh = m.emRefresh.With(name)
@@ -543,6 +578,16 @@ func (s *Server) newStream(name string, cfg StreamConfig) *stream {
 		st.mRotations = m.rotations.With(name)
 		for r, reason := range refreshReasons {
 			st.mRefreshes[r] = m.refreshes.With(name, reason)
+		}
+		st.mCIHalf = m.estCI.With(name)
+		st.mConverged = m.emConverged.With(name)
+		if agg.Channel() != nil {
+			st.mLoglik = m.estLoglik.With(name)
+		}
+		if cfg.windowed() {
+			st.mDriftW1 = m.driftScore.With(name, "w1")
+			st.mDriftKS = m.driftScore.With(name, "ks")
+			st.mDriftAlerts = m.driftAlerts.With(name)
 		}
 	}
 	return st
@@ -739,21 +784,23 @@ type StreamInfo struct {
 
 // StreamLinks are the v1 URLs of one stream's resources.
 type StreamLinks struct {
-	Self     string `json:"self"`
-	Report   string `json:"report"`
-	Estimate string `json:"estimate"`
-	Query    string `json:"query"`
-	Config   string `json:"config"`
+	Self        string `json:"self"`
+	Report      string `json:"report"`
+	Estimate    string `json:"estimate"`
+	Query       string `json:"query"`
+	Config      string `json:"config"`
+	Diagnostics string `json:"diagnostics"`
 }
 
 func streamLinks(name string) StreamLinks {
 	base := "/v1/streams/" + url.PathEscape(name)
 	return StreamLinks{
-		Self:     base,
-		Report:   base + "/report",
-		Estimate: base + "/estimate",
-		Query:    base + "/query",
-		Config:   base + "/config",
+		Self:        base,
+		Report:      base + "/report",
+		Estimate:    base + "/estimate",
+		Query:       base + "/query",
+		Config:      base + "/config",
+		Diagnostics: base + "/diagnostics",
 	}
 }
 
@@ -780,7 +827,7 @@ func (s *Server) streamInfo(st *stream) StreamInfo {
 	if est := st.est.Load(); est != nil {
 		estN = est.N
 	}
-	info := StreamInfo{
+	return StreamInfo{
 		Name:      st.name,
 		Epsilon:   st.cfg.Epsilon,
 		Buckets:   st.cfg.Buckets,
@@ -789,21 +836,10 @@ func (s *Server) streamInfo(st *stream) StreamInfo {
 		Shards:    st.cfg.Shards,
 		N:         st.users(),
 		EstimateN: estN,
+		Window:    st.windowInfo(),
 		Config:    s.configOf(st),
 		Links:     streamLinks(st.name),
 	}
-	if st.ring != nil {
-		cur, _ := st.ring.Current()
-		info.Window = &WindowInfo{
-			Epoch:        st.cfg.Epoch,
-			Retain:       st.cfg.Retain,
-			CurrentEpoch: cur,
-			OldestEpoch:  st.ring.Oldest(),
-			SealedEpochs: st.ring.SealedLen(),
-			LiveN:        st.ring.LiveN(),
-		}
-	}
-	return info
 }
 
 // Streams lists every stream in declaration order.
@@ -1013,6 +1049,7 @@ func (s *Server) refreshStream(st *stream) {
 			rsp.SetStream(st.name)
 			rsp.Attr("rotated", fmt.Sprintf("%d", rotated)).
 				Attr("epoch", fmt.Sprintf("%d", epoch)).End()
+			s.scoreSealedEpoch(st, rotated)
 		}
 		defer s.refreshWindows(st)
 	}
@@ -1057,9 +1094,11 @@ func (s *Server) refreshStream(st *stream) {
 	// res.Estimate aliases the stream's workspace; the published response
 	// needs its own immutable copy.
 	dist := append([]float64(nil), res.Estimate...)
+	users := st.agg.Users(st.scratch, n)
+	warm := init != nil && st.agg.Channel() != nil
 	st.est.Store(&EstimateResponse{
 		Stream:       st.name,
-		N:            st.agg.Users(st.scratch, n),
+		N:            users,
 		Epsilon:      st.cfg.Epsilon,
 		Mechanism:    st.cfg.Mechanism,
 		Distribution: dist,
@@ -1068,10 +1107,32 @@ func (s *Server) refreshStream(st *stream) {
 		Median:       histogram.Quantile(dist, 0.5),
 		Iterations:   res.Iterations,
 		Converged:    res.Converged,
-		WarmStart:    init != nil && st.agg.Channel() != nil,
+		WarmStart:    warm,
 		raw:          n,
 	})
 	st.published.Store(int64(n))
+	st.diag.ObserveRefresh(diagnose.Refresh{
+		Iterations:    res.Iterations,
+		LogLikelihood: res.LogLikelihood,
+		LastDelta:     res.LastDelta,
+		Converged:     res.Converged,
+		Warm:          warm,
+		Users:         users,
+	})
+	if st.mLoglik != nil {
+		st.mLoglik.Set(res.LogLikelihood)
+	}
+	if st.mCIHalf != nil {
+		v, _ := diagnose.Variance(st.cfg.Mechanism, st.cfg.Epsilon, st.cfg.Buckets, users)
+		st.mCIHalf.Set(diagnose.HalfWidth(v))
+	}
+	if st.mConverged != nil {
+		conv := 0.0
+		if res.Converged {
+			conv = 1
+		}
+		st.mConverged.Set(conv)
+	}
 }
 
 // WireReport is one randomized report as it travels in JSON: either a bare

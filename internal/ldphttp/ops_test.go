@@ -230,27 +230,34 @@ func TestMetricsExposition(t *testing.T) {
 
 	sc := scrape(t, ts.URL)
 	families := map[string]telemetry.Kind{
-		"ldp_requests_total":              telemetry.KindCounter,
-		"ldp_request_duration_seconds":    telemetry.KindHistogram,
-		"ldp_shed_total":                  telemetry.KindCounter,
-		"ldp_reports_total":               telemetry.KindCounter,
-		"ldp_em_refresh_seconds":          telemetry.KindHistogram,
-		"ldp_em_iterations":               telemetry.KindHistogram,
-		"ldp_em_refreshes_total":          telemetry.KindCounter,
-		"ldp_em_refresh_queue_depth":      telemetry.KindGauge,
-		"ldp_em_staleness_reports":        telemetry.KindGauge,
-		"ldp_em_refresh_age_seconds":      telemetry.KindGauge,
-		"ldp_epoch_rotations_total":       telemetry.KindCounter,
-		"ldp_streams":                     telemetry.KindGauge,
-		"ldp_snapshots_total":             telemetry.KindCounter,
-		"ldp_snapshot_seconds":            telemetry.KindHistogram,
-		"ldp_federation_absorbed_total":   telemetry.KindCounter,
-		"ldp_federation_push_lag_seconds": telemetry.KindGauge,
-		"ldp_up":                          telemetry.KindGauge,
-		"ldp_ready":                       telemetry.KindGauge,
-		"ldp_healthy":                     telemetry.KindGauge,
-		"ldp_scrape_duration_seconds":     telemetry.KindHistogram,
-		"ldp_scrape_errors_total":         telemetry.KindCounter,
+		"ldp_requests_total":                 telemetry.KindCounter,
+		"ldp_request_duration_seconds":       telemetry.KindHistogram,
+		"ldp_shed_total":                     telemetry.KindCounter,
+		"ldp_reports_total":                  telemetry.KindCounter,
+		"ldp_em_refresh_seconds":             telemetry.KindHistogram,
+		"ldp_em_iterations":                  telemetry.KindHistogram,
+		"ldp_em_refreshes_total":             telemetry.KindCounter,
+		"ldp_em_refresh_queue_depth":         telemetry.KindGauge,
+		"ldp_em_staleness_reports":           telemetry.KindGauge,
+		"ldp_em_refresh_age_seconds":         telemetry.KindGauge,
+		"ldp_epoch_rotations_total":          telemetry.KindCounter,
+		"ldp_streams":                        telemetry.KindGauge,
+		"ldp_snapshots_total":                telemetry.KindCounter,
+		"ldp_snapshot_seconds":               telemetry.KindHistogram,
+		"ldp_federation_absorbed_total":      telemetry.KindCounter,
+		"ldp_federation_push_lag_seconds":    telemetry.KindGauge,
+		"ldp_up":                             telemetry.KindGauge,
+		"ldp_ready":                          telemetry.KindGauge,
+		"ldp_healthy":                        telemetry.KindGauge,
+		"ldp_scrape_duration_seconds":        telemetry.KindHistogram,
+		"ldp_scrape_errors_total":            telemetry.KindCounter,
+		"ldp_estimate_loglik":                telemetry.KindGauge,
+		"ldp_estimate_ci_halfwidth":          telemetry.KindGauge,
+		"ldp_em_converged":                   telemetry.KindGauge,
+		"ldp_drift_score":                    telemetry.KindGauge,
+		"ldp_drift_alerts_total":             telemetry.KindCounter,
+		"ldp_telemetry_series":               telemetry.KindGauge,
+		"ldp_telemetry_dropped_series_total": telemetry.KindCounter,
 	}
 	for name, kind := range families {
 		fam, ok := sc.Families[name]

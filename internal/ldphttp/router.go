@@ -199,6 +199,7 @@ func (s *Server) Handler() http.Handler {
 	// Versioned v1 resource tree.
 	mux.HandleFunc("/v1/streams", s.route("/v1/streams", engine, s.handleStreams))
 	mux.HandleFunc("/v1/streams/", s.v1StreamRoutes())
+	mux.HandleFunc("/v1/diagnostics", s.route("/v1/diagnostics", engine, s.handleFleetDiagnostics))
 
 	// Federation: push carries its own body cap and the per-edge tier.
 	mux.HandleFunc("/federation/push", s.route("/federation/push", routeOpts{admit: true, trace: traceAlways}, s.handleFederationPush))
@@ -312,6 +313,14 @@ func (s *Server) v1StreamRoutes() http.HandlerFunc {
 				return
 			}
 			s.serveConfig(w, name)
+		}),
+		"diagnostics": s.route("/v1/streams/{name}/diagnostics", engine, func(w http.ResponseWriter, r *http.Request) {
+			name, _, _ := v1StreamPath(r)
+			if r.Method != http.MethodGet {
+				methodNotAllowed(w, r, http.MethodGet)
+				return
+			}
+			s.serveStreamDiagnostics(w, name)
 		}),
 	}
 	notFound := s.route("/v1/streams/{name}", routeOpts{}, func(w http.ResponseWriter, r *http.Request) {

@@ -11,12 +11,21 @@ package ldphttp
 // is ticking", readiness is "snapshot restore has completed".
 
 import (
+	"compress/gzip"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
 )
+
+// defaultMaxSeries is the per-family series cap applied when OpsConfig
+// leaves MaxSeriesPerFamily at zero. 1024 label-sets per family comfortably
+// covers hundreds of streams while bounding a declaration storm.
+const defaultMaxSeries = 1024
 
 // serverMetrics holds every metric family the collector exports.
 type serverMetrics struct {
@@ -58,6 +67,13 @@ type serverMetrics struct {
 	pushShipped  *telemetry.GaugeVec // edge
 	pushDiverged *telemetry.GaugeVec // edge
 
+	// Estimate quality (written at refresh/seal time, not per scrape).
+	estLoglik   *telemetry.GaugeVec   // stream (EM-based streams only)
+	estCI       *telemetry.GaugeVec   // stream
+	emConverged *telemetry.GaugeVec   // stream
+	driftScore  *telemetry.GaugeVec   // stream, metric (w1|ks)
+	driftAlerts *telemetry.CounterVec // stream
+
 	// Probes as gauges, so dashboards see what the probes see.
 	up      *telemetry.GaugeVec
 	ready   *telemetry.GaugeVec
@@ -72,7 +88,14 @@ type serverMetrics struct {
 // newServerMetrics registers every family and installs the scrape hook.
 // Called once from NewServer, before any stream exists.
 func newServerMetrics(s *Server) *serverMetrics {
-	r := telemetry.New()
+	limit := s.cfg.Ops.MaxSeriesPerFamily
+	switch {
+	case limit == 0:
+		limit = defaultMaxSeries
+	case limit < 0:
+		limit = 0 // explicit opt-out: unbounded
+	}
+	r := telemetry.NewWithOptions(telemetry.Options{MaxSeriesPerFamily: limit})
 	m := &serverMetrics{
 		reg: r,
 		requests: r.Counter("ldp_requests_total",
@@ -133,6 +156,16 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Edge pusher: total increments shipped and acknowledged.", "edge"),
 		pushDiverged: r.Gauge("ldp_push_diverged",
 			"Edge pusher: 1 when the root provably holds a different history.", "edge"),
+		estLoglik: r.Gauge("ldp_estimate_loglik",
+			"Count-weighted log-likelihood of the published EM reconstruction.", "stream"),
+		estCI: r.Gauge("ldp_estimate_ci_halfwidth",
+			"Analytic 95% CI half-width per probability cell at the current user count.", "stream"),
+		emConverged: r.Gauge("ldp_em_converged",
+			"1 when the published reconstruction met the EM convergence tolerance.", "stream"),
+		driftScore: r.Gauge("ldp_drift_score",
+			"Epoch-over-epoch distribution drift, by metric (w1|ks).", "stream", "metric"),
+		driftAlerts: r.Counter("ldp_drift_alerts_total",
+			"Drift alerts raised by the hysteresis state machine.", "stream"),
 		up:      r.Gauge("ldp_up", "Process uptime indicator, always 1 while serving."),
 		ready:   r.Gauge("ldp_ready", "Readiness probe state (1 = ready)."),
 		healthy: r.Gauge("ldp_healthy", "Liveness probe state (1 = engine ticking)."),
@@ -263,7 +296,32 @@ func (s *Server) healthErr() error {
 	return nil
 }
 
-// handleMetrics serves the Prometheus text exposition.
+// gzipPool recycles scrape compressors: a gzip.Writer carries ~256KiB of
+// internal state, far too much to allocate per scrape.
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// acceptsGzip reports whether the Accept-Encoding header opts into gzip.
+// It tolerates the usual comma list with optional q-values and rejects an
+// explicit q=0 ("gzip;q=0" means "never send me gzip").
+func acceptsGzip(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		enc = strings.ToLower(strings.TrimSpace(enc))
+		if enc != "gzip" && enc != "*" {
+			continue
+		}
+		params = strings.ReplaceAll(strings.ToLower(params), " ", "")
+		if strings.HasPrefix(params, "q=0") && !strings.HasPrefix(params, "q=0.") {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// handleMetrics serves the Prometheus text exposition, gzip-compressed when
+// the scraper asks for it (a 64-stream exposition shrinks roughly 10×,
+// which matters at sub-second scrape intervals).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w, r, http.MethodGet)
@@ -274,11 +332,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Add("Vary", "Accept-Encoding")
 	start := time.Now()
-	err := s.metrics.reg.WriteText(w)
+	var err error
+	if acceptsGzip(r.Header.Get("Accept-Encoding")) {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzipPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		err = s.metrics.reg.WriteText(gz)
+		if cerr := gz.Close(); err == nil {
+			err = cerr
+		}
+		gzipPool.Put(gz)
+	} else {
+		err = s.metrics.reg.WriteText(w)
+	}
 	// Self-observations land after the exposition is rendered, so this
 	// scrape's own duration shows up on the next one — the exposition
-	// itself stays a consistent point-in-time snapshot.
+	// itself stays a consistent point-in-time snapshot. The duration
+	// includes compression: that is the real cost a scraper induces.
 	s.metrics.scrapeDur.With().Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.metrics.scrapeErrs.With().Inc()

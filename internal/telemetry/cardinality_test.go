@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCardinalityCapFoldsIntoOverflow(t *testing.T) {
+	r := NewWithOptions(Options{MaxSeriesPerFamily: 2})
+	c := r.Counter("storm_total", "per-entity counter", "entity")
+	c.With("a").Inc()
+	c.With("b").Inc()
+	// Third and fourth distinct label-sets fold into one overflow series.
+	c.With("c").Inc()
+	c.With("d").Add(2)
+	// Existing series keep resolving normally at the cap.
+	c.With("a").Inc()
+
+	if got := c.With(Overflow).Value(); got != 3 {
+		t.Errorf("overflow series = %d, want 3", got)
+	}
+	if got := c.With("a").Value(); got != 2 {
+		t.Errorf(`series "a" = %d, want 2`, got)
+	}
+	if got := r.DroppedSeries(); got != 2 {
+		t.Errorf("DroppedSeries = %d, want 2", got)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `storm_total{entity="~overflow"} 3`) {
+		t.Errorf("exposition missing overflow series:\n%s", out)
+	}
+	if !strings.Contains(out, "ldp_telemetry_dropped_series_total 2") {
+		t.Errorf("exposition missing dropped counter:\n%s", out)
+	}
+	// ldp_telemetry_series counts every live series at scrape time:
+	// storm_total holds a, b and ~overflow, plus the two self-metric
+	// series.
+	if !strings.Contains(out, "ldp_telemetry_series 5") {
+		t.Errorf("exposition missing series gauge (want 5):\n%s", out)
+	}
+	// The capped exposition still lints.
+	if _, err := ParseText(strings.NewReader(out)); err != nil {
+		t.Fatalf("capped exposition does not parse: %v", err)
+	}
+}
+
+func TestCardinalityCapBoundsMemory(t *testing.T) {
+	r := NewWithOptions(Options{MaxSeriesPerFamily: 8})
+	g := r.Gauge("entities", "per-entity gauge", "id")
+	for i := 0; i < 10000; i++ {
+		g.With(fmt.Sprintf("id-%d", i)).Set(1)
+	}
+	// 8 real series + 1 overflow + the dropped self-counter (the series
+	// gauge materializes lazily, at the first scrape).
+	if got := r.SeriesCount(); got != 10 {
+		t.Errorf("SeriesCount = %d, want 10", got)
+	}
+	if got := r.DroppedSeries(); got != 10000-8 {
+		t.Errorf("DroppedSeries = %d, want %d", got, 10000-8)
+	}
+}
+
+func TestCardinalityCapIgnoresLabelless(t *testing.T) {
+	r := NewWithOptions(Options{MaxSeriesPerFamily: 1})
+	// Label-less families have exactly one series; the cap must not fold
+	// them (their only series would otherwise race the overflow bucket).
+	c := r.Counter("single_total", "no labels")
+	c.With().Inc()
+	if got := c.With().Value(); got != 1 {
+		t.Errorf("labelless series = %d, want 1", got)
+	}
+	h := r.Histogram("hist_seconds", "capped histogram", []float64{1, 2}, "k")
+	h.With("x").Observe(0.5)
+	h.With("y").Observe(0.5) // folds: histogram overflow series works too
+	if got := h.With(Overflow).Count(); got != 1 {
+		t.Errorf("overflow histogram count = %d, want 1", got)
+	}
+}
+
+func TestUnboundedRegistryNeverFolds(t *testing.T) {
+	r := New()
+	c := r.Counter("free_total", "unbounded", "k")
+	for i := 0; i < 100; i++ {
+		c.With(fmt.Sprintf("%d", i)).Inc()
+	}
+	if got := r.SeriesCount(); got != 100 {
+		t.Errorf("SeriesCount = %d, want 100", got)
+	}
+	if got := r.DroppedSeries(); got != 0 {
+		t.Errorf("DroppedSeries = %d, want 0", got)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "ldp_telemetry_series") {
+		t.Error("unbounded registry self-registered the guard metrics")
+	}
+}

@@ -47,12 +47,35 @@ var DefBuckets = []float64{
 }
 
 // Registry holds metric families and renders them. The zero value is not
-// usable; create with New.
+// usable; create with New or NewWithOptions.
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	hooks    []func()
+
+	// Cardinality guard (0 = unbounded): families at the cap fold any
+	// further label-set into the Overflow series and bump dropped.
+	maxSeries int
+	dropped   atomic.Uint64
+	droppedC  *Counter // pre-resolved: seriesFor increments it lock-free
 }
+
+// Options configures a Registry.
+type Options struct {
+	// MaxSeriesPerFamily caps the number of labeled series one family may
+	// hold; 0 = unbounded. A resolution that would create a series past
+	// the cap folds into a single series whose every label value is
+	// Overflow, and increments ldp_telemetry_dropped_series_total — so a
+	// label-value storm (runaway stream declarations, hostile edge ids)
+	// bounds /metrics memory and scrape latency instead of growing them
+	// without limit. When the cap is set, the registry self-registers
+	// ldp_telemetry_series (total live series, refreshed at scrape) and
+	// the dropped-series counter.
+	MaxSeriesPerFamily int
+}
+
+// Overflow is the label value over-cap series fold into.
+const Overflow = "~overflow"
 
 // family is one named metric with a fixed label schema and any number of
 // label-value series.
@@ -62,6 +85,7 @@ type family struct {
 	kind   Kind
 	labels []string
 	bounds []float64 // histogram families only
+	reg    *Registry
 
 	mu     sync.Mutex
 	series map[string]*series
@@ -97,10 +121,46 @@ type Exemplar struct {
 	Time time.Time `json:"time"`
 }
 
-// New returns an empty registry.
+// New returns an empty, unbounded registry.
 func New() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return NewWithOptions(Options{})
 }
+
+// NewWithOptions returns an empty registry with the given options.
+func NewWithOptions(o Options) *Registry {
+	r := &Registry{families: make(map[string]*family), maxSeries: o.MaxSeriesPerFamily}
+	if r.maxSeries > 0 {
+		seriesG := r.Gauge("ldp_telemetry_series",
+			"Labeled series currently held across every metric family.")
+		dropped := r.Counter("ldp_telemetry_dropped_series_total",
+			"Label-sets folded into the ~overflow series by the per-family cardinality cap.")
+		r.droppedC = dropped.With()
+		r.droppedC.Add(0) // render 0, not absent: dashboards alert on increase()
+		r.OnScrape(func() { seriesG.With().Set(float64(r.SeriesCount())) })
+	}
+	return r
+}
+
+// SeriesCount reports the number of labeled series held across every family.
+func (r *Registry) SeriesCount() int {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, f := range fams {
+		f.mu.Lock()
+		n += len(f.series)
+		f.mu.Unlock()
+	}
+	return n
+}
+
+// DroppedSeries reports how many label-set resolutions were folded into
+// overflow series by the cardinality cap.
+func (r *Registry) DroppedSeries() uint64 { return r.dropped.Load() }
 
 // OnScrape registers a hook run at the start of every WriteText, before any
 // family renders — the place to refresh gauges whose value is derived
@@ -134,6 +194,7 @@ func (r *Registry) register(name, help string, kind Kind, bounds []float64, labe
 		kind:   kind,
 		labels: append([]string(nil), labels...),
 		bounds: bounds,
+		reg:    r,
 		series: make(map[string]*series),
 	}
 	r.families[name] = f
@@ -176,6 +237,24 @@ func (f *family) seriesFor(values []string) *series {
 	defer f.mu.Unlock()
 	s, ok := f.series[key]
 	if !ok {
+		// Cardinality guard: a family at the cap folds every further
+		// label-set into one all-Overflow series. Label-less families
+		// (single series) are never affected; the overflow series itself
+		// is allowed to push the family one past the cap.
+		if limit := f.reg.maxSeries; limit > 0 && len(f.labels) > 0 && len(f.series) >= limit {
+			f.reg.dropped.Add(1)
+			if f.reg.droppedC != nil {
+				f.reg.droppedC.Inc()
+			}
+			values = make([]string, len(f.labels))
+			for i := range values {
+				values[i] = Overflow
+			}
+			key = strings.Join(values, "\xff")
+			if s, ok = f.series[key]; ok {
+				return s
+			}
+		}
 		s = &series{labelValues: append([]string(nil), values...)}
 		if f.kind == KindHistogram {
 			s.buckets = make([]atomic.Uint64, len(f.bounds))
